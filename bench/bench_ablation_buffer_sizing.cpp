@@ -1,0 +1,81 @@
+// Ablation: how large does the switch buffer have to be, and how much of a
+// miss-match packet should the packet_in carry?
+//
+// (a) Buffer capacity sweep at a fixed high sending rate (default 95 Mbps,
+//     E1 workload). The paper's Fig. 8 argues ~80 units suffice for a
+//     100 Mbps interface; this sweep locates the knee: below it, exhaustion
+//     fallbacks (full-frame packet_ins) appear and the control load rises.
+// (b) miss_send_len sweep: the packet_in capture size trades control-path
+//     bytes against how much of the packet the controller can inspect.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  const double rate = 95.0;
+
+  // --- (a) capacity sweep ---
+  util::TableWriter capacity_table(
+      "ablation A: buffer capacity at " + util::format_double(rate, 0) +
+      " Mbps (packet-granularity, E1 workload)");
+  capacity_table.set_columns({"capacity", "up Mbps", "full-frame pkt_ins", "setup ms",
+                              "max units used"});
+  for (const std::size_t capacity : {8, 16, 32, 64, 96, 128, 256}) {
+    util::Summary up;
+    util::Summary full;
+    util::Summary setup;
+    util::Summary max_units;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      core::ExperimentConfig config;
+      config.mode = sw::BufferMode::PacketGranularity;
+      config.buffer_capacity = capacity;
+      config.rate_mbps = rate;
+      config.n_flows = 1000;
+      config.seed = options.seed * 977 + static_cast<std::uint64_t>(rep);
+      const auto r = core::run_experiment(config);
+      up.add(r.to_controller_mbps);
+      full.add(static_cast<double>(r.full_frame_pkt_ins));
+      setup.add(r.setup_ms.mean());
+      max_units.add(r.buffer_max_units);
+    }
+    capacity_table.add_row(std::to_string(capacity),
+                           {up.mean(), full.mean(), setup.mean(), max_units.mean()});
+  }
+  capacity_table.print(std::cout);
+  std::cout << "\nThe knee sits where 'max units used' stops hitting the capacity: beyond\n"
+               "it extra units are never touched — the paper's \"80 KB buffer suffices for\n"
+               "a 100 Mbps interface\" claim, located empirically.\n\n";
+
+  // --- (b) miss_send_len sweep ---
+  util::TableWriter capture_table("ablation B: miss_send_len (buffer-256, " +
+                                  util::format_double(rate, 0) + " Mbps)");
+  capture_table.set_columns({"capture bytes", "up Mbps", "ctrl cpu %", "setup ms"});
+  for (const std::uint16_t capture : {64, 128, 256, 512, 1000}) {
+    util::Summary up;
+    util::Summary cpu;
+    util::Summary setup;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      core::ExperimentConfig config;
+      config.mode = sw::BufferMode::PacketGranularity;
+      config.rate_mbps = rate;
+      config.n_flows = 1000;
+      config.seed = options.seed * 3203 + static_cast<std::uint64_t>(rep);
+      config.testbed.switch_config.miss_send_len = capture;
+      const auto r = core::run_experiment(config);
+      up.add(r.to_controller_mbps);
+      cpu.add(r.controller_cpu_pct);
+      setup.add(r.setup_ms.mean());
+    }
+    capture_table.add_row(std::to_string(capture), {up.mean(), cpu.mean(), setup.mean()});
+  }
+  capture_table.print(std::cout);
+  std::cout << "\nCapturing the whole 1000-byte frame while still buffering approaches the\n"
+               "no-buffer control load — the message-size saving, not the buffering\n"
+               "itself, carries most of Fig. 2's benefit.\n";
+  return 0;
+}

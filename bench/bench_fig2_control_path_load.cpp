@@ -1,0 +1,30 @@
+// Fig. 2 — control path load under different sending rates (§IV.A).
+//
+// Paper shape: (a) switch->controller load is ~linear in sending rate
+// without buffer (entire frames in packet_in); buffer-16 stays low until it
+// exhausts around 30-35 Mbps, buffer-256 stays low throughout (mean
+// ~10.9 Mbps). (b) controller->switch behaves the same (full frames in
+// packet_out vs a header-sized flow_mod), with ~96% reduction.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  std::vector<core::SweepResult> sweeps;
+  for (const auto& mechanism : bench::e1_mechanisms()) {
+    sweeps.push_back(bench::run_e1(options, mechanism));
+  }
+
+  bench::print_figure(options, "fig2a", "control path load, switch -> controller", "Mbps",
+                      sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.to_controller_mbps;
+                      });
+  bench::print_figure(options, "fig2b", "control path load, controller -> switch", "Mbps",
+                      sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.to_switch_mbps;
+                      });
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 4 — switch CPU usage under different sending rates (§IV.C).
+//
+// Paper shape: all three variants rise quickly, then flatten past ~40 Mbps;
+// buffering adds only a small extra load (paper: +5.6% on average,
+// buffer-256 slightly above buffer-16 slightly above no-buffer). At very
+// high rates our no-buffer variant dips below the buffered ones because the
+// saturated ASIC<->CPU bus starves its CPU stage (see EXPERIMENTS.md).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  std::vector<core::SweepResult> sweeps;
+  for (const auto& mechanism : bench::e1_mechanisms()) {
+    sweeps.push_back(bench::run_e1(options, mechanism));
+  }
+  bench::print_figure(options, "fig4", "switch CPU usage (100% = one core)", "%", sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.switch_cpu_pct;
+                      });
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 7 — switch delay under different sending rates (§IV.F).
+//
+// Switch delay = flow setup delay - controller delay (packet_in generation
+// plus packet_out execution). Paper shape: indistinguishable below
+// ~75 Mbps, then no-buffer explodes (25 ms at 95 Mbps — the ASIC<->CPU bus
+// is the contended resource); buffer-256 stays low and stable (~0.5 ms);
+// ~87% average reduction with a large enough buffer.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  std::vector<core::SweepResult> sweeps;
+  for (const auto& mechanism : bench::e1_mechanisms()) {
+    sweeps.push_back(bench::run_e1(options, mechanism));
+  }
+  bench::print_figure(options, "fig7", "switch delay", "ms", sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.switch_ms;
+                      });
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 8 — buffer utilization under different sending rates (§IV.G).
+//
+// Paper shape: buffer-16 is pinned at its 16-unit capacity once the rate
+// exceeds ~30 Mbps (exhaustion); buffer-256's usage grows with the rate and
+// needs no more than ~80 units at the maximum rate — i.e. an 80 KB buffer
+// suffices for a 100 Mbps interface with 1000-byte frames. We report the
+// peak units in use per run (and the time-weighted average as a second
+// table).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  // Only the buffered variants have a buffer to observe.
+  std::vector<core::SweepResult> sweeps;
+  for (const auto& mechanism : bench::e1_mechanisms()) {
+    if (mechanism.mode == sw::BufferMode::NoBuffer) continue;
+    sweeps.push_back(bench::run_e1(options, mechanism));
+  }
+  bench::print_figure(options, "fig8", "buffer utilization (max units in use)", "units", sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.buffer_max_units;
+                      });
+  bench::print_figure(options, "fig8_avg", "buffer utilization (time-weighted average)",
+                      "units", sweeps,
+                      [](const core::RatePoint& p) -> const util::Summary& {
+                        return p.buffer_avg_units;
+                      });
+  return 0;
+}

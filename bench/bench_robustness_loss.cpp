@@ -1,0 +1,59 @@
+// Robustness: lossy/overloaded controller (fault injection).
+//
+// The flow-granularity mechanism carries a re-request timeout (Algorithm 1,
+// lines 12-13) precisely so a lost or ignored packet_in does not strand the
+// buffered flow. This bench drops a fraction of packet_ins at the controller
+// and compares delivery: without a buffer a dropped request loses the packet
+// outright; with the packet-granularity buffer the packet waits until buffer
+// expiry and is lost; with the flow-granularity buffer the resend recovers
+// it at the cost of one timeout.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  util::TableWriter table("robustness: controller drops a fraction of packet_ins "
+                          "(50 flows x 4 packets at 50 Mbps)");
+  table.set_columns({"mechanism", "drop %", "delivered %", "resend pkt_ins", "setup ms"});
+
+  for (const auto& mechanism :
+       {bench::MechanismSpec{"no-buffer", sw::BufferMode::NoBuffer, 0},
+        bench::MechanismSpec{"packet-granularity", sw::BufferMode::PacketGranularity, 256},
+        bench::MechanismSpec{"flow-granularity", sw::BufferMode::FlowGranularity, 256}}) {
+    for (const double drop : {0.0, 0.05, 0.10, 0.20}) {
+      util::Summary delivered_pct;
+      util::Summary resends;
+      util::Summary setup;
+      for (int rep = 0; rep < options.repetitions; ++rep) {
+        core::ExperimentConfig config;
+        config.mode = mechanism.mode;
+        config.buffer_capacity = 256;
+        config.rate_mbps = 50.0;
+        config.n_flows = 50;
+        config.packets_per_flow = 4;
+        config.order = host::EmissionOrder::CrossSequence;
+        config.seed = options.seed * 4241 + static_cast<std::uint64_t>(rep);
+        config.testbed.controller_config.drop_pkt_in_probability = drop;
+        const auto r = core::run_experiment(config);
+        delivered_pct.add(100.0 * static_cast<double>(r.packets_delivered) /
+                          static_cast<double>(r.packets_sent));
+        resends.add(static_cast<double>(r.resend_pkt_ins));
+        if (r.setup_ms.count() > 0) setup.add(r.setup_ms.mean());
+      }
+      table.add_row({mechanism.label, util::format_double(drop * 100, 0),
+                     util::format_double(delivered_pct.mean(), 1),
+                     util::format_double(resends.mean(), 1),
+                     util::format_double(setup.mean(), 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nOnly the flow-granularity mechanism recovers dropped requests (its\n"
+               "timeout re-request), sustaining ~100% delivery; the others lose every\n"
+               "packet whose request the controller dropped.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Headline claims — every "on average" percentage in the abstract, §IV and
+// §V, recomputed from full sweeps and printed next to the paper's number.
+//
+// Reductions use the ratio of means over the whole rate sweep (1 - b̄/ā),
+// the arithmetic behind the paper's "on average" numbers (e.g. its 78% flow
+// setup delay reduction is 1 - 1.17 ms / 5.28 ms).
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using sdnbuf::core::RatePoint;
+using sdnbuf::core::SweepResult;
+
+// (1 - mean_over_rates(b) / mean_over_rates(a)) * 100 — ratio of means, the
+// paper's "on average" arithmetic (e.g. 1 - 1.17ms/5.28ms = 78%).
+double reduction_pct(const SweepResult& a, const SweepResult& b,
+                     const std::function<double(const RatePoint&)>& metric) {
+  sdnbuf::util::Summary sa;
+  sdnbuf::util::Summary sb;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    sa.add(metric(a.points[i]));
+    sb.add(metric(b.points[i]));
+  }
+  if (sa.mean() <= 0) return 0.0;
+  return (1.0 - sb.mean() / sa.mean()) * 100.0;
+}
+
+double at_rate(const SweepResult& r, double rate,
+               const std::function<double(const RatePoint&)>& metric) {
+  for (const auto& p : r.points) {
+    if (p.rate_mbps == rate) return metric(p);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  std::cout << "== Summary claims: paper vs this reproduction ==\n";
+  std::cout << "(reps=" << options.repetitions << " per rate; reductions are means over the "
+            << "5-100 Mbps sweep)\n\n";
+
+  // --- Experiment 1 (default buffer benefits, §IV) ---
+  const auto e1 = bench::e1_mechanisms();
+  const auto none = bench::run_e1(options, e1[0]);
+  const auto b16 = bench::run_e1(options, e1[1]);
+  const auto b256 = bench::run_e1(options, e1[2]);
+
+  auto up = [](const RatePoint& p) { return p.to_controller_mbps.mean(); };
+  auto down = [](const RatePoint& p) { return p.to_switch_mbps.mean(); };
+  auto ctrl_cpu = [](const RatePoint& p) { return p.controller_cpu_pct.mean(); };
+  auto sw_cpu = [](const RatePoint& p) { return p.switch_cpu_pct.mean(); };
+  auto setup = [](const RatePoint& p) { return p.setup_ms.mean(); };
+  auto ctrl_delay = [](const RatePoint& p) { return p.controller_ms.mean(); };
+  auto sw_delay = [](const RatePoint& p) { return p.switch_ms.mean(); };
+  auto fwd = [](const RatePoint& p) { return p.forwarding_ms.mean(); };
+  auto buf_avg = [](const RatePoint& p) { return p.buffer_avg_units.mean(); };
+  auto buf_max = [](const RatePoint& p) { return p.buffer_max_units.mean(); };
+
+  std::cout << "Experiment 1 (no-buffer vs buffer-256, 1000 single-packet flows):\n";
+  bench::print_claim("control path load reduction, switch->controller", "78.7%",
+                     reduction_pct(none, b256, up), "%");
+  bench::print_claim("control path load reduction, controller->switch", "96%",
+                     reduction_pct(none, b256, down), "%");
+  bench::print_claim("controller overhead reduction", "37%",
+                     reduction_pct(none, b256, ctrl_cpu), "%");
+  bench::print_claim("switch overhead increase (buffer-256 vs no-buffer)", "+5.6%",
+                     -reduction_pct(none, b256, sw_cpu), "%");
+  bench::print_claim("flow setup delay reduction (buffer-256)", "78%",
+                     reduction_pct(none, b256, setup), "%");
+  bench::print_claim("controller delay reduction (buffer-256)", "58%",
+                     reduction_pct(none, b256, ctrl_delay), "%");
+  bench::print_claim("switch delay reduction (buffer-256)", "87%",
+                     reduction_pct(none, b256, sw_delay), "%");
+  bench::print_claim("buffer-256 units needed at 95 Mbps", "<= ~80",
+                     at_rate(b256, 95.0, buf_max), "units");
+  bench::print_claim("buffer-16 exhausted (full-frame fallbacks) at 35 Mbps", "> 0",
+                     at_rate(b16, 35.0, [](const RatePoint& p) {
+                       return p.full_frame_pkt_ins.mean();
+                     }),
+                     "pkt_ins");
+
+  // --- Experiment 2 (flow- vs packet-granularity, §V.B) ---
+  const auto e2 = bench::e2_mechanisms();
+  const auto pkt = bench::run_e2(options, e2[0]);
+  const auto flow = bench::run_e2(options, e2[1]);
+
+  std::cout << "\nExperiment 2 (packet- vs flow-granularity, 50 flows x 20 packets):\n";
+  bench::print_claim("control path load reduction, switch->controller", "64%",
+                     reduction_pct(pkt, flow, up), "%");
+  bench::print_claim("control path load reduction, controller->switch", "80%",
+                     reduction_pct(pkt, flow, down), "%");
+  bench::print_claim("controller overhead reduction", "35.7%",
+                     reduction_pct(pkt, flow, ctrl_cpu), "%");
+  bench::print_claim("switch overhead change (flow vs packet; paper means 11.67 vs 17.31)",
+                     "~-33%", -reduction_pct(pkt, flow, sw_cpu), "%");
+  bench::print_claim("flow forwarding delay reduction", "18%", reduction_pct(pkt, flow, fwd),
+                     "%");
+  bench::print_claim("buffer utilization improvement (avg units)", "71.6%",
+                     reduction_pct(pkt, flow, buf_avg), "%");
+  bench::print_claim("flow setup delay reduction at 95 Mbps", "10.8%",
+                     (1.0 - at_rate(flow, 95.0, setup) / at_rate(pkt, 95.0, setup)) * 100.0,
+                     "%");
+  bench::print_claim("flow forwarding delay reduction at 95 Mbps", "37.4%",
+                     (1.0 - at_rate(flow, 95.0, fwd) / at_rate(pkt, 95.0, fwd)) * 100.0, "%");
+  bench::print_claim("requests per 20-packet flow (flow-granularity)", "1",
+                     flow.overall_mean([](const RatePoint& p) {
+                       return p.pkt_ins_sent.mean() / 50.0;
+                     }),
+                     "pkt_in/flow");
+  return 0;
+}

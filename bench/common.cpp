@@ -1,0 +1,137 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hpp"
+
+namespace sdnbuf::bench {
+
+Options parse_options(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv,
+                             {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet"});
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n"
+              << "usage: " << argv[0]
+              << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S]\n";
+    std::exit(1);
+  }
+  Options options;
+  options.repetitions = static_cast<int>(flags.get_int("reps", 20));
+  if (flags.get_bool("quick", false)) options.repetitions = 3;
+  if (flags.get_bool("rates-coarse", false)) {
+    options.rates = {5, 20, 35, 50, 65, 80, 95};
+  }
+  options.csv_dir = flags.get_string("csv-dir", "results");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.quiet = flags.get_bool("quiet", false);
+  return options;
+}
+
+std::vector<MechanismSpec> e1_mechanisms() {
+  return {
+      {"no-buffer", sw::BufferMode::NoBuffer, 0},
+      {"buffer-16", sw::BufferMode::PacketGranularity, 16},
+      {"buffer-256", sw::BufferMode::PacketGranularity, 256},
+  };
+}
+
+std::vector<MechanismSpec> e2_mechanisms() {
+  return {
+      {"packet-granularity", sw::BufferMode::PacketGranularity, 256},
+      {"flow-granularity", sw::BufferMode::FlowGranularity, 256},
+  };
+}
+
+namespace {
+
+core::SweepResult run_sweep_for(const Options& options, const MechanismSpec& mechanism,
+                                core::ExperimentConfig base) {
+  base.mode = mechanism.mode;
+  base.buffer_capacity = mechanism.buffer_capacity == 0 ? 256 : mechanism.buffer_capacity;
+  base.seed = options.seed;
+  core::SweepConfig sweep;
+  sweep.rates_mbps = options.rates;
+  sweep.repetitions = options.repetitions;
+  sweep.base = base;
+  return core::run_sweep(sweep, mechanism.label);
+}
+
+}  // namespace
+
+core::SweepResult run_e1(const Options& options, const MechanismSpec& mechanism) {
+  core::ExperimentConfig base;
+  base.n_flows = 1000;
+  base.packets_per_flow = 1;
+  base.frame_size = 1000;
+  base.order = host::EmissionOrder::Sequential;
+  return run_sweep_for(options, mechanism, base);
+}
+
+core::SweepResult run_e2(const Options& options, const MechanismSpec& mechanism) {
+  core::ExperimentConfig base;
+  base.n_flows = 50;
+  base.packets_per_flow = 20;
+  base.frame_size = 1000;
+  base.order = host::EmissionOrder::CrossSequence;
+  base.batch_size = 5;
+  return run_sweep_for(options, mechanism, base);
+}
+
+void print_figure(const Options& options, const std::string& figure_id, const std::string& title,
+                  const std::string& unit, const std::vector<core::SweepResult>& sweeps,
+                  const MetricFn& metric) {
+  util::TableWriter table(figure_id + ": " + title + " [" + unit + "]");
+  std::vector<std::string> columns{"rate (Mbps)"};
+  for (const auto& sweep : sweeps) {
+    columns.push_back(sweep.label + " mean");
+    columns.push_back(sweep.label + " std");
+  }
+  table.set_columns(columns);
+
+  const std::size_t n_rates = sweeps.empty() ? 0 : sweeps.front().points.size();
+  for (std::size_t i = 0; i < n_rates; ++i) {
+    std::vector<std::string> row{util::format_double(sweeps.front().points[i].rate_mbps, 0)};
+    for (const auto& sweep : sweeps) {
+      const auto& summary = metric(sweep.points[i]);
+      row.push_back(util::format_double(summary.mean(), 3));
+      row.push_back(util::format_double(summary.stddev(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  if (!options.quiet) {
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.csv_dir, ec);
+  const std::string path = options.csv_dir + "/" + figure_id + ".csv";
+  std::ofstream file(path);
+  if (file) {
+    util::CsvWriter csv(file);
+    csv.header(columns);
+    for (std::size_t i = 0; i < n_rates; ++i) {
+      std::vector<double> cells{sweeps.front().points[i].rate_mbps};
+      for (const auto& sweep : sweeps) {
+        const auto& summary = metric(sweep.points[i]);
+        cells.push_back(summary.mean());
+        cells.push_back(summary.stddev());
+      }
+      csv.row(cells);
+    }
+    if (!options.quiet) std::cout << "wrote " << path << "\n\n";
+  } else {
+    std::cerr << "warning: could not write " << path << '\n';
+  }
+}
+
+void print_claim(const std::string& label, const std::string& paper, double measured,
+                 const std::string& unit) {
+  std::cout << "  " << label << ": paper " << paper << ", measured "
+            << util::format_double(measured, 1) << ' ' << unit << '\n';
+}
+
+}  // namespace sdnbuf::bench

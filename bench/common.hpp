@@ -1,0 +1,64 @@
+// Shared harness code for the per-figure benchmark binaries.
+//
+// Each bench binary reproduces one table/figure of the paper:
+//   Experiment E1 (§IV):  1000 single-packet UDP flows, 1000-byte frames,
+//                         rates 5..100 Mbps, mechanisms no-buffer /
+//                         buffer-16 / buffer-256, N repetitions per rate.
+//   Experiment E2 (§V.B): 50 flows x 20 packets in cross-sequence batches
+//                         of 5, buffer-256, packet- vs flow-granularity.
+//
+// Output: an aligned table on stdout (mean and std across repetitions per
+// sending rate) and a CSV next to the binary's working directory under
+// results/.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace sdnbuf::bench {
+
+struct Options {
+  int repetitions = 20;
+  std::vector<double> rates;  // empty -> paper default 5..100 step 5
+  std::string csv_dir = "results";
+  bool quiet = false;
+  std::uint64_t seed = 1;
+};
+
+// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed; exits on bad flags.
+[[nodiscard]] Options parse_options(int argc, char** argv);
+
+// The three E1 mechanism variants of §IV.
+struct MechanismSpec {
+  std::string label;
+  sw::BufferMode mode;
+  std::size_t buffer_capacity;
+};
+
+[[nodiscard]] std::vector<MechanismSpec> e1_mechanisms();
+[[nodiscard]] std::vector<MechanismSpec> e2_mechanisms();
+
+// Runs the E1 sweep for one mechanism.
+[[nodiscard]] core::SweepResult run_e1(const Options& options, const MechanismSpec& mechanism);
+
+// Runs the E2 sweep (50 flows x 20 packets, cross-sequence) for one
+// mechanism.
+[[nodiscard]] core::SweepResult run_e2(const Options& options, const MechanismSpec& mechanism);
+
+// Extracts one (mean, std) series per sweep and prints the figure table +
+// CSV. `metric` pulls the per-rate Summary to report.
+using MetricFn = std::function<const util::Summary&(const core::RatePoint&)>;
+
+void print_figure(const Options& options, const std::string& figure_id, const std::string& title,
+                  const std::string& unit, const std::vector<core::SweepResult>& sweeps,
+                  const MetricFn& metric);
+
+// Prints "<label>: paper=<paper> measured=<measured>" claim lines.
+void print_claim(const std::string& label, const std::string& paper, double measured,
+                 const std::string& unit);
+
+}  // namespace sdnbuf::bench

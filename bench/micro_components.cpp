@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks —
+// OpenFlow codec, match evaluation, flow-table lookup, buffer managers,
+// event queue, RNG — so regressions in the substrate are visible
+// independently of the figure-level harness.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "openflow/messages.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/flow_buffer.hpp"
+#include "switchd/flow_table.hpp"
+#include "switchd/packet_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sdnbuf;
+
+net::Packet sample_packet(std::uint32_t flow) {
+  auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                net::Ipv4Address{0x0a010001u + flow},
+                                net::Ipv4Address::from_octets(10, 2, 0, 1),
+                                static_cast<std::uint16_t>(10000 + flow % 20000), 9, 1000);
+  p.flow_id = flow;
+  return p;
+}
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng{42};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngLognormal(benchmark::State& state) {
+  util::Rng rng{42};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.lognormal(1.0, 0.15));
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const auto p = sample_packet(1);
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(p.serialize(bytes));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PacketSerialize)->Arg(128)->Arg(1000);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto wire = sample_packet(1).serialize(128);
+  for (auto _ : state) benchmark::DoNotOptimize(net::Packet::parse(wire, 1000));
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_EncodePacketIn(benchmark::State& state) {
+  of::PacketIn pi;
+  pi.buffer_id = 7;
+  pi.total_len = 1000;
+  pi.in_port = 1;
+  pi.data = sample_packet(1).serialize(static_cast<std::size_t>(state.range(0)));
+  const of::OfMessage msg{pi};
+  for (auto _ : state) benchmark::DoNotOptimize(of::encode_message(msg));
+}
+BENCHMARK(BM_EncodePacketIn)->Arg(128)->Arg(1000);
+
+void BM_DecodeFlowMod(benchmark::State& state) {
+  of::FlowMod fm;
+  fm.match = of::Match::exact_from(sample_packet(1), 1);
+  fm.actions = of::output_to(2);
+  const auto wire = of::encode_message(fm);
+  for (auto _ : state) benchmark::DoNotOptimize(of::decode_message(wire));
+}
+BENCHMARK(BM_DecodeFlowMod);
+
+void BM_MatchEvaluation(benchmark::State& state) {
+  const auto p = sample_packet(1);
+  const auto m = of::Match::exact_from(p, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(m.matches(p, 1));
+}
+BENCHMARK(BM_MatchEvaluation);
+
+void BM_FlowTableLookupHit(benchmark::State& state) {
+  sw::FlowTable table{16384};
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t f = 0; f < n; ++f) {
+    sw::FlowEntry e;
+    e.match = of::Match::exact_from(sample_packet(f), 1);
+    e.priority = 100;
+    e.actions = of::output_to(2);
+    table.add(std::move(e), sim::SimTime::zero());
+  }
+  std::uint32_t f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(sample_packet(f % n), 1, sim::SimTime::zero()));
+    ++f;
+  }
+}
+BENCHMARK(BM_FlowTableLookupHit)->Arg(16)->Arg(1024)->Arg(8192);
+
+void BM_FlowTableLookupMiss(benchmark::State& state) {
+  sw::FlowTable table{16384};
+  for (std::uint32_t f = 0; f < 1024; ++f) {
+    sw::FlowEntry e;
+    e.match = of::Match::exact_from(sample_packet(f), 1);
+    table.add(std::move(e), sim::SimTime::zero());
+  }
+  const auto p = sample_packet(99999);
+  for (auto _ : state) benchmark::DoNotOptimize(table.lookup(p, 1, sim::SimTime::zero()));
+}
+BENCHMARK(BM_FlowTableLookupMiss);
+
+void BM_PacketBufferStoreRelease(benchmark::State& state) {
+  sim::Simulator sim;
+  sw::PacketBufferManager buf{sim, 1 << 20, sim::SimTime::zero()};
+  const auto p = sample_packet(1);
+  for (auto _ : state) {
+    const auto id = buf.store(p);
+    benchmark::DoNotOptimize(buf.release(*id));
+    if (sim.pending_events() > 4096) sim.run();
+  }
+  sim.run();
+}
+BENCHMARK(BM_PacketBufferStoreRelease);
+
+void BM_FlowBufferStoreReleaseBurst(benchmark::State& state) {
+  sim::Simulator sim;
+  sw::FlowBufferManager buf{sim, 1 << 20, sim::SimTime::zero()};
+  const auto burst = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    std::uint32_t id = 0;
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      auto r = buf.store(sample_packet(1));
+      id = r->buffer_id;
+    }
+    benchmark::DoNotOptimize(buf.release_all(id));
+    if (sim.pending_events() > 4096) sim.run();
+  }
+  sim.run();
+}
+BENCHMARK(BM_FlowBufferStoreReleaseBurst)->Arg(1)->Arg(20);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(sim::SimTime::microseconds(i), []() {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  const auto key = sample_packet(7).flow_key();
+  for (auto _ : state) benchmark::DoNotOptimize(key.hash());
+}
+BENCHMARK(BM_FlowKeyHash);
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Algorithm walkthrough: a narrated, step-by-step trace of the
+// flow-granularity buffer mechanism (Algorithms 1 and 2 of the paper).
+//
+// A scripted controller replaces the real one so each protocol step can be
+// annotated as it happens: buffering the first miss-match packet, silent
+// buffering of the followers, the single packet_in, the timeout re-request,
+// and the whole-flow release triggered by one packet_out.
+//
+//   ./mechanism_walkthrough
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "net/link.hpp"
+#include "openflow/channel.hpp"
+#include "switchd/switch.hpp"
+
+namespace {
+
+using namespace sdnbuf;
+
+class Narrator {
+ public:
+  explicit Narrator(sim::Simulator& sim) : sim_(sim) {}
+  void say(const std::string& what) const {
+    std::cout << "  t=" << std::setw(9) << sim_.now().to_string() << "  " << what << '\n';
+  }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+net::Packet flow_packet(std::uint32_t seq) {
+  auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                net::Ipv4Address::from_octets(10, 1, 0, 1),
+                                net::Ipv4Address::from_octets(10, 2, 0, 1), 10000, 9, 1000);
+  p.flow_id = 1;
+  p.seq_in_flow = seq;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  Narrator narrator{sim};
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  net::Link h1{sim, "h1", 100e6, sim::SimTime::microseconds(20)};
+  net::Link h2{sim, "h2", 100e6, sim::SimTime::microseconds(20)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+
+  sw::SwitchConfig config;
+  config.buffer_mode = sw::BufferMode::FlowGranularity;
+  config.costs.flow_resend_timeout = sim::SimTime::milliseconds(3);
+  sw::Switch ovs{sim, config, 7};
+  ovs.attach_port(1, h1, [&](const net::Packet& p) {
+    narrator.say("host1 received packet seq=" + std::to_string(p.seq_in_flow));
+  });
+  ovs.attach_port(2, h2, [&](const net::Packet& p) {
+    narrator.say("host2 received packet seq=" + std::to_string(p.seq_in_flow) +
+                 "  (forwarded out of the buffer, in order)");
+  });
+  ovs.connect(channel);
+
+  // Scripted controller: narrate each packet_in; deliberately ignore the
+  // first one so the timeout re-request (Algorithm 1, lines 12-13) fires,
+  // then answer the second with Algorithm 2's flow_mod + packet_out pair.
+  int seen = 0;
+  channel.set_controller_handler([&](const of::OfMessage& msg, std::size_t wire_bytes) {
+    const auto* pi = std::get_if<of::PacketIn>(&msg);
+    if (pi == nullptr) return;
+    ++seen;
+    const bool resend = pi->reason == of::PacketInReason::FlowResend;
+    narrator.say(std::string("controller got packet_in #") + std::to_string(seen) +
+                 (resend ? " (reason: FLOW RESEND after timeout)" : " (reason: no match)") +
+                 ", buffer_id=" + std::to_string(pi->buffer_id) + ", " +
+                 std::to_string(pi->data.size()) + "-byte capture, " +
+                 std::to_string(wire_bytes) + " B on the wire");
+    if (seen == 1) {
+      narrator.say("controller stays SILENT to demonstrate the re-request timeout ...");
+      return;
+    }
+    const auto parsed = net::Packet::parse(pi->data, pi->total_len);
+    narrator.say("controller decides: install exact rule, then release flow via packet_out");
+    of::FlowMod fm;
+    fm.xid = pi->xid;
+    fm.match = of::Match::exact_from(*parsed, pi->in_port);
+    fm.priority = 100;
+    fm.actions = of::output_to(2);
+    channel.send_from_controller(fm);  // Algorithm 2, line 1
+    of::PacketOut po;
+    po.xid = pi->xid;
+    po.buffer_id = pi->buffer_id;  // Algorithm 2, line 2
+    po.in_port = pi->in_port;
+    po.actions = of::output_to(2);  // Algorithm 2, line 3 (out_port)
+    channel.send_from_controller(po);
+  });
+
+  std::cout << "== Flow-granularity buffer mechanism walkthrough (Algorithms 1-2) ==\n\n";
+  std::cout << "Phase 1: a new 4-packet flow arrives; only packet 0 may trigger a request.\n";
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    sim.schedule(sim::SimTime::microseconds(80 * seq), [&ovs, &narrator, seq]() {
+      narrator.say("packet seq=" + std::to_string(seq) +
+                   " arrives at the switch -> table miss -> " +
+                   (seq == 0 ? "buffer + create buffer_id + packet_in (Alg.1 l.7-9)"
+                             : "buffered silently under the shared buffer_id (Alg.1 l.10-11)"));
+      ovs.receive(1, flow_packet(seq));
+    });
+  }
+  sim.run_until(sim::SimTime::milliseconds(2));
+  const std::size_t buffered = ovs.flow_buffer()->packets_buffered();
+  std::cout << "\nPhase 2: " << buffered << " packets sit in the buffer under one buffer_id; "
+            << "the response timeout (" << config.costs.flow_resend_timeout.to_string()
+            << ") expires and the switch asks again (Alg.1 l.12-13).\n"
+            << "Phase 3: flow_mod installs the rule; ONE packet_out releases the whole flow "
+            << "in order (Alg.2 l.4-9).\n";
+  sim.run_until(sim::SimTime::milliseconds(6));
+  ovs.stop();
+  sim.run();
+
+  std::cout << "\nFinal state: pkt_ins sent=" << ovs.counters().pkt_ins_sent
+            << " (of which resends=" << ovs.counters().resend_pkt_ins
+            << "), packets forwarded=" << ovs.counters().packets_forwarded
+            << ", buffer units in use=" << ovs.buffer_units_in_use() << "\n";
+  std::cout << "A packet-granularity switch would have sent 4 packet_ins for this flow;\n"
+               "the flow-granularity mechanism sent 1 (+1 only because the controller\n"
+               "ignored the first request on purpose).\n";
+  return 0;
+}

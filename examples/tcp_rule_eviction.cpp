@@ -1,0 +1,147 @@
+// TCP rule eviction (§VI.B): why the buffer also helps TCP.
+//
+// A TCP connection sets up with small handshake packets (its rule installs
+// cheaply), transfers data, then goes quiet. During the quiet period the
+// size-limited flow table evicts its rule to make room for other flows —
+// but the connection is NOT terminated. When the transfer resumes with a
+// burst of full-size segments, every segment is a miss-match packet again.
+//
+// This example drives exactly that scenario against a deliberately tiny
+// flow table and reports what the resumption burst costs under each buffer
+// mechanism.
+//
+//   ./tcp_rule_eviction [--table 8] [--burst 16]
+#include <iostream>
+
+#include "core/testbed.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace sdnbuf;
+
+struct Result {
+  std::uint64_t pkt_ins_handshake = 0;
+  std::uint64_t pkt_ins_resume = 0;
+  std::uint64_t control_bytes_resume = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t delivered = 0;
+  double resume_latency_ms = 0.0;  // first resumed segment: send -> delivery
+};
+
+Result run_scenario(sw::BufferMode mode, std::size_t table_capacity, std::uint32_t burst) {
+  core::TestbedConfig config;
+  config.switch_config.buffer_mode = mode;
+  config.switch_config.flow_table_capacity = table_capacity;
+  core::Testbed bed{config};
+  bed.warm_up();
+  Result r;
+
+  const auto tcp = [&bed](std::uint8_t flags, std::uint32_t frame, std::uint32_t seq,
+                          bool from_host1) {
+    net::Packet p =
+        from_host1
+            ? net::make_tcp_packet(bed.host1_mac(), bed.host2_mac(), bed.host1_ip(),
+                                   bed.host2_ip(), 45000, 80, flags, frame)
+            : net::make_tcp_packet(bed.host2_mac(), bed.host1_mac(), bed.host2_ip(),
+                                   bed.host1_ip(), 80, 45000, flags, frame);
+    p.flow_id = from_host1 ? 1 : 2;  // one id per direction
+    p.seq_in_flow = seq;
+    p.created_at = bed.sim().now();
+    return p;
+  };
+  auto settle = [&bed]() { bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(20)); };
+
+  // --- Three-way handshake: SYN, SYN|ACK, ACK (small frames). ---
+  bed.inject_from_host1(tcp(net::kTcpSyn, 74, 0, true));
+  settle();
+  bed.inject_from_host2(tcp(net::kTcpSyn | net::kTcpAck, 74, 0, false));
+  settle();
+  bed.inject_from_host1(tcp(net::kTcpAck, 66, 1, true));
+  settle();
+  r.pkt_ins_handshake = bed.ovs().counters().pkt_ins_sent;
+
+  // --- Initial data transfer: the rule is hot, everything forwards. ---
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    bed.inject_from_host1(tcp(net::kTcpAck | net::kTcpPsh, 1000, 2 + i, true));
+    bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(1));
+  }
+  settle();
+
+  // --- Quiet period: other flows churn through the tiny flow table and
+  //     evict the TCP rule (the connection stays up). ---
+  for (std::uint32_t f = 0; f < 4 * table_capacity; ++f) {
+    net::Packet p = net::make_udp_packet(bed.host1_mac(), bed.host2_mac(),
+                                         net::Ipv4Address{0x0a016400u + f}, bed.host2_ip(),
+                                         static_cast<std::uint16_t>(30000 + f), 9, 200);
+    p.flow_id = metrics::kUntrackedFlow;
+    bed.inject_from_host1(p);
+    bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(2));
+  }
+  settle();
+  r.evictions = bed.ovs().flow_table().evictions();
+
+  // --- Resumption burst: full-size segments, rule gone -> misses again. ---
+  const std::uint64_t pkt_ins_before = bed.ovs().counters().pkt_ins_sent;
+  const std::uint64_t bytes_before = bed.to_controller_link().tap().bytes();
+  const sim::SimTime resume_start = bed.sim().now();
+  for (std::uint32_t i = 0; i < burst; ++i) {
+    net::Packet p = tcp(net::kTcpAck | net::kTcpPsh, 1000, 100 + i, true);
+    bed.sim().schedule_at(resume_start + sim::SimTime::microseconds(84 * i),
+                          [&bed, p]() mutable {
+                            p.created_at = bed.sim().now();
+                            bed.inject_from_host1(p);
+                          });
+  }
+  bed.sim().run_until(bed.sim().now() + sim::SimTime::seconds(1));
+  bed.ovs().stop();
+  bed.sim().run();
+
+  r.pkt_ins_resume = bed.ovs().counters().pkt_ins_sent - pkt_ins_before;
+  r.control_bytes_resume = bed.to_controller_link().tap().bytes() - bytes_before;
+  r.delivered = bed.sink2().packets_received();
+  const auto* rec = bed.recorder().record(1);
+  if (rec != nullptr && rec->last_departure) {
+    r.resume_latency_ms = (*rec->last_departure - resume_start).ms();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv, {"table", "burst"});
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\nusage: tcp_rule_eviction [--table N] [--burst N]\n";
+    return 1;
+  }
+  const auto table_capacity = static_cast<std::size_t>(flags.get_int("table", 8));
+  const auto burst = static_cast<std::uint32_t>(flags.get_int("burst", 16));
+
+  util::TableWriter table("TCP rule eviction: " + std::to_string(table_capacity) +
+                          "-entry flow table, " + std::to_string(burst) +
+                          "-segment resumption burst");
+  table.set_columns({"mechanism", "handshake pkt_ins", "rule evictions", "resume pkt_ins",
+                     "resume ctrl bytes", "burst done (ms)"});
+  const struct {
+    sw::BufferMode mode;
+    const char* label;
+  } mechanisms[] = {
+      {sw::BufferMode::NoBuffer, "no-buffer"},
+      {sw::BufferMode::PacketGranularity, "packet-granularity"},
+      {sw::BufferMode::FlowGranularity, "flow-granularity"},
+  };
+  for (const auto& m : mechanisms) {
+    const Result r = run_scenario(m.mode, table_capacity, burst);
+    table.add_row({m.label, std::to_string(r.pkt_ins_handshake), std::to_string(r.evictions),
+                   std::to_string(r.pkt_ins_resume), std::to_string(r.control_bytes_resume),
+                   util::format_double(r.resume_latency_ms, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAfter eviction the resumed TCP transfer behaves like a brand-new flow:\n"
+               "the flow-granularity buffer absorbs the whole burst behind one request\n"
+               "(§VI.B: \"rules may be kicked out ... but the connections are not\n"
+               "terminated; buffer is also useful for such TCP connections\").\n";
+  return 0;
+}

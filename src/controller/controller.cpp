@@ -1,0 +1,240 @@
+#include "controller/controller.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sdnbuf::ctrl {
+
+Controller::Controller(sim::Simulator& sim, ControllerConfig config, std::uint64_t rng_seed)
+    : sim_(sim),
+      config_(std::move(config)),
+      rng_(rng_seed),
+      cpu_(sim, config_.name + ":cpu", config_.cpu_cores) {}
+
+void Controller::connect(of::Channel& channel, std::uint64_t datapath_id) {
+  SDNBUF_CHECK_MSG(switches_.count(datapath_id) == 0, "datapath already connected");
+  switches_[datapath_id].channel = &channel;
+  channel.set_controller_handler(
+      [this, datapath_id](const of::OfMessage& msg, std::size_t) {
+        on_message(datapath_id, msg);
+      });
+}
+
+Controller::SwitchBinding& Controller::binding(std::uint64_t datapath_id) {
+  const auto it = switches_.find(datapath_id);
+  SDNBUF_CHECK_MSG(it != switches_.end(), "unknown datapath");
+  return it->second;
+}
+
+const Controller::SwitchBinding* Controller::find_binding(std::uint64_t datapath_id) const {
+  const auto it = switches_.find(datapath_id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+sim::SimTime Controller::cost_us(double nominal_us) {
+  return sim::SimTime::from_microseconds(nominal_us *
+                                         rng_.lognormal(1.0, config_.costs.jitter_sigma));
+}
+
+std::size_t Controller::mac_table_size(std::uint64_t datapath_id) const {
+  const auto* b = find_binding(datapath_id);
+  return b == nullptr ? 0 : b->mac_table.size();
+}
+
+std::optional<std::uint16_t> Controller::lookup_mac(const net::MacAddress& mac,
+                                                    std::uint64_t datapath_id) const {
+  const auto* b = find_binding(datapath_id);
+  if (b == nullptr) return std::nullopt;
+  const auto it = b->mac_table.find(mac);
+  if (it == b->mac_table.end()) return std::nullopt;
+  return it->second;
+}
+
+void Controller::learn(const net::MacAddress& mac, std::uint16_t port,
+                       std::uint64_t datapath_id) {
+  binding(datapath_id).mac_table[mac] = port;
+}
+
+void Controller::start() {
+  if (config_.stats_poll_interval <= sim::SimTime::zero()) return;
+  polling_ = true;
+  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() { poll_stats(); });
+}
+
+void Controller::stop() {
+  polling_ = false;
+  poll_event_.cancel();
+}
+
+void Controller::poll_stats() {
+  if (!polling_) return;
+  request_aggregate_stats(of::Match::wildcard_all());
+  request_port_stats();
+  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() { poll_stats(); });
+}
+
+void Controller::request_flow_stats(const of::Match& match) {
+  for (auto& [dpid, b] : switches_) {
+    of::FlowStatsRequest req;
+    req.xid = b.channel->next_xid();
+    req.match = match;
+    ++counters_.stats_requests_sent;
+    b.channel->send_from_controller(req);
+  }
+}
+
+void Controller::request_aggregate_stats(const of::Match& match) {
+  for (auto& [dpid, b] : switches_) {
+    of::AggregateStatsRequest req;
+    req.xid = b.channel->next_xid();
+    req.match = match;
+    ++counters_.stats_requests_sent;
+    b.channel->send_from_controller(req);
+  }
+}
+
+void Controller::request_port_stats(std::uint16_t port_no) {
+  for (auto& [dpid, b] : switches_) {
+    of::PortStatsRequest req;
+    req.xid = b.channel->next_xid();
+    req.port_no = port_no;
+    ++counters_.stats_requests_sent;
+    b.channel->send_from_controller(req);
+  }
+}
+
+void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg) {
+  if (const auto* pi = std::get_if<of::PacketIn>(&msg)) {
+    if (config_.drop_pkt_in_probability > 0.0 &&
+        rng_.next_double() < config_.drop_pkt_in_probability) {
+      ++counters_.pkt_ins_dropped;
+      return;
+    }
+    handle_packet_in(datapath_id, *pi);
+  } else if (std::holds_alternative<of::Error>(msg)) {
+    ++counters_.errors_seen;
+  } else if (const auto* flow_stats = std::get_if<of::FlowStatsReply>(&msg)) {
+    ++counters_.stats_replies_seen;
+    last_flow_stats_ = *flow_stats;
+  } else if (const auto* agg = std::get_if<of::AggregateStatsReply>(&msg)) {
+    ++counters_.stats_replies_seen;
+    last_aggregate_stats_ = *agg;
+  } else if (const auto* port_stats = std::get_if<of::PortStatsReply>(&msg)) {
+    ++counters_.stats_replies_seen;
+    last_port_stats_ = *port_stats;
+  } else if (std::holds_alternative<of::FlowRemoved>(msg)) {
+    ++counters_.flow_removed_seen;
+  } else if (std::holds_alternative<of::Hello>(msg)) {
+    // Handshake completion; nothing further to do.
+  } else if (const auto* echo = std::get_if<of::EchoRequest>(&msg)) {
+    binding(datapath_id).channel->send_from_controller(of::EchoReply{echo->xid});
+  }
+  // EchoReply / FeaturesReply / BarrierReply need no reaction here.
+}
+
+void Controller::handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg) {
+  ++counters_.pkt_ins_handled;
+  if (msg.buffer_id == of::kNoBuffer) ++counters_.full_frame_pkt_ins;
+  if (msg.reason == of::PacketInReason::FlowResend) ++counters_.resend_pkt_ins;
+
+  // Parse cost scales with the data field: a full 1000-byte frame costs
+  // measurably more than a 128-byte header capture.
+  const double parse_us = config_.costs.parse_base_us +
+                          config_.costs.parse_per_byte_us * static_cast<double>(msg.data.size()) +
+                          config_.costs.decision_us;
+  cpu_.submit(cost_us(parse_us), [this, datapath_id, msg]() {
+    auto packet = net::Packet::parse(msg.data, msg.total_len);
+    if (!packet) {
+      ++counters_.parse_failures;
+      SDNBUF_WARN("controller", "undecodable packet_in data");
+      return;
+    }
+    decide_and_respond(binding(datapath_id), msg, *packet);
+  });
+}
+
+void Controller::decide_and_respond(SwitchBinding& binding, const of::PacketIn& msg,
+                                    const net::Packet& packet) {
+  of::Channel* channel = binding.channel;
+  SDNBUF_CHECK(channel != nullptr);
+
+  // Learn the sender's location at this switch.
+  if (!packet.eth.src.is_multicast()) binding.mac_table[packet.eth.src] = msg.in_port;
+
+  const auto it = binding.mac_table.find(packet.eth.dst);
+  const bool known = it != binding.mac_table.end();
+  if (!known) {
+    // Unknown destination: flood, and install nothing (the next packet_in
+    // for this flow gets another chance once the destination is learned).
+    ++counters_.floods;
+    const double encode_us = config_.costs.encode_pkt_out_base_us +
+                             config_.costs.encode_pkt_out_per_byte_us *
+                                 static_cast<double>(msg.data.size());
+    cpu_.submit(cost_us(encode_us), [this, channel, msg]() {
+      of::PacketOut out;
+      out.xid = msg.xid;
+      out.buffer_id = msg.buffer_id;
+      out.in_port = msg.in_port;
+      out.actions = of::output_to(of::kPortFlood);
+      if (msg.buffer_id == of::kNoBuffer) out.data = msg.data;
+      ++counters_.pkt_outs_sent;
+      channel->send_from_controller(out);
+    });
+    return;
+  }
+
+  const of::ActionList actions = of::output_to(it->second);
+
+  // Floodlight sends the flow_mod first and the packet_out second; chaining
+  // the encode jobs preserves that order on the FIFO channel.
+  auto send_pkt_out = [this, channel, msg, actions]() {
+    // The packet_out re-encapsulates the full frame only in no-buffer mode;
+    // with a valid buffer_id it carries just the reference.
+    const std::size_t data_bytes = msg.buffer_id == of::kNoBuffer ? msg.data.size() : 0;
+    const double encode_us =
+        config_.costs.encode_pkt_out_base_us +
+        config_.costs.encode_pkt_out_per_byte_us * static_cast<double>(data_bytes);
+    cpu_.submit(cost_us(encode_us), [this, channel, msg, actions]() {
+      of::PacketOut out;
+      out.xid = msg.xid;
+      out.buffer_id = msg.buffer_id;
+      out.in_port = msg.in_port;
+      out.actions = actions;
+      if (msg.buffer_id == of::kNoBuffer) out.data = msg.data;
+      ++counters_.pkt_outs_sent;
+      channel->send_from_controller(out);
+    });
+  };
+
+  if (!config_.install_rules) {
+    send_pkt_out();
+    return;
+  }
+  const bool piggyback = config_.piggyback_buffer_id && msg.buffer_id != of::kNoBuffer;
+  cpu_.submit(cost_us(config_.costs.encode_flow_mod_us),
+              [this, channel, msg, packet, actions, send_pkt_out, piggyback]() {
+    of::FlowMod fm;
+    fm.xid = msg.xid;  // responses echo the request xid (delay attribution)
+    fm.match = of::Match::exact_from(packet, msg.in_port);
+    if (config_.aggregate_src_bits > 0) {
+      // Aggregated rule: one entry covers a source-IP block instead of a
+      // single micro flow (trades per-flow counters for fewer misses).
+      fm.match.set_nw_src_ignored_bits(config_.aggregate_src_bits);
+      fm.match.wildcards |= of::kWildcardTpSrc | of::kWildcardTpDst | of::kWildcardDlSrc;
+    }
+    fm.command = of::FlowModCommand::Add;
+    fm.idle_timeout_s = config_.rule_idle_timeout_s;
+    fm.hard_timeout_s = config_.rule_hard_timeout_s;
+    fm.priority = config_.rule_priority;
+    // Piggyback: the flow_mod itself names the buffered packet, so the
+    // switch installs the rule and releases the packet in one message.
+    fm.buffer_id = piggyback ? msg.buffer_id : of::kNoBuffer;
+    if (config_.request_flow_removed) fm.flags |= of::kFlowModSendFlowRem;
+    fm.actions = actions;
+    ++counters_.flow_mods_sent;
+    channel->send_from_controller(fm);
+    if (!piggyback) send_pkt_out();
+  });
+}
+
+}  // namespace sdnbuf::ctrl

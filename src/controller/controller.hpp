@@ -1,0 +1,172 @@
+// The SDN controller (the testbed's Floodlight stand-in).
+//
+// Runs a reactive forwarding application: learn the source MAC of every
+// packet_in, and when the destination MAC is known answer with a flow_mod
+// installing an exact-match micro-flow rule followed by a packet_out that
+// forwards (or releases) the miss-match packet; flood when the destination
+// is unknown.
+//
+// Processing happens on a multi-core CPU server with costs proportional to
+// message sizes: parsing a full-frame packet_in and re-encapsulating the
+// frame into the packet_out is what makes the no-buffer controller load
+// high (Fig. 3) — with buffering, both directions shrink to header-sized
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "openflow/channel.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sdnbuf::ctrl {
+
+struct CostModel {
+  // packet_in parsing: fixed + per byte of the data field.
+  double parse_base_us = 10.0;
+  double parse_per_byte_us = 0.10;
+  // Forwarding decision (MAC table operations, route choice).
+  double decision_us = 20.0;
+  // Response construction.
+  double encode_flow_mod_us = 15.0;
+  double encode_pkt_out_base_us = 10.0;
+  double encode_pkt_out_per_byte_us = 0.06;  // frame re-encapsulation (no-buffer)
+  double jitter_sigma = 0.15;
+};
+
+struct ControllerConfig {
+  std::string name = "floodlight";
+  unsigned cpu_cores = 2;
+  // Parameters of the rules the forwarding app installs.
+  std::uint16_t rule_idle_timeout_s = 5;
+  std::uint16_t rule_hard_timeout_s = 0;
+  std::uint16_t rule_priority = 100;
+  bool install_rules = true;
+  bool request_flow_removed = true;  // set OFPFF_SEND_FLOW_REM on rules
+  // Optional Floodlight-style optimization: put the buffer_id into the
+  // flow_mod and send no separate packet_out (one header-sized message
+  // down). Off by default — the paper describes "a pair of control
+  // operation messages (flow_mod and pkt_out)" per request for both
+  // mechanisms, and Algorithm 2 is specified as flow_mod followed by a
+  // packet_out; the piggyback remains available as an ablation
+  // (bench_ablation_protocol).
+  bool piggyback_buffer_id = false;
+  // Periodic statistics polling (a Floodlight monitoring-module stand-in):
+  // every interval the controller sends an aggregate-flow and a port stats
+  // request. zero = disabled (the default, so the buffer experiments see
+  // only reactive traffic).
+  sim::SimTime stats_poll_interval = sim::SimTime::zero();
+  // Rule aggregation (related work [16]: flow table aggregation): install
+  // rules that wildcard the low `aggregate_src_bits` bits of the source IP
+  // and the transport ports, so one rule covers a whole block of micro
+  // flows. 0 = exact-match micro-flow rules (the paper's reactive model).
+  int aggregate_src_bits = 0;
+  // Fault injection for tests/robustness experiments: probability that a
+  // received packet_in is silently dropped before processing (models an
+  // overloaded or lossy controller; exercises Algorithm 1's re-request).
+  double drop_pkt_in_probability = 0.0;
+  CostModel costs;
+};
+
+struct ControllerCounters {
+  std::uint64_t pkt_ins_handled = 0;
+  std::uint64_t full_frame_pkt_ins = 0;   // buffer_id == OFP_NO_BUFFER
+  std::uint64_t resend_pkt_ins = 0;       // flow-granularity re-requests
+  std::uint64_t flow_mods_sent = 0;
+  std::uint64_t pkt_outs_sent = 0;
+  std::uint64_t floods = 0;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t flow_removed_seen = 0;
+  std::uint64_t pkt_ins_dropped = 0;      // fault injection
+  std::uint64_t stats_requests_sent = 0;
+  std::uint64_t stats_replies_seen = 0;
+  std::uint64_t errors_seen = 0;
+};
+
+class Controller {
+ public:
+  Controller(sim::Simulator& sim, ControllerConfig config, std::uint64_t rng_seed);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // Binds the controller side of a switch's control channel. A controller
+  // can manage several switches (one channel each); `datapath_id`
+  // identifies the switch (like the connection-scoped dpid of a real
+  // deployment). The single-argument form uses dpid 1.
+  void connect(of::Channel& channel, std::uint64_t datapath_id);
+  void connect(of::Channel& channel) { connect(channel, 1); }
+
+  // Starts / stops periodic statistics polling (no-ops when the interval is
+  // zero). `stop` also silences pending poll timers so a drained simulator
+  // can terminate.
+  void start();
+  void stop();
+
+  // One-shot statistics requests (also usable without periodic polling).
+  void request_flow_stats(const of::Match& match);
+  void request_aggregate_stats(const of::Match& match);
+  void request_port_stats(std::uint16_t port_no = of::kPortNone);
+
+  // Most recent replies, for monitoring consumers and tests.
+  [[nodiscard]] const std::optional<of::AggregateStatsReply>& last_aggregate_stats() const {
+    return last_aggregate_stats_;
+  }
+  [[nodiscard]] const std::optional<of::PortStatsReply>& last_port_stats() const {
+    return last_port_stats_;
+  }
+  [[nodiscard]] const std::optional<of::FlowStatsReply>& last_flow_stats() const {
+    return last_flow_stats_;
+  }
+
+  [[nodiscard]] sim::CpuServer& cpu() { return cpu_; }
+  [[nodiscard]] const ControllerCounters& counters() const { return counters_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  // The learning tables: per switch, MAC -> port (standard L2 learning on a
+  // multi-switch fabric). The dpid-less overloads address switch 1.
+  [[nodiscard]] std::size_t mac_table_size(std::uint64_t datapath_id = 1) const;
+  [[nodiscard]] std::optional<std::uint16_t> lookup_mac(const net::MacAddress& mac,
+                                                        std::uint64_t datapath_id = 1) const;
+
+  // Pre-seeds a MAC location (used by tests; the testbed learns via warm-up
+  // traffic instead).
+  void learn(const net::MacAddress& mac, std::uint16_t port, std::uint64_t datapath_id = 1);
+
+  void reset_counters() { counters_ = ControllerCounters{}; }
+
+ private:
+  [[nodiscard]] sim::SimTime cost_us(double nominal_us);
+
+  struct SwitchBinding {
+    of::Channel* channel = nullptr;
+    std::map<net::MacAddress, std::uint16_t> mac_table;
+  };
+
+  void on_message(std::uint64_t datapath_id, const of::OfMessage& msg);
+  void handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg);
+  void decide_and_respond(SwitchBinding& binding, const of::PacketIn& msg,
+                          const net::Packet& packet);
+  void poll_stats();
+  [[nodiscard]] SwitchBinding& binding(std::uint64_t datapath_id);
+  [[nodiscard]] const SwitchBinding* find_binding(std::uint64_t datapath_id) const;
+
+  sim::Simulator& sim_;
+  ControllerConfig config_;
+  util::Rng rng_;
+  sim::CpuServer cpu_;
+  std::map<std::uint64_t, SwitchBinding> switches_;
+  ControllerCounters counters_;
+  bool polling_ = false;
+  sim::EventHandle poll_event_;
+  std::optional<of::AggregateStatsReply> last_aggregate_stats_;
+  std::optional<of::PortStatsReply> last_port_stats_;
+  std::optional<of::FlowStatsReply> last_flow_stats_;
+};
+
+}  // namespace sdnbuf::ctrl

@@ -1,0 +1,91 @@
+// Multi-switch extension: a linear chain of OpenFlow switches between two
+// hosts, all managed by one controller.
+//
+//   Host1 -- [sw1] -- [sw2] -- ... -- [swN] -- Host2
+//               \       |              /
+//                ----- control channels (one per switch)
+//
+// In the data-center networks the paper targets, a new flow's first packets
+// miss at *every* switch on the path — the reactive overhead multiplies per
+// hop, and so does the buffer's saving (`bench_multihop`). Port numbering
+// per switch: 1 = toward Host1, 2 = toward Host2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "host/sink.hpp"
+#include "net/link.hpp"
+#include "openflow/channel.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/switch.hpp"
+
+namespace sdnbuf::core {
+
+struct ChainConfig {
+  unsigned n_switches = 2;
+  sw::SwitchConfig switch_config;  // template; datapath_id is set per switch
+  ctrl::ControllerConfig controller_config;
+  double host_link_mbps = 100.0;
+  double inter_switch_mbps = 100.0;
+  sim::SimTime link_delay = sim::SimTime::microseconds(20);
+  double control_link_mbps = 1000.0;
+  sim::SimTime control_link_delay = sim::SimTime::microseconds(300);
+  std::uint64_t seed = 1;
+};
+
+class ChainTestbed {
+ public:
+  static constexpr std::uint16_t kLeftPort = 1;
+  static constexpr std::uint16_t kRightPort = 2;
+
+  explicit ChainTestbed(const ChainConfig& config);
+
+  // L2 learning warm-up across the whole chain, then statistics reset.
+  void warm_up();
+
+  void inject_from_host1(const net::Packet& packet);
+  void inject_from_host2(const net::Packet& packet);
+
+  [[nodiscard]] net::MacAddress host1_mac() const { return net::MacAddress::from_index(1); }
+  [[nodiscard]] net::MacAddress host2_mac() const { return net::MacAddress::from_index(2); }
+  [[nodiscard]] net::Ipv4Address host1_ip() const {
+    return net::Ipv4Address::from_octets(10, 1, 0, 1);
+  }
+  [[nodiscard]] net::Ipv4Address host2_ip() const {
+    return net::Ipv4Address::from_octets(10, 2, 0, 1);
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] unsigned n_switches() const { return static_cast<unsigned>(switches_.size()); }
+  [[nodiscard]] sw::Switch& switch_at(unsigned index) { return *switches_.at(index); }
+  [[nodiscard]] ctrl::Controller& controller() { return *controller_; }
+  [[nodiscard]] host::HostSink& sink1() { return sink1_; }
+  [[nodiscard]] host::HostSink& sink2() { return sink2_; }
+
+  // Sums across every switch / control channel.
+  [[nodiscard]] std::uint64_t total_pkt_ins() const;
+  [[nodiscard]] std::uint64_t total_control_bytes() const;
+
+  // Stops all housekeeping so Simulator::run() can drain.
+  void stop();
+
+  void reset_statistics();
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  std::vector<std::unique_ptr<sw::Switch>> switches_;
+  std::vector<std::unique_ptr<net::DuplexLink>> control_links_;  // per switch
+  std::vector<std::unique_ptr<of::Channel>> channels_;           // per switch
+  // data_links_[0] = host1<->sw0, [i] = sw(i-1)<->sw(i), [n] = sw(n-1)<->host2;
+  // forward() always points toward Host2.
+  std::vector<std::unique_ptr<net::DuplexLink>> data_links_;
+  host::HostSink sink1_;
+  host::HostSink sink2_;
+  sim::SimTime measurement_start_;
+};
+
+}  // namespace sdnbuf::core

@@ -1,0 +1,117 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace sdnbuf::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  TestbedConfig tb = config.testbed;
+  tb.seed = config.seed;
+  tb.switch_config.buffer_mode = config.mode;
+  tb.switch_config.buffer_capacity = config.buffer_capacity;
+
+  Testbed bed{tb};
+  bed.warm_up();
+
+  host::TrafficConfig traffic;
+  traffic.rate_mbps = config.rate_mbps;
+  traffic.frame_size = config.frame_size;
+  traffic.n_flows = config.n_flows;
+  traffic.packets_per_flow = config.packets_per_flow;
+  traffic.order = config.order;
+  traffic.batch_size = config.batch_size;
+  traffic.tcp_flow_fraction = config.tcp_flow_fraction;
+  traffic.src_mac = bed.host1_mac();
+  traffic.dst_mac = bed.host2_mac();
+  traffic.src_ip_base = bed.host1_ip();
+  traffic.dst_ip = bed.host2_ip();
+
+  host::TrafficGenerator gen{bed.sim(), traffic, config.seed * 7919u + 3,
+                             [&bed](const net::Packet& p) { bed.inject_from_host1(p); }};
+  gen.start();
+
+  const std::uint64_t expected = gen.total_packets();
+  const sim::SimTime send_duration = gen.nominal_gap().scaled(static_cast<double>(expected));
+  const sim::SimTime deadline =
+      bed.sim().now() + send_duration.scaled(1.5) + config.drain_timeout;
+
+  // Run in slices so we can stop as soon as everything is delivered.
+  const sim::SimTime slice = sim::SimTime::milliseconds(20);
+  while (bed.sim().now() < deadline && bed.sink2().packets_received() < expected) {
+    bed.sim().run_until(std::min(bed.sim().now() + slice, deadline));
+  }
+  // Let in-flight control traffic settle, then stop housekeeping and drain.
+  bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(50));
+  bed.ovs().stop();
+  bed.controller().stop();
+  bed.sim().run();
+
+  const sim::SimTime t0 = bed.measurement_start();
+  const sim::SimTime t1 =
+      bed.sink2().last_arrival() > t0 ? bed.sink2().last_arrival() : bed.sim().now();
+
+  ExperimentResult r;
+  r.duration_s = (t1 - t0).sec();
+  r.to_controller_mbps = bed.to_controller_link().tap().load_mbps(t0, t1);
+  r.to_switch_mbps = bed.to_switch_link().tap().load_mbps(t0, t1);
+  r.controller_cpu_pct = bed.controller().cpu().utilization_percent(t0, t1);
+  r.switch_cpu_pct = bed.ovs().cpu().utilization_percent(t0, t1);
+  r.bus_utilization_pct = bed.ovs().bus().utilization_percent(t0, t1);
+
+  const auto delays = bed.recorder().finalize();
+  r.setup_ms = delays.setup_ms;
+  r.controller_ms = delays.controller_ms;
+  r.switch_ms = delays.switch_ms;
+  r.forwarding_ms = delays.forwarding_ms;
+  r.flows_complete = delays.flows_complete;
+
+  if (const auto* occ = bed.ovs().buffer_occupancy(); occ != nullptr) {
+    r.buffer_avg_units = occ->time_weighted_mean(t1);
+    r.buffer_max_units = static_cast<double>(occ->max());
+  }
+
+  const auto& sc = bed.ovs().counters();
+  r.pkt_ins_sent = sc.pkt_ins_sent;
+  r.full_frame_pkt_ins = sc.full_frame_pkt_ins;
+  r.resend_pkt_ins = sc.resend_pkt_ins;
+  const auto& cc = bed.controller().counters();
+  r.flow_mods = cc.flow_mods_sent;
+  r.pkt_outs = cc.pkt_outs_sent;
+  r.stats_requests = cc.stats_requests_sent;
+  r.pkt_ins_dropped = cc.pkt_ins_dropped;
+
+  const auto& up = bed.channel().to_controller_counters();
+  const auto& down = bed.channel().to_switch_counters();
+  r.to_controller_msgs = up.total_count();
+  r.to_switch_msgs = down.total_count();
+  r.to_controller_bytes = up.total_bytes();
+  r.to_switch_bytes = down.total_bytes();
+
+  r.packets_sent = gen.packets_emitted();
+  r.packets_delivered = bed.sink2().packets_received();
+  r.duplicates = bed.sink2().duplicate_packets();
+  r.drained = r.packets_delivered >= expected;
+  return r;
+}
+
+std::string summarize(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << "load(up/down)=" << util::format_double(r.to_controller_mbps, 3) << '/'
+     << util::format_double(r.to_switch_mbps, 3) << " Mbps"
+     << "  cpu(sw/ctrl)=" << util::format_double(r.switch_cpu_pct, 1) << "%/"
+     << util::format_double(r.controller_cpu_pct, 1) << '%'
+     << "  setup=" << util::format_double(r.setup_ms.mean(), 3) << " ms"
+     << "  pkt_in=" << r.pkt_ins_sent << " (full " << r.full_frame_pkt_ins << ")"
+     << "  delivered=" << r.packets_delivered << '/' << r.packets_sent;
+  if (r.buffer_max_units > 0) {
+    os << "  buf(avg/max)=" << util::format_double(r.buffer_avg_units, 1) << '/'
+       << util::format_double(r.buffer_max_units, 0);
+  }
+  return os.str();
+}
+
+}  // namespace sdnbuf::core

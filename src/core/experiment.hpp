@@ -1,0 +1,89 @@
+// One experiment run: a workload pushed through the testbed under one
+// buffer mechanism, producing every metric of §III.B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "host/traffic_gen.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::core {
+
+struct ExperimentConfig {
+  // Mechanism under test.
+  sw::BufferMode mode = sw::BufferMode::NoBuffer;
+  std::size_t buffer_capacity = 256;
+
+  // Workload (pktgen parameters).
+  double rate_mbps = 10.0;
+  std::uint32_t frame_size = 1000;
+  std::uint64_t n_flows = 1000;
+  std::uint32_t packets_per_flow = 1;
+  host::EmissionOrder order = host::EmissionOrder::Sequential;
+  std::uint32_t batch_size = 5;
+  // Fraction of flows carried over TCP instead of UDP (§VI mixed traffic).
+  double tcp_flow_fraction = 0.0;
+
+  std::uint64_t seed = 1;
+
+  // Platform (cost models, link speeds); mode/buffer_capacity/seed above
+  // override the corresponding switch_config fields.
+  TestbedConfig testbed;
+
+  // Extra simulated time allowed for the tail of the run to drain.
+  sim::SimTime drain_timeout = sim::SimTime::seconds(5);
+};
+
+struct ExperimentResult {
+  // Control path load, both directions (Fig. 2 / Fig. 9), in Mbps over the
+  // measurement window.
+  double to_controller_mbps = 0.0;
+  double to_switch_mbps = 0.0;
+
+  // CPU usages as the OS reports them (100% = one core; Fig. 3-4 / 10-11).
+  double controller_cpu_pct = 0.0;
+  double switch_cpu_pct = 0.0;
+  double bus_utilization_pct = 0.0;
+
+  // Per-flow delay samples (Fig. 5-7 / Fig. 12).
+  util::Samples setup_ms;
+  util::Samples controller_ms;
+  util::Samples switch_ms;
+  util::Samples forwarding_ms;
+
+  // Buffer units (Fig. 8 / Fig. 13).
+  double buffer_avg_units = 0.0;
+  double buffer_max_units = 0.0;
+
+  // Message accounting.
+  std::uint64_t pkt_ins_sent = 0;
+  std::uint64_t full_frame_pkt_ins = 0;
+  std::uint64_t resend_pkt_ins = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t pkt_outs = 0;
+  std::uint64_t to_controller_msgs = 0;
+  std::uint64_t to_switch_msgs = 0;
+  std::uint64_t to_controller_bytes = 0;
+  std::uint64_t to_switch_bytes = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t pkt_ins_dropped = 0;  // controller fault injection
+
+  // Conservation / sanity.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t flows_complete = 0;
+  double duration_s = 0.0;
+  bool drained = false;  // every injected packet was delivered
+};
+
+// Builds the testbed, warms it up, runs the workload to completion (or the
+// deadline) and harvests every metric.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Human-readable one-line summary (examples use it).
+[[nodiscard]] std::string summarize(const ExperimentResult& r);
+
+}  // namespace sdnbuf::core

@@ -1,0 +1,69 @@
+#include "core/sweep.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::core {
+
+std::vector<double> default_rates() {
+  std::vector<double> rates;
+  for (int r = 5; r <= 100; r += 5) rates.push_back(static_cast<double>(r));
+  return rates;
+}
+
+double SweepResult::overall_mean(
+    const std::function<double(const RatePoint&)>& metric) const {
+  util::Summary s;
+  for (const auto& p : points) s.add(metric(p));
+  return s.mean();
+}
+
+double SweepResult::overall_max(const std::function<double(const RatePoint&)>& metric) const {
+  util::Summary s;
+  for (const auto& p : points) s.add(metric(p));
+  return s.max();
+}
+
+SweepResult run_sweep(const SweepConfig& config, std::string label, const ProgressFn& progress) {
+  SDNBUF_CHECK(config.repetitions >= 1);
+  SweepResult result;
+  result.label = std::move(label);
+  const std::vector<double> rates =
+      config.rates_mbps.empty() ? default_rates() : config.rates_mbps;
+
+  for (const double rate : rates) {
+    RatePoint point;
+    point.rate_mbps = rate;
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      if (progress) progress(rate, rep);
+      ExperimentConfig ec = config.base;
+      ec.rate_mbps = rate;
+      // Seed derivation: distinct per (rate, repetition), stable across runs.
+      ec.seed = config.base.seed * 1000003u + static_cast<std::uint64_t>(rate) * 101u +
+                static_cast<std::uint64_t>(rep);
+      const ExperimentResult r = run_experiment(ec);
+
+      point.to_controller_mbps.add(r.to_controller_mbps);
+      point.to_switch_mbps.add(r.to_switch_mbps);
+      point.controller_cpu_pct.add(r.controller_cpu_pct);
+      point.switch_cpu_pct.add(r.switch_cpu_pct);
+      point.bus_utilization_pct.add(r.bus_utilization_pct);
+      if (r.setup_ms.count() > 0) point.setup_ms.add(r.setup_ms.mean());
+      if (r.controller_ms.count() > 0) point.controller_ms.add(r.controller_ms.mean());
+      if (r.switch_ms.count() > 0) point.switch_ms.add(r.switch_ms.mean());
+      if (r.forwarding_ms.count() > 0) point.forwarding_ms.add(r.forwarding_ms.mean());
+      point.buffer_avg_units.add(r.buffer_avg_units);
+      point.buffer_max_units.add(r.buffer_max_units);
+      point.pkt_ins_sent.add(static_cast<double>(r.pkt_ins_sent));
+      point.full_frame_pkt_ins.add(static_cast<double>(r.full_frame_pkt_ins));
+      point.pooled_setup_ms.merge(r.setup_ms.summary());
+      point.pooled_controller_ms.merge(r.controller_ms.summary());
+      point.pooled_switch_ms.merge(r.switch_ms.summary());
+      point.pooled_forwarding_ms.merge(r.forwarding_ms.summary());
+      point.undelivered_packets += r.packets_sent - r.packets_delivered;
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace sdnbuf::core

@@ -1,0 +1,67 @@
+// Sending-rate sweeps with repetitions — the outer loop of every figure.
+//
+// The paper repeats each experiment 20 times per sending rate and reports
+// means (and spreads) per rate. `run_sweep` does the same: per rate, run
+// `repetitions` seeds, collect each run's scalar metrics into Summaries,
+// and pool the per-flow delay samples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::core {
+
+struct SweepConfig {
+  std::vector<double> rates_mbps;  // empty -> default_rates()
+  int repetitions = 20;
+  ExperimentConfig base;
+};
+
+// 5, 10, ..., 100 Mbps — the paper's x-axis.
+[[nodiscard]] std::vector<double> default_rates();
+
+struct RatePoint {
+  double rate_mbps = 0.0;
+  // Each Summary aggregates one scalar across the repetitions at this rate.
+  util::Summary to_controller_mbps;
+  util::Summary to_switch_mbps;
+  util::Summary controller_cpu_pct;
+  util::Summary switch_cpu_pct;
+  util::Summary bus_utilization_pct;
+  util::Summary setup_ms;        // of per-run means
+  util::Summary controller_ms;
+  util::Summary switch_ms;
+  util::Summary forwarding_ms;
+  util::Summary buffer_avg_units;
+  util::Summary buffer_max_units;
+  util::Summary pkt_ins_sent;
+  util::Summary full_frame_pkt_ins;
+  // Pooled per-flow samples across repetitions (for max / spread claims).
+  util::Summary pooled_setup_ms;
+  util::Summary pooled_controller_ms;
+  util::Summary pooled_switch_ms;
+  util::Summary pooled_forwarding_ms;
+  std::uint64_t undelivered_packets = 0;
+};
+
+struct SweepResult {
+  std::string label;  // e.g. "no-buffer", "buffer-16", "flow-granularity"
+  std::vector<RatePoint> points;
+
+  // Mean across rates of a per-rate metric (the paper's "on average").
+  [[nodiscard]] double overall_mean(
+      const std::function<double(const RatePoint&)>& metric) const;
+  [[nodiscard]] double overall_max(
+      const std::function<double(const RatePoint&)>& metric) const;
+};
+
+using ProgressFn = std::function<void(double rate_mbps, int repetition)>;
+
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config, std::string label,
+                                    const ProgressFn& progress = nullptr);
+
+}  // namespace sdnbuf::core

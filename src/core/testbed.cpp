@@ -1,0 +1,112 @@
+#include "core/testbed.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::core {
+
+namespace {
+
+constexpr std::uint16_t kWarmupPort = 99;
+
+}  // namespace
+
+Testbed::Testbed(const TestbedConfig& config) : sink1_(sim_), sink2_(sim_) {
+  host1_link_ = std::make_unique<net::DuplexLink>(sim_, "host1", config.host_link_mbps * 1e6,
+                                                  config.host_link_delay);
+  host2_link_ = std::make_unique<net::DuplexLink>(sim_, "host2", config.host_link_mbps * 1e6,
+                                                  config.host_link_delay);
+  control_link_ = std::make_unique<net::DuplexLink>(
+      sim_, "control", config.control_link_mbps * 1e6, config.control_link_delay);
+
+  channel_ = std::make_unique<of::Channel>(sim_, control_link_->forward(),
+                                           control_link_->reverse());
+
+  switch_ = std::make_unique<sw::Switch>(sim_, config.switch_config, config.seed * 2654435761u);
+  controller_ =
+      std::make_unique<ctrl::Controller>(sim_, config.controller_config, config.seed * 40503u + 1);
+
+  // Egress wiring: the switch's port N link delivers to host N's sink.
+  switch_->attach_port(kHost1Port, host1_link_->reverse(),
+                       [this](const net::Packet& p) { sink1_.receive(p); });
+  switch_->attach_port(kHost2Port, host2_link_->reverse(),
+                       [this](const net::Packet& p) { sink2_.receive(p); });
+
+  switch_->connect(*channel_);
+  controller_->connect(*channel_);
+  switch_->set_delay_recorder(&recorder_);
+  sink1_.set_delay_recorder(&recorder_);
+  sink2_.set_delay_recorder(&recorder_);
+  switch_->start();
+  controller_->start();
+}
+
+net::MacAddress Testbed::host1_mac() const { return net::MacAddress::from_index(1); }
+net::MacAddress Testbed::host2_mac() const { return net::MacAddress::from_index(2); }
+net::Ipv4Address Testbed::host1_ip() const { return net::Ipv4Address::from_octets(10, 1, 0, 1); }
+net::Ipv4Address Testbed::host2_ip() const { return net::Ipv4Address::from_octets(10, 2, 0, 1); }
+
+void Testbed::inject_from_host1(const net::Packet& packet) {
+  host1_link_->forward().send(packet.frame_size,
+                              [this, packet]() { switch_->receive(kHost1Port, packet); });
+}
+
+void Testbed::inject_from_host2(const net::Packet& packet) {
+  host2_link_->forward().send(packet.frame_size,
+                              [this, packet]() { switch_->receive(kHost2Port, packet); });
+}
+
+void Testbed::warm_up() {
+  // Host2 speaks first: its packet floods (host1 still unknown) and teaches
+  // the controller host2@port2; then host1's packet teaches host1@port1 and
+  // is forwarded directly. Mirrors ARP-style startup chatter — including
+  // retries, so warm-up also succeeds under controller fault injection.
+  std::uint16_t seq = 0;
+  for (int attempt = 0; attempt < 50 && !controller_->lookup_mac(host2_mac()); ++attempt) {
+    net::Packet p2 = net::make_udp_packet(host2_mac(), host1_mac(), host2_ip(), host1_ip(),
+                                          static_cast<std::uint16_t>(kWarmupPort + seq++),
+                                          kWarmupPort, 100);
+    p2.flow_id = metrics::kUntrackedFlow;
+    inject_from_host2(p2);
+    sim_.run_until(sim_.now() + sim::SimTime::milliseconds(50));
+  }
+  for (int attempt = 0; attempt < 50 && !controller_->lookup_mac(host1_mac()); ++attempt) {
+    net::Packet p1 = net::make_udp_packet(host1_mac(), host2_mac(), host1_ip(), host2_ip(),
+                                          static_cast<std::uint16_t>(kWarmupPort + seq++),
+                                          kWarmupPort, 100);
+    p1.flow_id = metrics::kUntrackedFlow;
+    inject_from_host1(p1);
+    sim_.run_until(sim_.now() + sim::SimTime::milliseconds(50));
+  }
+  sim_.run_until(sim_.now() + sim::SimTime::milliseconds(100));
+
+  SDNBUF_CHECK_MSG(controller_->lookup_mac(host1_mac()).has_value() &&
+                       controller_->lookup_mac(host2_mac()).has_value(),
+                   "warm-up failed to teach the controller both host locations");
+  reset_statistics();
+}
+
+void Testbed::reset_statistics() {
+  control_link_->forward().tap().reset();
+  control_link_->reverse().tap().reset();
+  host1_link_->forward().tap().reset();
+  host1_link_->reverse().tap().reset();
+  host2_link_->forward().tap().reset();
+  host2_link_->reverse().tap().reset();
+  switch_->cpu().reset_stats();
+  switch_->bus().reset_stats();
+  controller_->cpu().reset_stats();
+  switch_->reset_counters();
+  controller_->reset_counters();
+  channel_->reset_counters();
+  if (switch_->packet_buffer() != nullptr) {
+    switch_->packet_buffer()->occupancy().reset(sim_.now());
+  }
+  if (switch_->flow_buffer() != nullptr) {
+    switch_->flow_buffer()->occupancy().reset(sim_.now());
+  }
+  sink1_.reset();
+  sink2_.reset();
+  measurement_start_ = sim_.now();
+}
+
+}  // namespace sdnbuf::core

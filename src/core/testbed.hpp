@@ -1,0 +1,94 @@
+// The Fig. 1 experimental platform, assembled:
+//
+//   Host1 --100Mbps-- [OVS switch] --100Mbps-- Host2
+//                          |
+//                     control path
+//                          |
+//                    [Floodlight controller]
+//
+// The testbed owns the simulator, both hosts, the switch, the controller,
+// all links and the metric recorders, and provides the warm-up that teaches
+// the controller where the hosts are (in the real testbed this happens via
+// ARP/initial flooding before measurements start).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "host/sink.hpp"
+#include "metrics/delay_recorder.hpp"
+#include "net/link.hpp"
+#include "openflow/channel.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/switch.hpp"
+
+namespace sdnbuf::core {
+
+struct TestbedConfig {
+  sw::SwitchConfig switch_config;
+  ctrl::ControllerConfig controller_config;
+  // Host access links (Table I: 100 Mbps interfaces).
+  double host_link_mbps = 100.0;
+  sim::SimTime host_link_delay = sim::SimTime::microseconds(20);
+  // Control path: a dedicated GbE segment between the two PCs; the delay
+  // lumps NIC, kernel and TCP-stack latency of both commodity machines.
+  double control_link_mbps = 1000.0;
+  sim::SimTime control_link_delay = sim::SimTime::microseconds(300);
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  static constexpr std::uint16_t kHost1Port = 1;
+  static constexpr std::uint16_t kHost2Port = 2;
+
+  explicit Testbed(const TestbedConfig& config);
+
+  // Lets the controller learn both host locations (gratuitous traffic),
+  // drains, and resets every statistic — measurements start clean.
+  void warm_up();
+
+  // Injects a packet as if Host1/Host2 put it on its access link.
+  void inject_from_host1(const net::Packet& packet);
+  void inject_from_host2(const net::Packet& packet);
+
+  // Addresses the hosts use.
+  [[nodiscard]] net::MacAddress host1_mac() const;
+  [[nodiscard]] net::MacAddress host2_mac() const;
+  [[nodiscard]] net::Ipv4Address host1_ip() const;
+  [[nodiscard]] net::Ipv4Address host2_ip() const;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sw::Switch& ovs() { return *switch_; }
+  [[nodiscard]] ctrl::Controller& controller() { return *controller_; }
+  [[nodiscard]] of::Channel& channel() { return *channel_; }
+  [[nodiscard]] host::HostSink& sink1() { return sink1_; }
+  [[nodiscard]] host::HostSink& sink2() { return sink2_; }
+  [[nodiscard]] metrics::DelayRecorder& recorder() { return recorder_; }
+
+  // Control-path links (for load taps).
+  [[nodiscard]] net::Link& to_controller_link() { return control_link_->forward(); }
+  [[nodiscard]] net::Link& to_switch_link() { return control_link_->reverse(); }
+
+  [[nodiscard]] sim::SimTime measurement_start() const { return measurement_start_; }
+
+  // Resets taps, CPU meters, counters and occupancy statistics; marks the
+  // start of the measurement window.
+  void reset_statistics();
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<net::DuplexLink> host1_link_;   // forward: host1 -> switch
+  std::unique_ptr<net::DuplexLink> host2_link_;   // forward: host2 -> switch
+  std::unique_ptr<net::DuplexLink> control_link_;  // forward: switch -> controller
+  std::unique_ptr<of::Channel> channel_;
+  std::unique_ptr<sw::Switch> switch_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  host::HostSink sink1_;
+  host::HostSink sink2_;
+  metrics::DelayRecorder recorder_;
+  sim::SimTime measurement_start_;
+};
+
+}  // namespace sdnbuf::core

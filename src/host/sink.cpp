@@ -1,0 +1,34 @@
+#include "host/sink.hpp"
+
+namespace sdnbuf::host {
+
+void HostSink::receive(const net::Packet& packet) {
+  ++packets_received_;
+  bytes_received_ += packet.frame_size;
+  last_arrival_ = sim_->now();
+  latency_ms_.add((sim_->now() - packet.created_at).ms());
+  if (recorder_ != nullptr) recorder_->on_packet_delivered(packet.flow_id, sim_->now());
+  if (packet.flow_id != metrics::kUntrackedFlow) {
+    auto& per_seq = seen_[packet.flow_id];
+    if (++per_seq[packet.seq_in_flow] > 1) ++duplicates_;
+  }
+}
+
+std::uint64_t HostSink::flow_packets(std::uint64_t flow_id) const {
+  const auto it = seen_.find(flow_id);
+  if (it == seen_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const auto& [seq, count] : it->second) n += count;
+  return n;
+}
+
+void HostSink::reset() {
+  packets_received_ = 0;
+  bytes_received_ = 0;
+  duplicates_ = 0;
+  last_arrival_ = sim::SimTime::zero();
+  latency_ms_ = util::Samples{};
+  seen_.clear();
+}
+
+}  // namespace sdnbuf::host

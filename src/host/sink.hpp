@@ -1,0 +1,51 @@
+// The receiving host: counts deliveries, tracks per-flow completeness and
+// end-to-end latency samples, and feeds the delay recorder's
+// packets_delivered conservation counter.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "metrics/delay_recorder.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::host {
+
+class HostSink {
+ public:
+  explicit HostSink(sim::Simulator& sim) : sim_(&sim) {}
+
+  void set_delay_recorder(metrics::DelayRecorder* recorder) { recorder_ = recorder; }
+
+  // Delivery callback (wired to the far end of the switch->host link).
+  void receive(const net::Packet& packet);
+
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] std::uint64_t duplicate_packets() const { return duplicates_; }
+  [[nodiscard]] sim::SimTime last_arrival() const { return last_arrival_; }
+
+  // End-to-end latency (source emission -> sink arrival), milliseconds.
+  [[nodiscard]] const util::Samples& latency_ms() const { return latency_ms_; }
+
+  // Packets received for one flow.
+  [[nodiscard]] std::uint64_t flow_packets(std::uint64_t flow_id) const;
+
+  void reset();
+
+ private:
+  sim::Simulator* sim_;
+  metrics::DelayRecorder* recorder_ = nullptr;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  sim::SimTime last_arrival_;
+  util::Samples latency_ms_;
+  // flow -> set of seen sequence numbers is overkill; count per (flow, seq)
+  // pairs to detect duplicates cheaply.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint32_t, std::uint32_t>> seen_;
+};
+
+}  // namespace sdnbuf::host

@@ -1,0 +1,85 @@
+#include "host/synthetic_workload.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::host {
+
+SyntheticWorkload::SyntheticWorkload(sim::Simulator& sim, WorkloadConfig config,
+                                     std::uint64_t rng_seed, EmitFn emit)
+    : sim_(sim), config_(std::move(config)), rng_(rng_seed), emit_(std::move(emit)) {
+  SDNBUF_CHECK_MSG(config_.duration_s > 0, "duration must be positive");
+  SDNBUF_CHECK_MSG(config_.flow_arrival_per_s > 0, "arrival rate must be positive");
+  SDNBUF_CHECK_MSG(config_.pareto_alpha > 0, "Pareto shape must be positive");
+  SDNBUF_CHECK_MSG(config_.min_packets >= 1 && config_.max_packets >= config_.min_packets,
+                   "flow size bounds inverted");
+  SDNBUF_CHECK_MSG(emit_ != nullptr, "emit function required");
+}
+
+std::uint32_t SyntheticWorkload::draw_flow_size() {
+  // Bounded Pareto via inverse transform: F^-1(u) with support
+  // [min_packets, max_packets].
+  const double alpha = config_.pareto_alpha;
+  const double lo = static_cast<double>(config_.min_packets);
+  const double hi = static_cast<double>(config_.max_packets);
+  const double lo_a = std::pow(lo, alpha);
+  const double hi_a = std::pow(hi, alpha);
+  double u;
+  do {
+    u = rng_.next_double();
+  } while (u >= 1.0);
+  const double x = std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a), -1.0 / alpha);
+  const double clamped = std::min(hi, std::max(lo, x));
+  return static_cast<std::uint32_t>(clamped + 0.5);
+}
+
+void SyntheticWorkload::start() {
+  SDNBUF_CHECK_MSG(!started_, "workload already started");
+  started_ = true;
+  horizon_ = sim_.now() + sim::SimTime::from_seconds(config_.duration_s);
+  schedule_next_arrival();
+}
+
+void SyntheticWorkload::schedule_next_arrival() {
+  const double gap_s = rng_.exponential(1.0 / config_.flow_arrival_per_s);
+  const sim::SimTime when = sim_.now() + sim::SimTime::from_seconds(gap_s);
+  if (when > horizon_) return;  // arrival process ends at the horizon
+  sim_.schedule_at(when, [this]() {
+    start_flow();
+    schedule_next_arrival();
+  });
+}
+
+void SyntheticWorkload::start_flow() {
+  const std::uint64_t flow_index = flows_started_++;
+  const std::uint32_t total = draw_flow_size();
+  flow_sizes_.add(static_cast<double>(total));
+  emit_packet(flow_index, 0, total);
+}
+
+void SyntheticWorkload::emit_packet(std::uint64_t flow_index, std::uint32_t seq,
+                                    std::uint32_t total) {
+  const net::Ipv4Address src_ip{
+      static_cast<std::uint32_t>(config_.src_ip_base.value() + flow_index)};
+  net::Packet p = net::make_udp_packet(
+      config_.src_mac, config_.dst_mac, src_ip, config_.dst_ip,
+      static_cast<std::uint16_t>(10000 + flow_index % 20000), config_.dst_port,
+      config_.frame_size);
+  p.flow_id = config_.flow_id_base + flow_index;
+  p.seq_in_flow = seq;
+  p.created_at = sim_.now();
+  emit_(p);
+  ++packets_emitted_;
+  if (seq + 1 >= total) return;
+  sim::SimTime gap = sim::transmission_time(config_.frame_size, config_.in_flow_rate_mbps * 1e6);
+  if (config_.spacing_jitter > 0) {
+    gap = gap.scaled(
+        rng_.uniform(1.0 - config_.spacing_jitter, 1.0 + config_.spacing_jitter));
+  }
+  sim_.schedule(gap, [this, flow_index, seq, total]() {
+    emit_packet(flow_index, seq + 1, total);
+  });
+}
+
+}  // namespace sdnbuf::host

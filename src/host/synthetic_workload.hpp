@@ -1,0 +1,84 @@
+// Synthetic "Internet-like" workload: Poisson flow arrivals with
+// heavy-tailed (bounded-Pareto) flow sizes.
+//
+// The paper's E1/E2 workloads are regular by design (fixed-size flows at a
+// fixed rate); real links look different — reference [27] (CAIDA's TCP/UDP
+// analysis) motivates a mix of many tiny flows and a few large ones. This
+// generator produces that shape so the buffer mechanisms can be compared
+// under realistic arrival dynamics (`bench_realistic_workload`):
+//
+//   - flow arrivals: Poisson process with a configurable rate
+//   - flow sizes (packets): bounded Pareto (shape alpha, min/max)
+//   - packets within a flow: paced at a per-flow rate with jitter
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::host {
+
+struct WorkloadConfig {
+  // Flow arrivals are generated for this long (packets may finish later).
+  double duration_s = 1.0;
+  double flow_arrival_per_s = 500.0;
+
+  // Bounded Pareto over packets per flow.
+  double pareto_alpha = 1.3;
+  std::uint32_t min_packets = 1;
+  std::uint32_t max_packets = 200;
+
+  // Pacing of packets within one flow.
+  double in_flow_rate_mbps = 20.0;
+  double spacing_jitter = 0.2;
+
+  std::uint32_t frame_size = 1000;
+
+  // Addressing (same scheme as TrafficConfig: forged per-flow source IPs).
+  net::MacAddress src_mac;
+  net::MacAddress dst_mac;
+  net::Ipv4Address src_ip_base = net::Ipv4Address::from_octets(10, 1, 0, 1);
+  net::Ipv4Address dst_ip = net::Ipv4Address::from_octets(10, 2, 0, 1);
+  std::uint16_t dst_port = 9;
+  std::uint64_t flow_id_base = 0;
+};
+
+class SyntheticWorkload {
+ public:
+  using EmitFn = std::function<void(const net::Packet&)>;
+
+  SyntheticWorkload(sim::Simulator& sim, WorkloadConfig config, std::uint64_t rng_seed,
+                    EmitFn emit);
+
+  // Schedules the whole arrival process starting at now().
+  void start();
+
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_emitted_; }
+  // Distribution of the generated flow sizes (packets per flow).
+  [[nodiscard]] const util::Samples& flow_sizes() const { return flow_sizes_; }
+
+  // Draws one bounded-Pareto flow size (exposed for tests).
+  [[nodiscard]] std::uint32_t draw_flow_size();
+
+ private:
+  void schedule_next_arrival();
+  void start_flow();
+  void emit_packet(std::uint64_t flow_index, std::uint32_t seq, std::uint32_t total);
+
+  sim::Simulator& sim_;
+  WorkloadConfig config_;
+  util::Rng rng_;
+  EmitFn emit_;
+  sim::SimTime horizon_;
+  bool started_ = false;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+  util::Samples flow_sizes_;
+};
+
+}  // namespace sdnbuf::host

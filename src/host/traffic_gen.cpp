@@ -1,0 +1,86 @@
+#include "host/traffic_gen.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::host {
+
+TrafficGenerator::TrafficGenerator(sim::Simulator& sim, TrafficConfig config,
+                                   std::uint64_t rng_seed, EmitFn emit)
+    : sim_(sim), config_(std::move(config)), rng_(rng_seed), emit_(std::move(emit)) {
+  SDNBUF_CHECK_MSG(config_.rate_mbps > 0, "rate must be positive");
+  SDNBUF_CHECK_MSG(config_.n_flows > 0 && config_.packets_per_flow > 0, "empty workload");
+  SDNBUF_CHECK_MSG(config_.batch_size > 0, "batch size must be positive");
+  SDNBUF_CHECK_MSG(emit_ != nullptr, "emit function required");
+}
+
+sim::SimTime TrafficGenerator::nominal_gap() const {
+  return sim::transmission_time(config_.frame_size, config_.rate_mbps * 1e6);
+}
+
+net::Packet TrafficGenerator::make_packet(std::uint64_t flow_index, std::uint32_t seq) const {
+  const net::Ipv4Address src_ip{
+      static_cast<std::uint32_t>(config_.src_ip_base.value() + flow_index)};
+  const auto src_port =
+      static_cast<std::uint16_t>(config_.src_port_base + flow_index % 20000);
+  // Deterministic protocol assignment: the first ceil(fraction * n) flows
+  // spread evenly over the index space are TCP.
+  const bool tcp =
+      config_.tcp_flow_fraction > 0.0 &&
+      static_cast<double>(flow_index % 100) < config_.tcp_flow_fraction * 100.0;
+  net::Packet p =
+      tcp ? net::make_tcp_packet(config_.src_mac, config_.dst_mac, src_ip, config_.dst_ip,
+                                 src_port, config_.dst_port, net::kTcpAck | net::kTcpPsh,
+                                 config_.frame_size)
+          : net::make_udp_packet(config_.src_mac, config_.dst_mac, src_ip, config_.dst_ip,
+                                 src_port, config_.dst_port, config_.frame_size);
+  p.flow_id = config_.flow_id_base + flow_index;
+  p.seq_in_flow = seq;
+  return p;
+}
+
+std::pair<std::uint64_t, std::uint32_t> TrafficGenerator::schedule_slot(
+    std::uint64_t index) const {
+  if (config_.order == EmissionOrder::Sequential) {
+    return {index / config_.packets_per_flow,
+            static_cast<std::uint32_t>(index % config_.packets_per_flow)};
+  }
+  // CrossSequence: batches of `batch` flows; inside a batch, packets are
+  // emitted round-robin over the batch's flows.
+  const std::uint64_t batch = config_.batch_size;
+  const std::uint64_t per_batch = batch * config_.packets_per_flow;
+  const std::uint64_t batch_index = index / per_batch;
+  const std::uint64_t slot = index % per_batch;
+  const std::uint64_t round = slot / batch;          // which packet of each flow
+  const std::uint64_t flow_in_batch = slot % batch;  // which flow of the batch
+  std::uint64_t flow = batch_index * batch + flow_in_batch;
+  // The tail batch may be smaller than batch_size; clamp round-robin width.
+  if (flow >= config_.n_flows) {
+    const std::uint64_t tail = config_.n_flows - batch_index * batch;
+    flow = batch_index * batch + flow_in_batch % tail;
+  }
+  return {flow, static_cast<std::uint32_t>(round)};
+}
+
+void TrafficGenerator::start(sim::SimTime start_delay, std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  sim_.schedule(start_delay, [this]() { emit_next(); });
+}
+
+void TrafficGenerator::emit_next() {
+  const auto [flow, seq] = schedule_slot(emitted_);
+  net::Packet p = make_packet(flow, seq);
+  p.created_at = sim_.now();
+  emit_(p);
+  ++emitted_;
+  if (emitted_ >= total_packets()) {
+    if (on_done_) on_done_();
+    return;
+  }
+  sim::SimTime gap = nominal_gap();
+  if (config_.spacing_jitter > 0) {
+    gap = gap.scaled(rng_.uniform(1.0 - config_.spacing_jitter, 1.0 + config_.spacing_jitter));
+  }
+  sim_.schedule(gap, [this]() { emit_next(); });
+}
+
+}  // namespace sdnbuf::host

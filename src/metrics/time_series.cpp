@@ -1,0 +1,76 @@
+#include "metrics/time_series.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::metrics {
+
+void TimeSeries::record(sim::SimTime t, double value) {
+  SDNBUF_CHECK_MSG(points_.empty() || t >= points_.back().t,
+                   "time series observations must be time-ordered");
+  points_.push_back(Point{t, value});
+}
+
+double TimeSeries::value_at(sim::SimTime t, double fallback) const {
+  // Last point with point.t <= t.
+  const auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                                   [](sim::SimTime lhs, const Point& p) { return lhs < p.t; });
+  if (it == points_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::time_weighted_mean(sim::SimTime start, sim::SimTime end) const {
+  SDNBUF_CHECK(end > start);
+  double integral = 0.0;
+  sim::SimTime cursor = start;
+  double current = value_at(start);
+  for (const auto& p : points_) {
+    if (p.t <= start) continue;
+    if (p.t >= end) break;
+    integral += current * (p.t - cursor).sec();
+    cursor = p.t;
+    current = p.value;
+  }
+  integral += current * (end - cursor).sec();
+  return integral / (end - start).sec();
+}
+
+util::Summary TimeSeries::value_summary() const {
+  util::Summary s;
+  for (const auto& p : points_) s.add(p.value);
+  return s;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resample_max(sim::SimTime start, sim::SimTime end,
+                                                        std::size_t buckets) const {
+  SDNBUF_CHECK(end > start && buckets >= 1);
+  std::vector<Point> out;
+  out.reserve(buckets);
+  const double span = (end - start).sec();
+  std::size_t next = 0;
+  double carry = value_at(start);  // value in effect entering each bucket
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const sim::SimTime lo =
+        start + sim::SimTime::from_seconds(span * static_cast<double>(b) / buckets);
+    const sim::SimTime hi =
+        start + sim::SimTime::from_seconds(span * static_cast<double>(b + 1) / buckets);
+    double peak = carry;
+    while (next < points_.size() && points_[next].t < hi) {
+      if (points_[next].t >= lo) peak = std::max(peak, points_[next].value);
+      if (points_[next].t < hi) carry = points_[next].value;
+      ++next;
+    }
+    peak = std::max(peak, carry);
+    out.push_back(Point{hi, peak});
+  }
+  return out;
+}
+
+void TimeSeries::write_csv(std::ostream& out, const std::string& value_name) const {
+  out << "t_ms," << value_name << '\n';
+  for (const auto& p : points_) out << p.t.ms() << ',' << p.value << '\n';
+}
+
+}  // namespace sdnbuf::metrics

@@ -1,0 +1,59 @@
+// Append-only time series of (timestamp, value) observations.
+//
+// Used to record gauges over time — buffer occupancy during a burst, queue
+// depths, windowed loads — so experiments can plot trajectories, not just
+// end-of-run summaries. Observations must be appended in non-decreasing
+// time order (the simulator guarantees that naturally).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::metrics {
+
+class TimeSeries {
+ public:
+  struct Point {
+    sim::SimTime t;
+    double value = 0.0;
+
+    bool operator==(const Point&) const = default;
+  };
+
+  void record(sim::SimTime t, double value);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const Point& front() const { return points_.front(); }
+  [[nodiscard]] const Point& back() const { return points_.back(); }
+
+  // Value in effect at time `t` (last observation at or before t);
+  // `fallback` before the first observation.
+  [[nodiscard]] double value_at(sim::SimTime t, double fallback = 0.0) const;
+
+  // Step-function statistics over [start, end]: the series is treated as
+  // piecewise constant between observations (matching how gauges behave).
+  [[nodiscard]] double time_weighted_mean(sim::SimTime start, sim::SimTime end) const;
+  [[nodiscard]] util::Summary value_summary() const;
+
+  // Resamples onto a fixed grid of `buckets` intervals over [start, end],
+  // taking the max value in effect within each bucket (peak-preserving).
+  [[nodiscard]] std::vector<Point> resample_max(sim::SimTime start, sim::SimTime end,
+                                                std::size_t buckets) const;
+
+  // "t_ms,value" CSV lines (with header).
+  void write_csv(std::ostream& out, const std::string& value_name) const;
+
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace sdnbuf::metrics

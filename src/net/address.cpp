@@ -1,0 +1,58 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace sdnbuf::net {
+
+MacAddress MacAddress::from_index(std::uint16_t index) {
+  return MacAddress{{0x02, 0x00, 0x00, 0x00, static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)}};
+}
+
+std::optional<MacAddress> MacAddress::parse(const std::string& text) {
+  std::array<unsigned, 6> v{};
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x%c", &v[0], &v[1], &v[2], &v[3],
+                            &v[4], &v[5], &extra);
+  if (n != 6) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(v[i]);
+  }
+  return MacAddress{octets};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (auto o : octets_) v = (v << 8) | o;
+  return v;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned d = 0;
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24 & 0xff, value_ >> 16 & 0xff,
+                value_ >> 8 & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace sdnbuf::net

@@ -1,0 +1,64 @@
+// Network addresses: 48-bit MAC and 32-bit IPv4, value types with parsing,
+// formatting and ordering (usable as map keys).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sdnbuf::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  // Builds a locally administered unicast MAC from a small host index:
+  // 02:00:00:00:xx:yy.
+  [[nodiscard]] static MacAddress from_index(std::uint16_t index);
+
+  // Parses "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddress> parse(const std::string& text);
+
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+  [[nodiscard]] bool is_broadcast() const { return *this == broadcast(); }
+  [[nodiscard]] bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order_value) : value_(host_order_value) {}
+
+  // Parses dotted quad "a.b.c.d"; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(const std::string& text);
+
+  [[nodiscard]] static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                                         std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | d};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace sdnbuf::net

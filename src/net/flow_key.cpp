@@ -1,0 +1,30 @@
+#include "net/flow_key.hpp"
+
+#include <cstdio>
+
+namespace sdnbuf::net {
+
+std::uint64_t FlowKey::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(src_ip.value(), 4);
+  mix(dst_ip.value(), 4);
+  mix(src_port, 2);
+  mix(dst_port, 2);
+  mix(protocol, 1);
+  return h;
+}
+
+std::string FlowKey::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s:%u->%s:%u/%u", src_ip.to_string().c_str(), src_port,
+                dst_ip.to_string().c_str(), dst_port, protocol);
+  return buf;
+}
+
+}  // namespace sdnbuf::net

@@ -1,0 +1,39 @@
+// The 5-tuple flow identifier.
+//
+// The paper's flow-granularity buffer keys its shared `buffer_id` on
+// (src_ip, src_port, dst_ip, dst_port, protocol); this type is that key.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace sdnbuf::net {
+
+struct FlowKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const FlowKey&) const = default;
+
+  // Stable 64-bit FNV-1a hash — also the basis of the flow-granularity
+  // buffer_id derivation (Algorithm 1).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sdnbuf::net
+
+template <>
+struct std::hash<sdnbuf::net::FlowKey> {
+  std::size_t operator()(const sdnbuf::net::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

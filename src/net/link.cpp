@@ -1,0 +1,47 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::net {
+
+double ByteTap::load_mbps(sim::SimTime start, sim::SimTime end) const {
+  SDNBUF_CHECK(end > start);
+  return static_cast<double>(bytes_) * 8.0 / (end - start).sec() / 1e6;
+}
+
+Link::Link(sim::Simulator& sim, std::string name, double bandwidth_bps,
+           sim::SimTime propagation_delay)
+    : sim_(sim),
+      name_(std::move(name)),
+      bandwidth_bps_(bandwidth_bps),
+      propagation_delay_(propagation_delay) {
+  SDNBUF_CHECK_MSG(bandwidth_bps_ > 0, "link bandwidth must be positive");
+}
+
+bool Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
+  SDNBUF_CHECK_MSG(bytes > 0, "cannot send an empty frame");
+  if (backlog_bytes_ + bytes > queue_limit_bytes_) {
+    ++drops_;
+    return false;
+  }
+  tap_.record(bytes);
+  backlog_bytes_ += bytes;
+  const sim::SimTime start =
+      transmitter_free_at_ > sim_.now() ? transmitter_free_at_ : sim_.now();
+  const sim::SimTime done_sending = start + sim::transmission_time(bytes, bandwidth_bps_);
+  transmitter_free_at_ = done_sending;
+  const sim::SimTime arrival = done_sending + propagation_delay_;
+  // The backlog counts bytes not yet clocked onto the wire.
+  sim_.schedule_at(done_sending, [this, bytes]() {
+    SDNBUF_CHECK(backlog_bytes_ >= bytes);
+    backlog_bytes_ -= bytes;
+  });
+  sim_.schedule_at(arrival, [on_delivered = std::move(on_delivered)]() {
+    if (on_delivered) on_delivered();
+  });
+  return true;
+}
+
+}  // namespace sdnbuf::net

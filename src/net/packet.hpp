@@ -1,0 +1,68 @@
+// The simulated packet.
+//
+// A `Packet` carries parsed headers plus a frame size; payload bytes are not
+// materialized (they are zeros) but `serialize` produces the genuine
+// on-the-wire prefix — what a switch copies into an OpenFlow `packet_in`
+// data field, and what the controller parses back out.
+//
+// The trailing metadata block (flow id, sequence number, creation time) is
+// simulator-side bookkeeping used by the metrics recorders; it does not
+// exist on the wire and does not count toward the frame size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/flow_key.hpp"
+#include "net/headers.hpp"
+#include "sim/time.hpp"
+
+namespace sdnbuf::net {
+
+struct Packet {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  // Exactly one of udp/tcp is meaningful, selected by ip.protocol.
+  UdpHeader udp;
+  TcpHeader tcp;
+
+  // Total frame bytes on the wire (Ethernet header + IP packet). The paper
+  // uses 1000-byte frames.
+  std::uint32_t frame_size = 0;
+
+  // --- Simulator metadata (not on the wire) ---
+  std::uint64_t flow_id = 0;    // dense experiment-assigned flow index
+  std::uint32_t seq_in_flow = 0;
+  sim::SimTime created_at;      // when the source emitted the first bit
+
+  [[nodiscard]] FlowKey flow_key() const;
+
+  // Serializes the first min(frame_size, max_bytes) wire bytes
+  // (headers, then zero payload padding).
+  [[nodiscard]] std::vector<std::uint8_t> serialize(std::size_t max_bytes) const;
+
+  // Parses headers back from wire bytes (e.g. a packet_in data field).
+  // Frame size is taken from `total_frame_size` since the data field may be
+  // a truncated prefix. Metadata fields are left default.
+  [[nodiscard]] static std::optional<Packet> parse(std::span<const std::uint8_t> wire,
+                                                   std::uint32_t total_frame_size);
+
+  [[nodiscard]] std::size_t header_size() const;
+};
+
+// Builds a UDP packet with consistent length fields. `frame_size` must be at
+// least the combined header size.
+[[nodiscard]] Packet make_udp_packet(const MacAddress& src_mac, const MacAddress& dst_mac,
+                                     const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                                     std::uint16_t src_port, std::uint16_t dst_port,
+                                     std::uint32_t frame_size);
+
+// Builds a TCP packet (flags per `flags`, e.g. kTcpSyn).
+[[nodiscard]] Packet make_tcp_packet(const MacAddress& src_mac, const MacAddress& dst_mac,
+                                     const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                                     std::uint16_t src_port, std::uint16_t dst_port,
+                                     std::uint8_t flags, std::uint32_t frame_size);
+
+}  // namespace sdnbuf::net

@@ -1,0 +1,160 @@
+#include "openflow/capture.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace sdnbuf::of {
+
+const char* direction_name(Direction d) {
+  return d == Direction::ToController ? "sw->ctrl" : "ctrl->sw";
+}
+
+namespace {
+
+std::string dissect_match(const Match& m) { return m.to_string(); }
+
+struct Dissector {
+  std::ostringstream os;
+
+  std::string operator()(const Hello&) { return "hello"; }
+  std::string operator()(const Error& m) {
+    os << "error type=" << static_cast<int>(m.type) << " code=" << static_cast<int>(m.code)
+       << " data=" << m.data.size() << "B";
+    return os.str();
+  }
+  std::string operator()(const EchoRequest&) { return "echo_request"; }
+  std::string operator()(const EchoReply&) { return "echo_reply"; }
+  std::string operator()(const FeaturesRequest&) { return "features_request"; }
+  std::string operator()(const FeaturesReply& m) {
+    os << "features_reply dpid=0x" << std::hex << m.datapath_id << std::dec
+       << " n_buffers=" << m.n_buffers << " ports=" << m.ports.size();
+    return os.str();
+  }
+  std::string operator()(const PacketIn& m) {
+    os << "packet_in buffer_id=";
+    if (m.buffer_id == kNoBuffer) {
+      os << "NO_BUFFER";
+    } else {
+      os << m.buffer_id;
+    }
+    os << " in_port=" << m.in_port << " total_len=" << m.total_len << " data=" << m.data.size()
+       << "B reason="
+       << (m.reason == PacketInReason::NoMatch     ? "no_match"
+           : m.reason == PacketInReason::Action    ? "action"
+           : m.reason == PacketInReason::FlowResend ? "flow_resend"
+                                                     : "?");
+    return os.str();
+  }
+  std::string operator()(const PacketOut& m) {
+    os << "packet_out buffer_id=";
+    if (m.buffer_id == kNoBuffer) {
+      os << "NO_BUFFER";
+    } else {
+      os << m.buffer_id;
+    }
+    os << " in_port=" << m.in_port << " actions=" << to_string(m.actions)
+       << " data=" << m.data.size() << "B";
+    return os.str();
+  }
+  std::string operator()(const FlowMod& m) {
+    os << "flow_mod "
+       << (m.command == FlowModCommand::Add      ? "add"
+           : m.command == FlowModCommand::Delete ? "delete"
+                                                 : "modify")
+       << " prio=" << m.priority << " idle=" << m.idle_timeout_s << "s";
+    if (m.buffer_id != kNoBuffer) os << " buffer_id=" << m.buffer_id;
+    os << " actions=" << to_string(m.actions) << ' ' << dissect_match(m.match);
+    return os.str();
+  }
+  std::string operator()(const FlowRemoved& m) {
+    os << "flow_removed reason=" << static_cast<int>(m.reason)
+       << " packets=" << m.packet_count << " bytes=" << m.byte_count << ' '
+       << dissect_match(m.match);
+    return os.str();
+  }
+  std::string operator()(const FlowStatsRequest& m) {
+    os << "flow_stats_request " << dissect_match(m.match);
+    return os.str();
+  }
+  std::string operator()(const FlowStatsReply& m) {
+    os << "flow_stats_reply entries=" << m.flows.size();
+    return os.str();
+  }
+  std::string operator()(const AggregateStatsRequest& m) {
+    os << "aggregate_stats_request " << dissect_match(m.match);
+    return os.str();
+  }
+  std::string operator()(const AggregateStatsReply& m) {
+    os << "aggregate_stats_reply flows=" << m.flow_count << " packets=" << m.packet_count
+       << " bytes=" << m.byte_count;
+    return os.str();
+  }
+  std::string operator()(const PortStatsRequest& m) {
+    os << "port_stats_request port="
+       << (m.port_no == kPortNone ? std::string("all") : std::to_string(m.port_no));
+    return os.str();
+  }
+  std::string operator()(const PortStatsReply& m) {
+    os << "port_stats_reply ports=" << m.ports.size();
+    return os.str();
+  }
+  std::string operator()(const BarrierRequest&) { return "barrier_request"; }
+  std::string operator()(const BarrierReply&) { return "barrier_reply"; }
+};
+
+}  // namespace
+
+std::string dissect(const OfMessage& msg) { return std::visit(Dissector{}, msg); }
+
+void ChannelCapture::attach(Channel& channel) {
+  channel.set_tap([this](bool to_controller, const OfMessage& msg, std::size_t wire_bytes,
+                         sim::SimTime when) {
+    record(to_controller ? Direction::ToController : Direction::ToSwitch, msg, wire_bytes, when);
+  });
+}
+
+void ChannelCapture::record(Direction direction, const OfMessage& msg, std::size_t wire_bytes,
+                            sim::SimTime now) {
+  if (direction == Direction::ToController) {
+    ++to_controller_messages_;
+    to_controller_bytes_ += wire_bytes;
+  } else {
+    ++to_switch_messages_;
+    to_switch_bytes_ += wire_bytes;
+  }
+  if (records_.size() >= max_records_) {
+    records_.pop_front();
+    ++dropped_records_;
+  }
+  records_.push_back(CaptureRecord{now, direction, message_type(msg), message_xid(msg),
+                                   wire_bytes, dissect(msg)});
+}
+
+std::uint64_t ChannelCapture::total_messages(Direction d) const {
+  return d == Direction::ToController ? to_controller_messages_ : to_switch_messages_;
+}
+
+std::uint64_t ChannelCapture::total_bytes(Direction d) const {
+  return d == Direction::ToController ? to_controller_bytes_ : to_switch_bytes_;
+}
+
+void ChannelCapture::dump(std::ostream& out, const std::string& type_filter) const {
+  for (const auto& r : records_) {
+    if (!type_filter.empty() && type_filter != msg_type_name(r.type)) continue;
+    out << r.timestamp.to_string() << "  " << direction_name(r.direction) << "  xid=" << r.xid
+        << "  " << r.wire_bytes << "B  " << r.summary << '\n';
+  }
+}
+
+void ChannelCapture::clear() {
+  records_.clear();
+  to_controller_messages_ = 0;
+  to_switch_messages_ = 0;
+  to_controller_bytes_ = 0;
+  to_switch_bytes_ = 0;
+  dropped_records_ = 0;
+}
+
+}  // namespace sdnbuf::of

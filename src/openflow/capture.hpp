@@ -1,0 +1,72 @@
+// Control-channel capture — the explicit tcpdump stand-in.
+//
+// The paper measures its control path by running tcpdump on the controller
+// interface. `ChannelCapture` records every message crossing a `Channel`
+// with timestamp, direction, type, xid and wire size, offers per-direction
+// byte/count accounting, and renders a dissected, human-readable trace
+// (`dump`) — the workflow a developer uses to debug a buffer mechanism.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "openflow/channel.hpp"
+#include "sim/time.hpp"
+
+namespace sdnbuf::of {
+
+enum class Direction { ToController, ToSwitch };
+
+[[nodiscard]] const char* direction_name(Direction d);
+
+// One-line protocol dissection of a message ("packet_in buffer_id=7
+// in_port=1 total_len=1000 data=128B reason=no_match", ...).
+[[nodiscard]] std::string dissect(const OfMessage& msg);
+
+struct CaptureRecord {
+  sim::SimTime timestamp;
+  Direction direction = Direction::ToController;
+  MsgType type = MsgType::Hello;
+  std::uint32_t xid = 0;
+  std::size_t wire_bytes = 0;
+  std::string summary;
+};
+
+class ChannelCapture {
+ public:
+  // Keeps at most `max_records` most recent records (older ones roll off;
+  // counters keep running).
+  explicit ChannelCapture(std::size_t max_records = 65536) : max_records_(max_records) {}
+
+  // Starts observing `channel`. Only one capture per channel (later attach
+  // replaces the earlier tap).
+  void attach(Channel& channel);
+
+  [[nodiscard]] const std::deque<CaptureRecord>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t total_messages(Direction d) const;
+  [[nodiscard]] std::uint64_t total_bytes(Direction d) const;
+  [[nodiscard]] std::uint64_t dropped_records() const { return dropped_records_; }
+
+  // Renders "time dir type xid bytes summary" lines. `type_filter` empty =
+  // everything; otherwise only that message type.
+  void dump(std::ostream& out, const std::string& type_filter = "") const;
+
+  void clear();
+
+ private:
+  void record(Direction direction, const OfMessage& msg, std::size_t wire_bytes,
+              sim::SimTime now);
+
+  std::size_t max_records_;
+  std::deque<CaptureRecord> records_;
+  std::uint64_t to_controller_messages_ = 0;
+  std::uint64_t to_switch_messages_ = 0;
+  std::uint64_t to_controller_bytes_ = 0;
+  std::uint64_t to_switch_bytes_ = 0;
+  std::uint64_t dropped_records_ = 0;
+};
+
+}  // namespace sdnbuf::of

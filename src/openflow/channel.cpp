@@ -1,0 +1,74 @@
+#include "openflow/channel.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sdnbuf::of {
+
+void MessageCounters::record(MsgType type, std::size_t wire_bytes) {
+  const auto slot = static_cast<std::size_t>(type);
+  SDNBUF_CHECK(slot < kSlots);
+  ++counts_[slot];
+  bytes_[slot] += wire_bytes;
+}
+
+std::uint64_t MessageCounters::count(MsgType type) const {
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t MessageCounters::bytes(MsgType type) const {
+  return bytes_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t MessageCounters::total_count() const {
+  std::uint64_t n = 0;
+  for (auto c : counts_) n += c;
+  return n;
+}
+
+std::uint64_t MessageCounters::total_bytes() const {
+  std::uint64_t n = 0;
+  for (auto b : bytes_) n += b;
+  return n;
+}
+
+void MessageCounters::reset() {
+  counts_.fill(0);
+  bytes_.fill(0);
+}
+
+Channel::Channel(sim::Simulator& sim, net::Link& to_controller, net::Link& to_switch)
+    : sim_(sim), to_controller_(to_controller), to_switch_(to_switch) {}
+
+std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& handler,
+                          const OfMessage& msg, bool to_controller) {
+  // Encode through the real codec; the decoded copy is delivered to the
+  // receiver, so any asymmetry between encode and decode would surface
+  // immediately in every simulation.
+  auto wire = encode_message(msg);
+  const std::size_t wire_bytes = wire.size() + kTransportOverhead;
+  counters.record(message_type(msg), wire_bytes);
+  if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
+  link.send(wire_bytes, [&handler, wire = std::move(wire), wire_bytes]() {
+    auto decoded = decode_message(wire);
+    SDNBUF_CHECK_MSG(decoded.has_value(), "control channel delivered an undecodable message");
+    if (handler) handler(*decoded, wire_bytes);
+  });
+  return wire_bytes;
+}
+
+std::size_t Channel::send_from_switch(const OfMessage& msg) {
+  SDNBUF_TRACE("channel", "switch -> controller: " << msg_type_name(message_type(msg)));
+  return send(to_controller_, to_controller_counters_, controller_handler_, msg,
+              /*to_controller=*/true);
+}
+
+std::size_t Channel::send_from_controller(const OfMessage& msg) {
+  SDNBUF_TRACE("channel", "controller -> switch: " << msg_type_name(message_type(msg)));
+  return send(to_switch_, to_switch_counters_, switch_handler_, msg,
+              /*to_controller=*/false);
+}
+
+}  // namespace sdnbuf::of

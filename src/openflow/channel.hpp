@@ -1,0 +1,93 @@
+// The switch<->controller control channel.
+//
+// Models the TCP connection between an OpenFlow agent and the controller:
+// messages are encoded to their real wire bytes, framed with the transport
+// overhead tcpdump would see, transmitted over a `net::Link` per direction
+// (FIFO, bandwidth-limited), and decoded at the receiver. Per-type message
+// counters feed the experiment reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "net/link.hpp"
+#include "openflow/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdnbuf::of {
+
+// Counts messages and payload bytes by type for one direction.
+class MessageCounters {
+ public:
+  void record(MsgType type, std::size_t wire_bytes);
+
+  [[nodiscard]] std::uint64_t count(MsgType type) const;
+  [[nodiscard]] std::uint64_t bytes(MsgType type) const;
+  [[nodiscard]] std::uint64_t total_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kSlots = 20;
+  std::array<std::uint64_t, kSlots> counts_{};
+  std::array<std::uint64_t, kSlots> bytes_{};
+};
+
+class Channel {
+ public:
+  // Delivered message plus its size on the wire (OpenFlow bytes + transport
+  // framing), as a tcpdump capture would report it.
+  using Handler = std::function<void(const OfMessage&, std::size_t wire_bytes)>;
+
+  // `to_controller` carries switch->controller traffic; `to_switch` the
+  // reverse direction. Links are owned by the caller (the testbed).
+  Channel(sim::Simulator& sim, net::Link& to_controller, net::Link& to_switch);
+
+  void set_controller_handler(Handler h) { controller_handler_ = std::move(h); }
+  void set_switch_handler(Handler h) { switch_handler_ = std::move(h); }
+
+  // Sends and returns the wire size of the message (including framing).
+  std::size_t send_from_switch(const OfMessage& msg);
+  std::size_t send_from_controller(const OfMessage& msg);
+
+  [[nodiscard]] const MessageCounters& to_controller_counters() const {
+    return to_controller_counters_;
+  }
+  [[nodiscard]] const MessageCounters& to_switch_counters() const { return to_switch_counters_; }
+
+  [[nodiscard]] net::Link& to_controller_link() { return to_controller_; }
+  [[nodiscard]] net::Link& to_switch_link() { return to_switch_; }
+
+  // Observation tap for captures: invoked synchronously at send time with
+  // the direction (true = switch->controller), the message, its wire size,
+  // and the send timestamp.
+  using TapFn = std::function<void(bool to_controller, const OfMessage& msg,
+                                   std::size_t wire_bytes, sim::SimTime when)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+  void reset_counters() {
+    to_controller_counters_.reset();
+    to_switch_counters_.reset();
+  }
+
+  // Allocates a fresh transaction id (shared by both endpoints for
+  // simplicity; uniqueness is what matters).
+  [[nodiscard]] std::uint32_t next_xid() { return next_xid_++; }
+
+ private:
+  std::size_t send(net::Link& link, MessageCounters& counters, Handler& handler,
+                   const OfMessage& msg, bool to_controller);
+
+  sim::Simulator& sim_;
+  net::Link& to_controller_;
+  net::Link& to_switch_;
+  Handler controller_handler_;
+  Handler switch_handler_;
+  MessageCounters to_controller_counters_;
+  MessageCounters to_switch_counters_;
+  TapFn tap_;
+  std::uint32_t next_xid_ = 1;
+};
+
+}  // namespace sdnbuf::of

@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_ && !*cancelled_) {
+    *cancelled_ = true;
+    if (live_ && *live_ > 0) --*live_;
+  }
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
+  SDNBUF_CHECK_MSG(delay >= SimTime::zero(), "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+  SDNBUF_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn), cancelled});
+  ++*live_pending_;
+  return EventHandle{std::move(cancelled), live_pending_};
+}
+
+bool Simulator::pop_and_run() {
+  // The queue may hold cancelled tombstones; skip them.
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    *ev.cancelled = true;  // marks as no longer pending for its handle
+    SDNBUF_CHECK(*live_pending_ > 0);
+    --*live_pending_;
+    SDNBUF_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  SDNBUF_CHECK(until >= now_);
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones without advancing time.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    if (pop_and_run()) ++n;
+  }
+  now_ = until;
+  return n;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+bool Simulator::empty() const { return *live_pending_ == 0; }
+
+std::size_t Simulator::pending_events() const { return *live_pending_; }
+
+}  // namespace sdnbuf::sim

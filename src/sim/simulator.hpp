@@ -1,0 +1,91 @@
+// Discrete-event simulation core.
+//
+// A `Simulator` owns the event queue and the clock. Components schedule
+// callbacks at absolute or relative times; events at equal times execute in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sdnbuf::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a scheduled event. Default-constructed handles are
+// inert; cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Simulator;
+  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<std::uint64_t> live)
+      : cancelled_(std::move(cancelled)), live_(std::move(live)) {}
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<std::uint64_t> live_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay (delay >= 0).
+  EventHandle schedule(SimTime delay, EventFn fn);
+
+  // Schedules `fn` at an absolute time (>= now()).
+  EventHandle schedule_at(SimTime when, EventFn fn);
+
+  // Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+
+  // Runs events with time <= until; leaves later events queued and advances
+  // the clock to `until`. Returns the number executed.
+  std::size_t run_until(SimTime until);
+
+  // Executes the single earliest event, if any. Returns true if one ran.
+  bool step();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  // Scheduled minus cancelled minus executed; shared with handles so
+  // cancellation can keep it accurate.
+  std::shared_ptr<std::uint64_t> live_pending_ = std::make_shared<std::uint64_t>(0);
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+}  // namespace sdnbuf::sim

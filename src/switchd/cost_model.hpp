@@ -1,0 +1,77 @@
+// Switch processing-cost model.
+//
+// All software-path latencies of the simulated switch in one place,
+// calibrated so the testbed reproduces the paper's observed shapes (see
+// DESIGN.md §5). Values are nominal; the switch multiplies each drawn cost
+// by lognormal jitter so repetitions differ like real measurements do.
+//
+// Sanity anchor: one miss-match packet on the buffered path costs
+// ~ miss_base + pkt_in encode + buffer store + flow_mod install + pkt_out
+// exec + release ≈ 200 us of CPU across 4 cores — at 12.5 kpps (100 Mbps of
+// 1000-byte frames, all misses) that is ~2.6 cores busy, matching the
+// ~260% switch CPU the paper reports.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace sdnbuf::sw {
+
+struct CostModel {
+  // Hardware match stage latency (applies to every received packet).
+  double asic_match_us = 2.0;
+
+  // Effective ASIC<->CPU bus bandwidth. Full-frame punts (no-buffer mode)
+  // push ~2 frame-copies per miss through this; 1000-byte frames at
+  // >= 70 Mbps oversubscribe it, producing the paper's no-buffer delay
+  // blow-up (Figs. 5-7).
+  double bus_bandwidth_bps = 140e6;
+
+  // Software miss handling: classification + upcall dispatch.
+  double miss_base_us = 60.0;
+
+  // packet_in construction: fixed + per copied byte.
+  double pkt_in_base_us = 40.0;
+  double pkt_in_per_byte_us = 0.012;
+
+  // Buffer operations (packet-granularity mechanism).
+  double buffer_store_us = 12.0;
+  double buffer_release_us = 10.0;  // per packet released
+
+  // Extra work of the flow-granularity mechanism (Algorithm 1):
+  // buffer_id map lookup on every miss, map insert for the first packet.
+  double flow_map_lookup_us = 6.0;
+  double flow_map_store_us = 8.0;
+  // One-off cost of setting up the per-flow buffer state on the first
+  // miss-match packet of a flow. The paper observes that its (unoptimized)
+  // OVS extension "delays the generation of pkt_in messages", making the
+  // proposed mechanism's flow setup slightly slower than the default one at
+  // low rates (Fig. 12a); this constant models that implementation tax.
+  double flow_first_packet_extra_us = 120.0;
+
+  // Control operation execution.
+  double flow_mod_install_us = 60.0;
+  double pkt_out_base_us = 30.0;
+  double pkt_out_per_byte_us = 0.008;  // for frame data carried in the message
+
+  // Statistics collection (OFPST_* requests): fixed dispatch cost plus a
+  // per-reported-entry cost (reading counters, serializing the entry).
+  double stats_base_us = 25.0;
+  double stats_per_entry_us = 1.0;
+
+  // Lognormal jitter sigma applied to every drawn cost.
+  double jitter_sigma = 0.15;
+
+  // Buffered packets that never receive a packet_out are discarded after
+  // this long (OpenFlow: buffered packets may be expired).
+  sim::SimTime buffer_expiry = sim::SimTime::milliseconds(500);
+
+  // Deferred reclamation: a released unit returns to the free pool this much
+  // later (models OVS's lazy buffer reclamation; drives the occupancy
+  // levels of Fig. 8 / Fig. 13).
+  sim::SimTime buffer_reclaim_delay = sim::SimTime::milliseconds(4);
+
+  // Flow-granularity re-request timeout (Algorithm 1, line 12).
+  sim::SimTime flow_resend_timeout = sim::SimTime::milliseconds(20);
+};
+
+}  // namespace sdnbuf::sw

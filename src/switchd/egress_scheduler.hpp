@@ -1,0 +1,109 @@
+// Per-port egress scheduling — the paper's future-work direction (§VII):
+// "we can design egress scheduling mechanisms combining with the ingress
+// buffer mechanism proposed in this paper to provide QoS guarantee for
+// different applications."
+//
+// The scheduler sits between the switch datapath and a port's egress link.
+// Packets are classified into service classes by IP precedence (the top
+// three bits of the TOS/DSCP byte) and queued per class with a byte limit
+// (tail drop). Three policies:
+//
+//   Fifo               one queue, arrival order — behaviourally identical to
+//                      sending straight to the link (the default, so the
+//                      paper's experiments are unaffected)
+//   StrictPriority     higher class always dequeues first
+//   DeficitRoundRobin  byte-accurate weighted sharing via per-class quanta
+//
+// Dequeue pacing follows the link's serialization rate, so queueing happens
+// here (observable per class) instead of invisibly inside the link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::sw {
+
+enum class SchedulerPolicy { Fifo, StrictPriority, DeficitRoundRobin };
+
+[[nodiscard]] const char* scheduler_policy_name(SchedulerPolicy policy);
+
+struct EgressSchedulerConfig {
+  SchedulerPolicy policy = SchedulerPolicy::Fifo;
+  // Number of service classes (IP precedence values >= num_classes-1 map to
+  // the top class).
+  unsigned num_classes = 4;
+  // Per-class backlog cap; beyond it packets tail-drop.
+  std::uint64_t queue_limit_bytes = 128 * 1024;
+  // DeficitRoundRobin quanta (bytes added per round per class); sized to
+  // num_classes, defaulting to 1500 each when empty.
+  std::vector<std::uint32_t> drr_quanta;
+};
+
+class EgressScheduler {
+ public:
+  using DeliverFn = std::function<void(const net::Packet&)>;
+
+  // `link` is the port's egress link; `deliver` fires at the far end.
+  EgressScheduler(sim::Simulator& sim, EgressSchedulerConfig config, net::Link& link,
+                  DeliverFn deliver);
+
+  EgressScheduler(const EgressScheduler&) = delete;
+  EgressScheduler& operator=(const EgressScheduler&) = delete;
+
+  // Queues a packet for transmission; false (and a drop) if the class queue
+  // is full.
+  bool enqueue(const net::Packet& packet);
+
+  // Maps a packet to its service class under this configuration.
+  [[nodiscard]] unsigned classify(const net::Packet& packet) const;
+
+  struct ClassStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes_sent = 0;
+    util::Summary queue_delay_ms;  // enqueue -> start of transmission
+  };
+
+  [[nodiscard]] const ClassStats& class_stats(unsigned service_class) const;
+  [[nodiscard]] std::uint64_t backlog_bytes(unsigned service_class) const;
+  [[nodiscard]] std::uint64_t total_backlog_packets() const;
+  [[nodiscard]] const EgressSchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Queued {
+    net::Packet packet;
+    sim::SimTime enqueued_at;
+  };
+  struct ClassQueue {
+    std::deque<Queued> packets;
+    std::uint64_t backlog_bytes = 0;
+    std::int64_t deficit = 0;  // DRR credit
+    ClassStats stats;
+  };
+
+  void maybe_start();
+  void transmit(unsigned service_class);
+  // Picks the next class to serve, or -1 when everything is empty.
+  [[nodiscard]] int select_class();
+
+  sim::Simulator& sim_;
+  EgressSchedulerConfig config_;
+  net::Link& link_;
+  DeliverFn deliver_;
+  std::vector<ClassQueue> queues_;
+  unsigned drr_cursor_ = 0;
+  // Whether the queue under the cursor already received its quantum during
+  // this visit (reset whenever the cursor advances).
+  bool drr_topped_up_ = false;
+  bool busy_ = false;
+};
+
+}  // namespace sdnbuf::sw

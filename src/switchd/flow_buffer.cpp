@@ -1,0 +1,124 @@
+#include "switchd/flow_buffer.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::sw {
+
+FlowBufferManager::FlowBufferManager(sim::Simulator& sim, std::size_t capacity,
+                                     sim::SimTime reclaim_delay)
+    : sim_(sim), capacity_(capacity), reclaim_delay_(reclaim_delay), occupancy_(sim.now()) {
+  SDNBUF_CHECK_MSG(capacity_ >= 1, "buffer needs at least one unit");
+}
+
+std::uint32_t FlowBufferManager::derive_id(const net::FlowKey& key) const {
+  // 31-bit truncation of the 5-tuple hash; never OFP_NO_BUFFER. Linear
+  // probing resolves collisions with ids of other currently buffered flows.
+  std::uint32_t id = static_cast<std::uint32_t>(key.hash()) & 0x7fffffff;
+  while (true) {
+    const auto it = id_to_flow_.find(id);
+    if (it == id_to_flow_.end() || it->second == key) return id;
+    id = (id + 1) & 0x7fffffff;
+  }
+}
+
+std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net::Packet& packet) {
+  const net::FlowKey key = packet.flow_key();
+  auto it = flows_.find(key);
+  if (it == flows_.end() && units_in_use_ >= capacity_) {
+    // A new flow needs a fresh buffer_id slot and none is free; packets of
+    // already-buffered flows share their flow's existing slot.
+    ++rejected_full_;
+    return std::nullopt;
+  }
+  StoreResult result;
+  if (it == flows_.end()) {
+    // Algorithm 1, lines 6-9: first miss-match packet of the flow.
+    FlowState state;
+    state.buffer_id = derive_id(key);
+    state.first_stored_at = sim_.now();
+    result.first_of_flow = true;
+    result.buffer_id = state.buffer_id;
+    id_to_flow_.emplace(state.buffer_id, key);
+    it = flows_.emplace(key, std::move(state)).first;
+    ++units_in_use_;
+    occupancy_.set(units_in_use_, sim_.now());
+  } else {
+    // Algorithm 1, lines 10-11: subsequent packet, no packet_in.
+    result.buffer_id = it->second.buffer_id;
+  }
+  it->second.packets.push_back(packet);
+  result.queued = it->second.packets.size();
+  ++packets_buffered_;
+  ++total_stored_;
+  return result;
+}
+
+void FlowBufferManager::free_unit() {
+  // One buffer_id slot returns to the pool after deferred reclamation.
+  sim_.schedule(reclaim_delay_, [this]() {
+    SDNBUF_CHECK(units_in_use_ > 0);
+    --units_in_use_;
+    occupancy_.set(units_in_use_, sim_.now());
+  });
+}
+
+std::vector<net::Packet> FlowBufferManager::release_all(std::uint32_t buffer_id) {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return {};
+  const auto it = flows_.find(idit->second);
+  SDNBUF_CHECK(it != flows_.end());
+  std::vector<net::Packet> out(it->second.packets.begin(), it->second.packets.end());
+  total_released_ += out.size();
+  SDNBUF_CHECK(packets_buffered_ >= out.size());
+  packets_buffered_ -= out.size();
+  free_unit();
+  flows_.erase(it);
+  id_to_flow_.erase(idit);
+  return out;
+}
+
+std::optional<std::uint32_t> FlowBufferManager::buffer_id_of(const net::FlowKey& key) const {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return std::nullopt;
+  return it->second.buffer_id;
+}
+
+std::optional<sim::SimTime> FlowBufferManager::last_request_at(std::uint32_t buffer_id) const {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return std::nullopt;
+  return flows_.at(idit->second).last_request_at;
+}
+
+void FlowBufferManager::mark_request_sent(std::uint32_t buffer_id, sim::SimTime when) {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return;
+  flows_.at(idit->second).last_request_at = when;
+}
+
+const net::Packet* FlowBufferManager::front_packet(std::uint32_t buffer_id) const {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return nullptr;
+  const auto& packets = flows_.at(idit->second).packets;
+  return packets.empty() ? nullptr : &packets.front();
+}
+
+std::size_t FlowBufferManager::expire_older_than(sim::SimTime cutoff) {
+  std::vector<net::FlowKey> stale;
+  for (const auto& [key, state] : flows_) {
+    if (state.first_stored_at <= cutoff) stale.push_back(key);
+  }
+  std::size_t dropped = 0;
+  for (const auto& key : stale) {
+    const auto it = flows_.find(key);
+    dropped += it->second.packets.size();
+    total_expired_ += it->second.packets.size();
+    SDNBUF_CHECK(packets_buffered_ >= it->second.packets.size());
+    packets_buffered_ -= it->second.packets.size();
+    free_unit();
+    id_to_flow_.erase(it->second.buffer_id);
+    flows_.erase(it);
+  }
+  return dropped;
+}
+
+}  // namespace sdnbuf::sw

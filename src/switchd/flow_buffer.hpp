@@ -1,0 +1,110 @@
+// Flow-granularity buffer manager: the paper's *proposed* mechanism
+// (§V, Algorithms 1-2).
+//
+// All miss-match packets of one flow share a single buffer_id derived from
+// the 5-tuple (src_ip, src_port, dst_ip, dst_port, protocol). Only the first
+// packet of a flow triggers a packet_in; subsequent miss-match packets are
+// buffered silently (Algorithm 1, lines 10-11). One packet_out releases and
+// forwards *every* buffered packet of the flow in order (Algorithm 2,
+// lines 4-9), and a response timeout triggers a re-request (line 12-13).
+//
+// Unit accounting follows the paper's Fig. 13 semantics: a *buffer unit* is
+// a buffer_id slot. The packet-granularity mechanism gives every packet an
+// exclusive buffer_id (one unit per packet); here all miss-match packets of
+// a flow share one buffer_id, so one unit per flow — the whole-flow release
+// and the shared slot are why the proposed mechanism "improves buffer
+// utilization by 71.6%". Released units pass through deferred reclamation
+// like the packet-granularity ones.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/occupancy.hpp"
+#include "net/flow_key.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdnbuf::sw {
+
+class FlowBufferManager {
+ public:
+  FlowBufferManager(sim::Simulator& sim, std::size_t capacity, sim::SimTime reclaim_delay);
+
+  struct StoreResult {
+    std::uint32_t buffer_id = 0;
+    bool first_of_flow = false;  // true => the caller must send a packet_in
+    std::size_t queued = 0;      // packets of this flow now buffered
+  };
+
+  // Total packets currently queued across all flows.
+  [[nodiscard]] std::size_t packets_buffered() const { return packets_buffered_; }
+
+  // Algorithm 1, lines 5-11: buffers the packet under the flow's shared
+  // buffer_id, creating it for the first packet. nullopt when the buffer is
+  // exhausted (caller falls back to a full-frame packet_in).
+  std::optional<StoreResult> store(const net::Packet& packet);
+
+  // Algorithm 2, lines 4-9: removes and returns all buffered packets of the
+  // flow in arrival order; empty if the id is unknown.
+  std::vector<net::Packet> release_all(std::uint32_t buffer_id);
+
+  // Lookup the shared buffer_id of a flow (Algorithm 1, line 5); nullopt if
+  // the flow has no buffered packets.
+  [[nodiscard]] std::optional<std::uint32_t> buffer_id_of(const net::FlowKey& key) const;
+
+  // When the flow's last packet_in was sent, for the resend timeout
+  // (Algorithm 1, line 12). Updated via mark_request_sent.
+  [[nodiscard]] std::optional<sim::SimTime> last_request_at(std::uint32_t buffer_id) const;
+  void mark_request_sent(std::uint32_t buffer_id, sim::SimTime when);
+
+  // A representative packet of the flow for building a resend packet_in.
+  [[nodiscard]] const net::Packet* front_packet(std::uint32_t buffer_id) const;
+
+  // Drops entire flows whose *first* buffered packet is older than `cutoff`;
+  // returns the number of packets dropped.
+  std::size_t expire_older_than(sim::SimTime cutoff);
+
+  [[nodiscard]] std::size_t units_in_use() const { return units_in_use_; }
+  [[nodiscard]] std::size_t flows_buffered() const { return flows_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t total_stored() const { return total_stored_; }
+  [[nodiscard]] std::uint64_t total_released() const { return total_released_; }
+  [[nodiscard]] std::uint64_t total_expired() const { return total_expired_; }
+  [[nodiscard]] std::uint64_t rejected_full() const { return rejected_full_; }
+
+  [[nodiscard]] metrics::OccupancyTracker& occupancy() { return occupancy_; }
+  [[nodiscard]] const metrics::OccupancyTracker& occupancy() const { return occupancy_; }
+
+ private:
+  struct FlowState {
+    std::uint32_t buffer_id = 0;
+    std::deque<net::Packet> packets;
+    sim::SimTime first_stored_at;
+    std::optional<sim::SimTime> last_request_at;
+  };
+
+  // Derives the shared buffer_id from the 5-tuple hash, probing past ids
+  // already used by other live flows.
+  std::uint32_t derive_id(const net::FlowKey& key) const;
+  void free_unit();
+
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  sim::SimTime reclaim_delay_;
+  std::size_t units_in_use_ = 0;     // buffer_id slots incl. pending reclaim
+  std::size_t packets_buffered_ = 0;
+  std::unordered_map<net::FlowKey, FlowState> flows_;
+  std::unordered_map<std::uint32_t, net::FlowKey> id_to_flow_;
+  metrics::OccupancyTracker occupancy_;
+  std::uint64_t total_stored_ = 0;
+  std::uint64_t total_released_ = 0;
+  std::uint64_t total_expired_ = 0;
+  std::uint64_t rejected_full_ = 0;
+};
+
+}  // namespace sdnbuf::sw

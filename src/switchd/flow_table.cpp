@@ -1,0 +1,195 @@
+#include "switchd/flow_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::sw {
+
+const char* eviction_policy_name(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::Lru: return "lru";
+    case EvictionPolicy::Fifo: return "fifo";
+    case EvictionPolicy::Random: return "random";
+  }
+  return "?";
+}
+
+FlowTable::FlowTable(std::size_t capacity, EvictionPolicy policy, std::uint64_t rng_seed)
+    : capacity_(capacity), policy_(policy), rng_(rng_seed) {
+  SDNBUF_CHECK_MSG(capacity_ >= 1, "flow table needs capacity");
+}
+
+std::string FlowTable::exact_key(const of::Match& m) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(of::kMatchSize);
+  m.encode(bytes);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+FlowEntry* FlowTable::lookup(const net::Packet& p, std::uint16_t in_port, sim::SimTime now) {
+  ++lookups_;
+  FlowEntry* best = nullptr;
+
+  // Exact-match fast path: the key is the packet's own exact match.
+  const auto exact = of::Match::exact_from(p, in_port);
+  if (const auto it = exact_index_.find(exact_key(exact)); it != exact_index_.end()) {
+    best = &*it->second;
+  }
+
+  // Wildcard entries can still win on priority.
+  for (const auto& it : wildcard_entries_) {
+    FlowEntry& e = *it;
+    if (best && e.priority <= best->priority) continue;
+    if (e.match.matches(p, in_port)) best = &e;
+  }
+
+  if (best != nullptr) {
+    ++hits_;
+    best->last_used = now;
+    ++best->packet_count;
+    best->byte_count += p.frame_size;
+  }
+  return best;
+}
+
+const FlowEntry* FlowTable::peek(const net::Packet& p, std::uint16_t in_port) const {
+  const FlowEntry* best = nullptr;
+  const auto exact = of::Match::exact_from(p, in_port);
+  if (const auto it = exact_index_.find(exact_key(exact)); it != exact_index_.end()) {
+    best = &*it->second;
+  }
+  for (const auto& it : wildcard_entries_) {
+    const FlowEntry& e = *it;
+    if (best && e.priority <= best->priority) continue;
+    if (e.match.matches(p, in_port)) best = &e;
+  }
+  return best;
+}
+
+void FlowTable::unlink(EntryIt it) {
+  if (is_exact(it->match)) {
+    exact_index_.erase(exact_key(it->match));
+  } else {
+    const auto pos = std::find(wildcard_entries_.begin(), wildcard_entries_.end(), it);
+    SDNBUF_CHECK(pos != wildcard_entries_.end());
+    wildcard_entries_.erase(pos);
+  }
+}
+
+RemovedEntry FlowTable::take(EntryIt it, of::FlowRemovedReason reason) {
+  unlink(it);
+  RemovedEntry removed{std::move(*it), reason};
+  entries_.erase(it);
+  return removed;
+}
+
+FlowTable::EntryIt FlowTable::find_victim() {
+  SDNBUF_CHECK(!entries_.empty());
+  switch (policy_) {
+    case EvictionPolicy::Lru: {
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->last_used < victim->last_used) victim = it;
+      }
+      return victim;
+    }
+    case EvictionPolicy::Fifo: {
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->installed_at < victim->installed_at) victim = it;
+      }
+      return victim;
+    }
+    case EvictionPolicy::Random: {
+      auto victim = entries_.begin();
+      std::advance(victim, static_cast<std::ptrdiff_t>(rng_.next_below(entries_.size())));
+      return victim;
+    }
+  }
+  return entries_.begin();
+}
+
+FlowTable::AddResult FlowTable::add(FlowEntry entry, sim::SimTime now) {
+  AddResult result;
+  entry.installed_at = now;
+  entry.last_used = now;
+
+  // ADD overwrites an identical (match, priority) entry.
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->match == entry.match && it->priority == entry.priority) {
+      unlink(it);
+      *it = std::move(entry);
+      if (is_exact(it->match)) {
+        exact_index_.emplace(exact_key(it->match), it);
+      } else {
+        wildcard_entries_.push_back(it);
+      }
+      result.replaced = true;
+      return result;
+    }
+  }
+
+  while (entries_.size() >= capacity_) {
+    ++evictions_;
+    result.evicted.push_back(take(find_victim(), of::FlowRemovedReason::Eviction));
+  }
+
+  entries_.push_back(std::move(entry));
+  const auto it = std::prev(entries_.end());
+  if (is_exact(it->match)) {
+    exact_index_.emplace(exact_key(it->match), it);
+  } else {
+    wildcard_entries_.push_back(it);
+  }
+  return result;
+}
+
+std::vector<RemovedEntry> FlowTable::remove(const of::Match& match,
+                                            std::optional<std::uint16_t> priority, bool strict) {
+  std::vector<RemovedEntry> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool hit = strict ? (it->match == match && (!priority || it->priority == *priority))
+                            : match.subsumes(it->match);
+    if (hit) {
+      auto victim = it++;
+      removed.push_back(take(victim, of::FlowRemovedReason::Delete));
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<RemovedEntry> FlowTable::expire(sim::SimTime now) {
+  std::vector<RemovedEntry> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    of::FlowRemovedReason reason{};
+    bool expired = false;
+    if (it->hard_timeout_s != 0 &&
+        now - it->installed_at >= sim::SimTime::seconds(it->hard_timeout_s)) {
+      expired = true;
+      reason = of::FlowRemovedReason::HardTimeout;
+    } else if (it->idle_timeout_s != 0 &&
+               now - it->last_used >= sim::SimTime::seconds(it->idle_timeout_s)) {
+      expired = true;
+      reason = of::FlowRemovedReason::IdleTimeout;
+    }
+    if (expired) {
+      auto victim = it++;
+      removed.push_back(take(victim, reason));
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<const FlowEntry*> FlowTable::entries() const {
+  std::vector<const FlowEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(&e);
+  return out;
+}
+
+}  // namespace sdnbuf::sw

@@ -1,0 +1,75 @@
+#include "switchd/packet_buffer.hpp"
+
+#include <vector>
+
+#include "openflow/constants.hpp"
+#include "util/check.hpp"
+
+namespace sdnbuf::sw {
+
+PacketBufferManager::PacketBufferManager(sim::Simulator& sim, std::size_t capacity,
+                                         sim::SimTime reclaim_delay)
+    : sim_(sim), capacity_(capacity), reclaim_delay_(reclaim_delay), occupancy_(sim.now()) {
+  SDNBUF_CHECK_MSG(capacity_ >= 1, "buffer needs at least one unit");
+}
+
+std::uint32_t PacketBufferManager::allocate_id() {
+  // 31-bit ids can never collide with OFP_NO_BUFFER (0xffffffff).
+  std::uint32_t id = next_id_;
+  while (packets_.count(id) != 0) id = (id + 1) & 0x7fffffff;
+  next_id_ = (id + 1) & 0x7fffffff;
+  if (next_id_ == 0) next_id_ = 1;
+  return id;
+}
+
+std::optional<std::uint32_t> PacketBufferManager::store(const net::Packet& packet) {
+  if (units_in_use_ >= capacity_) {
+    ++rejected_full_;
+    return std::nullopt;
+  }
+  ++units_in_use_;
+  occupancy_.set(units_in_use_, sim_.now());
+  const std::uint32_t id = allocate_id();
+  packets_.emplace(id, Stored{packet, sim_.now()});
+  ++total_stored_;
+  return id;
+}
+
+void PacketBufferManager::free_unit() {
+  // The unit stays charged against capacity until deferred reclamation runs.
+  sim_.schedule(reclaim_delay_, [this]() {
+    SDNBUF_CHECK(units_in_use_ > 0);
+    --units_in_use_;
+    occupancy_.set(units_in_use_, sim_.now());
+  });
+}
+
+std::optional<net::Packet> PacketBufferManager::release(std::uint32_t buffer_id) {
+  const auto it = packets_.find(buffer_id);
+  if (it == packets_.end()) return std::nullopt;
+  net::Packet packet = std::move(it->second.packet);
+  packets_.erase(it);
+  ++total_released_;
+  free_unit();
+  return packet;
+}
+
+const net::Packet* PacketBufferManager::peek(std::uint32_t buffer_id) const {
+  const auto it = packets_.find(buffer_id);
+  return it == packets_.end() ? nullptr : &it->second.packet;
+}
+
+std::size_t PacketBufferManager::expire_older_than(sim::SimTime cutoff) {
+  std::vector<std::uint32_t> stale;
+  for (const auto& [id, stored] : packets_) {
+    if (stored.stored_at <= cutoff) stale.push_back(id);
+  }
+  for (const auto id : stale) {
+    packets_.erase(id);
+    ++total_expired_;
+    free_unit();
+  }
+  return stale.size();
+}
+
+}  // namespace sdnbuf::sw

@@ -1,0 +1,80 @@
+// Packet-granularity buffer manager: the *default* OpenFlow buffer
+// mechanism (§IV).
+//
+// Every buffered miss-match packet gets its own buffer_id; its packet_in
+// carries only `miss_send_len` header bytes, and the matching packet_out
+// (same buffer_id) releases exactly that packet. When no unit is free the
+// switch falls back to putting the entire frame into the packet_in
+// (buffer_id = OFP_NO_BUFFER), per the specification — that fallback is what
+// makes an undersized buffer (buffer-16 in the paper) regress toward
+// no-buffer behaviour at high rates.
+//
+// Released/expired units return to the free pool after a reclaim delay
+// (deferred reclamation, see CostModel::buffer_reclaim_delay); occupancy
+// counts stored + awaiting-reclaim units, which is what "buffer units used"
+// means in Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "metrics/occupancy.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdnbuf::sw {
+
+class PacketBufferManager {
+ public:
+  PacketBufferManager(sim::Simulator& sim, std::size_t capacity, sim::SimTime reclaim_delay);
+
+  // Stores a miss-match packet; returns its buffer_id, or nullopt when the
+  // buffer is exhausted.
+  std::optional<std::uint32_t> store(const net::Packet& packet);
+
+  // Removes and returns the packet for a packet_out's buffer_id; nullopt if
+  // the id is unknown (already released or expired).
+  std::optional<net::Packet> release(std::uint32_t buffer_id);
+
+  [[nodiscard]] const net::Packet* peek(std::uint32_t buffer_id) const;
+
+  // Drops packets stored at or before `cutoff`; returns how many.
+  std::size_t expire_older_than(sim::SimTime cutoff);
+
+  // Units currently charged against capacity (stored + awaiting reclaim).
+  [[nodiscard]] std::size_t units_in_use() const { return units_in_use_; }
+  [[nodiscard]] std::size_t packets_stored() const { return packets_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t total_stored() const { return total_stored_; }
+  [[nodiscard]] std::uint64_t total_released() const { return total_released_; }
+  [[nodiscard]] std::uint64_t total_expired() const { return total_expired_; }
+  [[nodiscard]] std::uint64_t rejected_full() const { return rejected_full_; }
+
+  [[nodiscard]] metrics::OccupancyTracker& occupancy() { return occupancy_; }
+  [[nodiscard]] const metrics::OccupancyTracker& occupancy() const { return occupancy_; }
+
+ private:
+  struct Stored {
+    net::Packet packet;
+    sim::SimTime stored_at;
+  };
+
+  std::uint32_t allocate_id();
+  void free_unit();
+
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  sim::SimTime reclaim_delay_;
+  std::size_t units_in_use_ = 0;
+  std::uint32_t next_id_ = 1;
+  std::unordered_map<std::uint32_t, Stored> packets_;
+  metrics::OccupancyTracker occupancy_;
+  std::uint64_t total_stored_ = 0;
+  std::uint64_t total_released_ = 0;
+  std::uint64_t total_expired_ = 0;
+  std::uint64_t rejected_full_ = 0;
+};
+
+}  // namespace sdnbuf::sw

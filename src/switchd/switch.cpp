@@ -1,0 +1,578 @@
+#include "switchd/switch.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sdnbuf::sw {
+
+const char* buffer_mode_name(BufferMode mode) {
+  switch (mode) {
+    case BufferMode::NoBuffer: return "no-buffer";
+    case BufferMode::PacketGranularity: return "packet-granularity";
+    case BufferMode::FlowGranularity: return "flow-granularity";
+  }
+  return "?";
+}
+
+Switch::Switch(sim::Simulator& sim, SwitchConfig config, std::uint64_t rng_seed)
+    : sim_(sim),
+      config_(std::move(config)),
+      rng_(rng_seed),
+      cpu_(sim, config_.name + ":cpu", config_.cpu_cores),
+      bus_(sim, config_.name + ":bus", 1),
+      table_(config_.flow_table_capacity, config_.eviction_policy, rng_seed * 31 + 17) {
+  if (config_.buffer_mode == BufferMode::PacketGranularity) {
+    packet_buffer_ = std::make_unique<PacketBufferManager>(sim_, config_.buffer_capacity,
+                                                           config_.costs.buffer_reclaim_delay);
+  } else if (config_.buffer_mode == BufferMode::FlowGranularity) {
+    flow_buffer_ = std::make_unique<FlowBufferManager>(sim_, config_.buffer_capacity,
+                                                       config_.costs.buffer_reclaim_delay);
+  }
+}
+
+void Switch::attach_port(std::uint16_t port_no, net::Link& egress, DeliverFn deliver) {
+  SDNBUF_CHECK_MSG(ports_.count(port_no) == 0, "port already attached");
+  SDNBUF_CHECK_MSG(port_no != 0 && port_no < of::kPortMax, "invalid port number");
+  Port port;
+  port.egress = &egress;
+  port.deliver = std::move(deliver);
+  port.scheduler =
+      std::make_unique<EgressScheduler>(sim_, config_.egress, egress, port.deliver);
+  ports_.emplace(port_no, std::move(port));
+}
+
+EgressScheduler& Switch::port_scheduler(std::uint16_t port_no) {
+  const auto it = ports_.find(port_no);
+  SDNBUF_CHECK_MSG(it != ports_.end(), "unknown port");
+  return *it->second.scheduler;
+}
+
+void Switch::connect(of::Channel& channel) {
+  channel_ = &channel;
+  channel.set_switch_handler(
+      [this](const of::OfMessage& msg, std::size_t) { on_control_message(msg); });
+}
+
+void Switch::start() {
+  sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() { sweep(); });
+}
+
+void Switch::stop() {
+  running_ = false;
+  sweep_event_.cancel();
+}
+
+sim::SimTime Switch::cost_us(double nominal_us) {
+  return sim::SimTime::from_microseconds(nominal_us *
+                                         rng_.lognormal(1.0, config_.costs.jitter_sigma));
+}
+
+sim::SimTime Switch::bus_time(std::size_t bytes) const {
+  return sim::transmission_time(bytes, config_.costs.bus_bandwidth_bps);
+}
+
+void Switch::receive(std::uint16_t in_port, net::Packet packet) {
+  ++counters_.packets_received;
+  if (const auto it = ports_.find(in_port); it != ports_.end()) {
+    ++it->second.rx_packets;
+    it->second.rx_bytes += packet.frame_size;
+  }
+  if (recorder_ != nullptr) recorder_->on_first_packet_arrival(packet.flow_id, sim_.now());
+
+  // ASIC match stage: a fixed-latency hardware pipeline — deterministic, so
+  // simultaneously arriving packets keep their arrival order.
+  sim_.schedule(sim::SimTime::from_microseconds(config_.costs.asic_match_us),
+                [this, in_port, packet]() {
+    FlowEntry* entry = table_.lookup(packet, in_port, sim_.now());
+    if (entry != nullptr) {
+      ++counters_.table_hits;
+      execute_actions(packet, entry->actions, in_port);
+    } else {
+      ++counters_.table_misses;
+      handle_miss(in_port, packet);
+    }
+  });
+}
+
+void Switch::handle_miss(std::uint16_t in_port, const net::Packet& packet) {
+  switch (config_.buffer_mode) {
+    case BufferMode::NoBuffer:
+      miss_no_buffer(in_port, packet, /*buffer_exhausted=*/false);
+      break;
+    case BufferMode::PacketGranularity:
+      miss_packet_granularity(in_port, packet);
+      break;
+    case BufferMode::FlowGranularity:
+      miss_flow_granularity(in_port, packet);
+      break;
+  }
+}
+
+void Switch::miss_no_buffer(std::uint16_t in_port, const net::Packet& packet,
+                            bool buffer_exhausted) {
+  ++counters_.full_frame_pkt_ins;
+  if (buffer_exhausted) {
+    SDNBUF_DEBUG("switch", "buffer exhausted, full-frame packet_in for flow "
+                               << packet.flow_key().to_string());
+  }
+  // The whole frame crosses the ASIC<->CPU bus, then the CPU builds a
+  // packet_in that carries the entire frame.
+  bus_.submit(bus_time(packet.frame_size), [this, in_port, packet]() {
+    const double encode_us = config_.costs.miss_base_us + config_.costs.pkt_in_base_us +
+                             config_.costs.pkt_in_per_byte_us * packet.frame_size;
+    cpu_.submit(cost_us(encode_us), [this, in_port, packet]() {
+      send_packet_in(packet, in_port, of::kNoBuffer, packet.frame_size,
+                     of::PacketInReason::NoMatch);
+    });
+  });
+}
+
+void Switch::miss_packet_granularity(std::uint16_t in_port, const net::Packet& packet) {
+  SDNBUF_CHECK(packet_buffer_ != nullptr);
+  const auto buffer_id = packet_buffer_->store(packet);
+  if (!buffer_id) {
+    // OpenFlow fallback: no free unit, send the entire frame.
+    miss_no_buffer(in_port, packet, /*buffer_exhausted=*/true);
+    return;
+  }
+  const std::size_t data_bytes = std::min<std::size_t>(config_.miss_send_len, packet.frame_size);
+  // Only the captured headers cross the bus.
+  bus_.submit(bus_time(data_bytes), [this, in_port, packet, id = *buffer_id, data_bytes]() {
+    const double encode_us = config_.costs.miss_base_us + config_.costs.buffer_store_us +
+                             config_.costs.pkt_in_base_us +
+                             config_.costs.pkt_in_per_byte_us * static_cast<double>(data_bytes);
+    cpu_.submit(cost_us(encode_us), [this, in_port, packet, id, data_bytes]() {
+      send_packet_in(packet, in_port, id, data_bytes, of::PacketInReason::NoMatch);
+    });
+  });
+}
+
+void Switch::miss_flow_granularity(std::uint16_t in_port, const net::Packet& packet) {
+  SDNBUF_CHECK(flow_buffer_ != nullptr);
+  const auto stored = flow_buffer_->store(packet);
+  if (!stored) {
+    miss_no_buffer(in_port, packet, /*buffer_exhausted=*/true);
+    return;
+  }
+  if (stored->first_of_flow) {
+    // Algorithm 1, lines 7-9: buffer, create the shared buffer_id, request.
+    const std::size_t data_bytes =
+        std::min<std::size_t>(config_.miss_send_len, packet.frame_size);
+    bus_.submit(bus_time(data_bytes),
+                [this, in_port, packet, id = stored->buffer_id, data_bytes]() {
+      const double encode_us = config_.costs.miss_base_us + config_.costs.flow_map_lookup_us +
+                               config_.costs.flow_map_store_us +
+                               config_.costs.flow_first_packet_extra_us +
+                               config_.costs.buffer_store_us + config_.costs.pkt_in_base_us +
+                               config_.costs.pkt_in_per_byte_us * static_cast<double>(data_bytes);
+      cpu_.submit(cost_us(encode_us), [this, in_port, packet, id, data_bytes]() {
+        send_packet_in(packet, in_port, id, data_bytes, of::PacketInReason::NoMatch);
+        flow_buffer_->mark_request_sent(id, sim_.now());
+        schedule_flow_resend_check(id, in_port);
+      });
+    });
+  } else {
+    // Algorithm 1, lines 10-11: buffer silently; only the map lookup and the
+    // store cost the CPU, nothing is sent.
+    cpu_.submit(cost_us(config_.costs.flow_map_lookup_us + config_.costs.buffer_store_us),
+                nullptr);
+  }
+}
+
+void Switch::schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t in_port) {
+  sim_.schedule(config_.costs.flow_resend_timeout, [this, buffer_id, in_port]() {
+    if (!running_) return;
+    const net::Packet* front = flow_buffer_ ? flow_buffer_->front_packet(buffer_id) : nullptr;
+    if (front == nullptr) return;  // released in the meantime — no resend
+    const auto last = flow_buffer_->last_request_at(buffer_id);
+    if (last && sim_.now() - *last < config_.costs.flow_resend_timeout) {
+      schedule_flow_resend_check(buffer_id, in_port);
+      return;
+    }
+    // Algorithm 1, lines 12-13: the controller went silent; ask again.
+    ++counters_.resend_pkt_ins;
+    const std::size_t data_bytes = std::min<std::size_t>(config_.miss_send_len, front->frame_size);
+    const net::Packet packet = *front;
+    const double encode_us = config_.costs.pkt_in_base_us +
+                             config_.costs.pkt_in_per_byte_us * static_cast<double>(data_bytes);
+    cpu_.submit(cost_us(encode_us), [this, in_port, packet, buffer_id, data_bytes]() {
+      if (flow_buffer_->front_packet(buffer_id) == nullptr) return;
+      send_packet_in(packet, in_port, buffer_id, data_bytes, of::PacketInReason::FlowResend);
+      flow_buffer_->mark_request_sent(buffer_id, sim_.now());
+      schedule_flow_resend_check(buffer_id, in_port);
+    });
+  });
+}
+
+void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
+                            std::uint32_t buffer_id, std::size_t data_bytes,
+                            of::PacketInReason reason) {
+  SDNBUF_CHECK_MSG(channel_ != nullptr, "switch is not connected to a controller");
+  of::PacketIn msg;
+  msg.xid = channel_->next_xid();
+  msg.buffer_id = buffer_id;
+  msg.total_len = static_cast<std::uint16_t>(packet.frame_size);
+  msg.in_port = in_port;
+  msg.reason = reason;
+  msg.data = packet.serialize(data_bytes);
+  pending_requests_[msg.xid] =
+      PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at};
+  ++counters_.pkt_ins_sent;
+  channel_->send_from_switch(msg);
+  if (recorder_ != nullptr) recorder_->on_packet_in_sent(packet.flow_id, sim_.now());
+}
+
+std::uint64_t Switch::flow_id_for_xid(std::uint32_t xid) const {
+  const auto* pending = pending_for_xid(xid);
+  return pending == nullptr ? metrics::kUntrackedFlow : pending->flow_id;
+}
+
+const Switch::PendingRequest* Switch::pending_for_xid(std::uint32_t xid) const {
+  const auto it = pending_requests_.find(xid);
+  return it == pending_requests_.end() ? nullptr : &it->second;
+}
+
+void Switch::on_control_message(const of::OfMessage& msg) {
+  if (const auto* fm = std::get_if<of::FlowMod>(&msg)) {
+    if (recorder_ != nullptr) {
+      recorder_->on_response_arrival(flow_id_for_xid(fm->xid), sim_.now());
+    }
+    handle_flow_mod(*fm);
+  } else if (const auto* po = std::get_if<of::PacketOut>(&msg)) {
+    if (recorder_ != nullptr) {
+      recorder_->on_response_arrival(flow_id_for_xid(po->xid), sim_.now());
+    }
+    handle_packet_out(*po);
+  } else if (const auto* echo = std::get_if<of::EchoRequest>(&msg)) {
+    channel_->send_from_switch(of::EchoReply{echo->xid});
+  } else if (const auto* feats = std::get_if<of::FeaturesRequest>(&msg)) {
+    of::FeaturesReply reply;
+    reply.xid = feats->xid;
+    reply.datapath_id = config_.datapath_id;
+    reply.n_buffers = config_.buffer_mode == BufferMode::NoBuffer
+                          ? 0
+                          : static_cast<std::uint32_t>(config_.buffer_capacity);
+    reply.n_tables = 1;
+    for (const auto& [port_no, port] : ports_) {
+      of::PortDesc desc;
+      desc.port_no = port_no;
+      desc.hw_addr = net::MacAddress::from_index(port_no);
+      desc.name = "eth" + std::to_string(port_no);
+      desc.curr_speed_mbps =
+          static_cast<std::uint32_t>(port.egress->bandwidth_bps() / 1e6);
+      reply.ports.push_back(std::move(desc));
+    }
+    channel_->send_from_switch(reply);
+  } else if (const auto* fs = std::get_if<of::FlowStatsRequest>(&msg)) {
+    handle_flow_stats(*fs);
+  } else if (const auto* as = std::get_if<of::AggregateStatsRequest>(&msg)) {
+    handle_aggregate_stats(*as);
+  } else if (const auto* ps = std::get_if<of::PortStatsRequest>(&msg)) {
+    handle_port_stats(*ps);
+  } else if (const auto* barrier = std::get_if<of::BarrierRequest>(&msg)) {
+    // Barrier semantics: previous messages are already processed in program
+    // order (the channel is FIFO), so replying directly is faithful.
+    channel_->send_from_switch(of::BarrierReply{barrier->xid});
+  } else if (std::holds_alternative<of::Hello>(msg)) {
+    channel_->send_from_switch(of::Hello{channel_->next_xid()});
+  }
+}
+
+void Switch::handle_flow_mod(const of::FlowMod& msg) {
+  ++counters_.flow_mods_handled;
+  cpu_.submit(cost_us(config_.costs.flow_mod_install_us), [this, msg]() {
+    switch (msg.command) {
+      case of::FlowModCommand::Add:
+      case of::FlowModCommand::Modify:
+      case of::FlowModCommand::ModifyStrict: {
+        FlowEntry entry;
+        entry.match = msg.match;
+        entry.priority = msg.priority;
+        entry.actions = msg.actions;
+        entry.cookie = msg.cookie;
+        entry.idle_timeout_s = msg.idle_timeout_s;
+        entry.hard_timeout_s = msg.hard_timeout_s;
+        entry.flags = msg.flags;
+        auto result = table_.add(std::move(entry), sim_.now());
+        for (const auto& evicted : result.evicted) emit_flow_removed(evicted);
+        break;
+      }
+      case of::FlowModCommand::Delete:
+      case of::FlowModCommand::DeleteStrict: {
+        const bool strict = msg.command == of::FlowModCommand::DeleteStrict;
+        auto removed = table_.remove(msg.match,
+                                     strict ? std::optional<std::uint16_t>{msg.priority}
+                                            : std::nullopt,
+                                     strict);
+        for (const auto& r : removed) emit_flow_removed(r);
+        break;
+      }
+    }
+    // flow_mod may also name a buffered packet to which the new actions
+    // apply (the OpenFlow one-message variant of install-and-release).
+    if (msg.buffer_id != of::kNoBuffer) {
+      of::PacketOut synthetic;
+      synthetic.xid = msg.xid;
+      synthetic.buffer_id = msg.buffer_id;
+      synthetic.in_port = msg.match.in_port;
+      synthetic.actions = msg.actions;
+      handle_packet_out(synthetic);
+    }
+  });
+}
+
+void Switch::handle_packet_out(const of::PacketOut& msg) {
+  ++counters_.pkt_outs_handled;
+  const double exec_us = config_.costs.pkt_out_base_us +
+                         config_.costs.pkt_out_per_byte_us * static_cast<double>(msg.data.size());
+  cpu_.submit(cost_us(exec_us), [this, msg]() {
+    if (msg.buffer_id == of::kNoBuffer) {
+      // The frame travels in the message; it must cross the bus to reach
+      // the ASIC before egress.
+      auto parsed = net::Packet::parse(msg.data, static_cast<std::uint32_t>(msg.data.size()));
+      if (!parsed) {
+        ++counters_.packets_dropped;
+        return;
+      }
+      // Wire bytes carry no simulator metadata; restore it from the pending
+      // request this packet_out answers.
+      if (const auto* pending = pending_for_xid(msg.xid); pending != nullptr) {
+        parsed->flow_id = pending->flow_id;
+        parsed->seq_in_flow = pending->seq_in_flow;
+        parsed->created_at = pending->created_at;
+      }
+      bus_.submit(bus_time(msg.data.size()), [this, packet = *parsed, msg]() {
+        execute_actions(packet, msg.actions, msg.in_port);
+      });
+      return;
+    }
+
+    if (config_.buffer_mode == BufferMode::PacketGranularity) {
+      SDNBUF_CHECK(packet_buffer_ != nullptr);
+      auto packet = packet_buffer_->release(msg.buffer_id);
+      if (!packet) {
+        report_unknown_buffer(msg);
+        return;
+      }
+      sim_.schedule(cost_us(config_.costs.buffer_release_us), [this, packet = *packet, msg]() {
+        execute_actions(packet, msg.actions, msg.in_port);
+      });
+    } else if (config_.buffer_mode == BufferMode::FlowGranularity) {
+      SDNBUF_CHECK(flow_buffer_ != nullptr);
+      auto packets = flow_buffer_->release_all(msg.buffer_id);
+      if (packets.empty()) {
+        report_unknown_buffer(msg);
+        return;
+      }
+      // Algorithm 2, lines 4-9: forward the buffered packets one by one,
+      // each paying its release cost.
+      sim::SimTime offset;
+      for (const auto& packet : packets) {
+        offset += cost_us(config_.costs.buffer_release_us);
+        sim_.schedule(offset, [this, packet, msg]() {
+          execute_actions(packet, msg.actions, msg.in_port);
+        });
+      }
+    } else {
+      report_unknown_buffer(msg);
+    }
+  });
+}
+
+void Switch::report_unknown_buffer(const of::PacketOut& msg) {
+  ++counters_.unknown_buffer_releases;
+  if (channel_ == nullptr) return;
+  // OFPET_BAD_REQUEST / OFPBRC_BUFFER_UNKNOWN with the offending message's
+  // first bytes, per the specification.
+  of::Error err;
+  err.xid = msg.xid;
+  err.type = of::ErrorType::BadRequest;
+  err.code = of::ErrorCode::BufferUnknown;
+  auto offending = of::encode_message(msg);
+  offending.resize(std::min<std::size_t>(offending.size(), 64));
+  err.data = std::move(offending);
+  channel_->send_from_switch(err);
+}
+
+void Switch::execute_actions(const net::Packet& packet, const of::ActionList& actions,
+                             std::uint16_t in_port) {
+  if (actions.empty()) {
+    ++counters_.packets_dropped;
+    return;
+  }
+  net::Packet current = packet;
+  for (const auto& action : actions) {
+    if (const auto* out = std::get_if<of::OutputAction>(&action)) {
+      if (out->port == of::kPortFlood || out->port == of::kPortAll) {
+        flood(current, in_port);
+      } else if (out->port == of::kPortController) {
+        send_packet_in(current, in_port, of::kNoBuffer,
+                       out->max_len != 0 ? out->max_len : current.frame_size,
+                       of::PacketInReason::Action);
+      } else if (out->port == of::kPortInPort) {
+        egress(current, in_port);
+      } else {
+        egress(current, out->port);
+      }
+    } else if (const auto* src = std::get_if<of::SetDlSrcAction>(&action)) {
+      current.eth.src = src->mac;
+    } else if (const auto* dst = std::get_if<of::SetDlDstAction>(&action)) {
+      current.eth.dst = dst->mac;
+    }
+  }
+}
+
+void Switch::egress(const net::Packet& packet, std::uint16_t out_port) {
+  const auto it = ports_.find(out_port);
+  if (it == ports_.end()) {
+    ++counters_.packets_dropped;
+    SDNBUF_WARN("switch", "egress to unknown port " << out_port);
+    return;
+  }
+  Port& port = it->second;
+  if (!port.scheduler->enqueue(packet)) {
+    ++port.tx_dropped;
+    ++counters_.packets_dropped;
+    return;
+  }
+  ++counters_.packets_forwarded;
+  if (recorder_ != nullptr) recorder_->on_packet_departure(packet.flow_id, sim_.now());
+  ++port.tx_packets;
+  port.tx_bytes += packet.frame_size;
+}
+
+void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {
+  ++counters_.packets_flooded;
+  bool sent = false;
+  for (auto& [port_no, port] : ports_) {
+    if (port_no == in_port) continue;
+    sent = true;
+    if (!port.scheduler->enqueue(packet)) {
+      ++port.tx_dropped;
+      ++counters_.packets_dropped;
+      continue;
+    }
+    if (recorder_ != nullptr) recorder_->on_packet_departure(packet.flow_id, sim_.now());
+    ++counters_.packets_forwarded;
+    ++port.tx_packets;
+    port.tx_bytes += packet.frame_size;
+  }
+  if (!sent) ++counters_.packets_dropped;
+}
+
+void Switch::handle_flow_stats(const of::FlowStatsRequest& msg) {
+  ++counters_.stats_requests_handled;
+  const double service =
+      config_.costs.stats_base_us + config_.costs.stats_per_entry_us * table_.size();
+  cpu_.submit(cost_us(service), [this, msg]() {
+    of::FlowStatsReply reply;
+    reply.xid = msg.xid;
+    for (const auto* entry : table_.entries()) {
+      if (!msg.match.subsumes(entry->match)) continue;
+      of::FlowStatsEntry e;
+      e.match = entry->match;
+      const sim::SimTime age = sim_.now() - entry->installed_at;
+      e.duration_sec = static_cast<std::uint32_t>(age.sec());
+      e.duration_nsec = static_cast<std::uint32_t>(age.ns() % 1'000'000'000);
+      e.priority = entry->priority;
+      e.idle_timeout_s = entry->idle_timeout_s;
+      e.hard_timeout_s = entry->hard_timeout_s;
+      e.cookie = entry->cookie;
+      e.packet_count = entry->packet_count;
+      e.byte_count = entry->byte_count;
+      reply.flows.push_back(std::move(e));
+    }
+    channel_->send_from_switch(reply);
+  });
+}
+
+void Switch::handle_aggregate_stats(const of::AggregateStatsRequest& msg) {
+  ++counters_.stats_requests_handled;
+  const double service =
+      config_.costs.stats_base_us + config_.costs.stats_per_entry_us * table_.size();
+  cpu_.submit(cost_us(service), [this, msg]() {
+    of::AggregateStatsReply reply;
+    reply.xid = msg.xid;
+    for (const auto* entry : table_.entries()) {
+      if (!msg.match.subsumes(entry->match)) continue;
+      ++reply.flow_count;
+      reply.packet_count += entry->packet_count;
+      reply.byte_count += entry->byte_count;
+    }
+    channel_->send_from_switch(reply);
+  });
+}
+
+void Switch::handle_port_stats(const of::PortStatsRequest& msg) {
+  ++counters_.stats_requests_handled;
+  const double service = config_.costs.stats_base_us +
+                         config_.costs.stats_per_entry_us * static_cast<double>(ports_.size());
+  cpu_.submit(cost_us(service), [this, msg]() {
+    of::PortStatsReply reply;
+    reply.xid = msg.xid;
+    for (const auto& [port_no, port] : ports_) {
+      if (msg.port_no != of::kPortNone && msg.port_no != port_no) continue;
+      of::PortStatsEntry e;
+      e.port_no = port_no;
+      e.rx_packets = port.rx_packets;
+      e.rx_bytes = port.rx_bytes;
+      e.tx_packets = port.tx_packets;
+      e.tx_bytes = port.tx_bytes;
+      e.tx_dropped = port.tx_dropped;
+      reply.ports.push_back(e);
+    }
+    channel_->send_from_switch(reply);
+  });
+}
+
+void Switch::sweep() {
+  for (const auto& removed : table_.expire(sim_.now())) emit_flow_removed(removed);
+  const sim::SimTime cutoff = sim_.now() - config_.costs.buffer_expiry;
+  if (cutoff > sim::SimTime::zero()) {
+    if (packet_buffer_ != nullptr) {
+      counters_.buffered_packets_expired += packet_buffer_->expire_older_than(cutoff);
+    }
+    if (flow_buffer_ != nullptr) {
+      counters_.buffered_packets_expired += flow_buffer_->expire_older_than(cutoff);
+    }
+  }
+  if (running_) {
+    sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() { sweep(); });
+  }
+}
+
+void Switch::emit_flow_removed(const RemovedEntry& removed) {
+  const bool wants = (removed.entry.flags & of::kFlowModSendFlowRem) != 0;
+  if (!wants && !config_.send_flow_removed) return;
+  if (channel_ == nullptr) return;
+  of::FlowRemoved msg;
+  msg.xid = channel_->next_xid();
+  msg.match = removed.entry.match;
+  msg.cookie = removed.entry.cookie;
+  msg.priority = removed.entry.priority;
+  msg.reason = removed.reason;
+  const sim::SimTime lifetime = sim_.now() - removed.entry.installed_at;
+  msg.duration_sec = static_cast<std::uint32_t>(lifetime.sec());
+  msg.duration_nsec = static_cast<std::uint32_t>(lifetime.ns() % 1'000'000'000);
+  msg.idle_timeout_s = removed.entry.idle_timeout_s;
+  msg.packet_count = removed.entry.packet_count;
+  msg.byte_count = removed.entry.byte_count;
+  ++counters_.flow_removed_sent;
+  channel_->send_from_switch(msg);
+}
+
+std::size_t Switch::buffer_units_in_use() const {
+  if (packet_buffer_ != nullptr) return packet_buffer_->units_in_use();
+  if (flow_buffer_ != nullptr) return flow_buffer_->units_in_use();
+  return 0;
+}
+
+const metrics::OccupancyTracker* Switch::buffer_occupancy() const {
+  if (packet_buffer_ != nullptr) return &packet_buffer_->occupancy();
+  if (flow_buffer_ != nullptr) return &flow_buffer_->occupancy();
+  return nullptr;
+}
+
+}  // namespace sdnbuf::sw

@@ -1,0 +1,208 @@
+// The software OpenFlow switch (the testbed's Open vSwitch stand-in).
+//
+// Architecture mirrors a real software switch:
+//
+//   ingress -> ASIC match stage -> hit: egress at line rate
+//                                \-> miss: [buffer] -> bus -> switch CPU ->
+//                                    packet_in on the control channel
+//   control channel -> switch CPU -> flow_mod install / packet_out execute
+//                                    -> buffered-packet release -> egress
+//
+// Resources that the paper identifies as contended are explicit queueing
+// stations: the multi-core switch CPU and the ASIC<->CPU bus (full-frame
+// punts in no-buffer mode saturate the bus at high rates; header-only punts
+// with buffering do not — the root cause of Figs. 5-7).
+//
+// The buffer behaviour is selected by `BufferMode`:
+//   NoBuffer          entire frame in every packet_in (buffer disabled)
+//   PacketGranularity OpenFlow default: one buffer_id per miss-match packet
+//   FlowGranularity   the paper's proposal: one buffer_id and one packet_in
+//                     per flow (Algorithms 1-2), with timeout re-request
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/delay_recorder.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "openflow/channel.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/cost_model.hpp"
+#include "switchd/egress_scheduler.hpp"
+#include "switchd/flow_buffer.hpp"
+#include "switchd/flow_table.hpp"
+#include "switchd/packet_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace sdnbuf::sw {
+
+enum class BufferMode {
+  NoBuffer,
+  PacketGranularity,
+  FlowGranularity,
+};
+
+[[nodiscard]] const char* buffer_mode_name(BufferMode mode);
+
+struct SwitchConfig {
+  std::string name = "ovs";
+  std::uint64_t datapath_id = 0x0000000000000001ULL;
+  unsigned cpu_cores = 4;
+  std::size_t flow_table_capacity = 4096;
+  EvictionPolicy eviction_policy = EvictionPolicy::Lru;
+  BufferMode buffer_mode = BufferMode::NoBuffer;
+  std::size_t buffer_capacity = 256;
+  std::uint16_t miss_send_len = of::kDefaultMissSendLen;
+  // Emit flow_removed for expired/evicted rules even without the per-rule
+  // flag (Floodlight sets the flag; we also allow forcing it).
+  bool send_flow_removed = false;
+  sim::SimTime sweep_interval = sim::SimTime::milliseconds(100);
+  CostModel costs;
+  // Egress scheduling for every port (§VII future work). The default Fifo
+  // policy is behaviourally identical to sending straight to the link.
+  EgressSchedulerConfig egress;
+};
+
+struct SwitchCounters {
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_flooded = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t table_hits = 0;
+  std::uint64_t table_misses = 0;
+  std::uint64_t pkt_ins_sent = 0;
+  std::uint64_t full_frame_pkt_ins = 0;  // buffer disabled or exhausted
+  std::uint64_t resend_pkt_ins = 0;      // Algorithm 1, line 13
+  std::uint64_t flow_mods_handled = 0;
+  std::uint64_t pkt_outs_handled = 0;
+  std::uint64_t unknown_buffer_releases = 0;
+  std::uint64_t buffered_packets_expired = 0;
+  std::uint64_t flow_removed_sent = 0;
+  std::uint64_t stats_requests_handled = 0;
+};
+
+class Switch {
+ public:
+  using DeliverFn = std::function<void(const net::Packet&)>;
+
+  Switch(sim::Simulator& sim, SwitchConfig config, std::uint64_t rng_seed);
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  // Attaches an egress link for a port; `deliver` fires at the far end of
+  // the link with the forwarded packet.
+  void attach_port(std::uint16_t port_no, net::Link& egress, DeliverFn deliver);
+
+  // Binds the control channel (the switch side of it) and performs the
+  // OpenFlow handshake (hello + features exchange happens lazily when the
+  // controller asks).
+  void connect(of::Channel& channel);
+
+  // Starts housekeeping (flow-table and buffer expiry sweeps).
+  void start();
+  // Cancels housekeeping so Simulator::run() can drain.
+  void stop();
+
+  // Ingress entry point: a packet arrived on `in_port`.
+  void receive(std::uint16_t in_port, net::Packet packet);
+
+  // Metrics sink (owned by the experiment); may be null.
+  void set_delay_recorder(metrics::DelayRecorder* recorder) { recorder_ = recorder; }
+
+  [[nodiscard]] sim::CpuServer& cpu() { return cpu_; }
+  [[nodiscard]] sim::CpuServer& bus() { return bus_; }
+  [[nodiscard]] FlowTable& flow_table() { return table_; }
+  [[nodiscard]] PacketBufferManager* packet_buffer() { return packet_buffer_.get(); }
+  [[nodiscard]] FlowBufferManager* flow_buffer() { return flow_buffer_.get(); }
+  [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
+  [[nodiscard]] const SwitchConfig& config() const { return config_; }
+
+  // Units currently charged against the buffer, 0 in NoBuffer mode.
+  [[nodiscard]] std::size_t buffer_units_in_use() const;
+  [[nodiscard]] const metrics::OccupancyTracker* buffer_occupancy() const;
+
+  // Per-port egress scheduler (valid after attach_port).
+  [[nodiscard]] EgressScheduler& port_scheduler(std::uint16_t port_no);
+
+  void reset_counters() { counters_ = SwitchCounters{}; }
+
+ private:
+  struct Port {
+    net::Link* egress = nullptr;
+    DeliverFn deliver;
+    std::unique_ptr<EgressScheduler> scheduler;
+    // Interface counters, reported via OFPST_PORT.
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t tx_dropped = 0;
+  };
+
+  // Draws a jittered service time from a nominal microsecond cost.
+  [[nodiscard]] sim::SimTime cost_us(double nominal_us);
+  [[nodiscard]] sim::SimTime bus_time(std::size_t bytes) const;
+
+  void handle_miss(std::uint16_t in_port, const net::Packet& packet);
+  void miss_no_buffer(std::uint16_t in_port, const net::Packet& packet, bool buffer_exhausted);
+  void miss_packet_granularity(std::uint16_t in_port, const net::Packet& packet);
+  void miss_flow_granularity(std::uint16_t in_port, const net::Packet& packet);
+
+  void send_packet_in(const net::Packet& packet, std::uint16_t in_port, std::uint32_t buffer_id,
+                      std::size_t data_bytes, of::PacketInReason reason);
+  void schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t in_port);
+
+  void on_control_message(const of::OfMessage& msg);
+  void handle_flow_mod(const of::FlowMod& msg);
+  void handle_packet_out(const of::PacketOut& msg);
+  void report_unknown_buffer(const of::PacketOut& msg);
+  void handle_flow_stats(const of::FlowStatsRequest& msg);
+  void handle_aggregate_stats(const of::AggregateStatsRequest& msg);
+  void handle_port_stats(const of::PortStatsRequest& msg);
+  void execute_actions(const net::Packet& packet, const of::ActionList& actions,
+                       std::uint16_t in_port);
+  void egress(const net::Packet& packet, std::uint16_t out_port);
+  void flood(const net::Packet& packet, std::uint16_t in_port);
+
+  void sweep();
+  void emit_flow_removed(const RemovedEntry& removed);
+
+
+  sim::Simulator& sim_;
+  SwitchConfig config_;
+  util::Rng rng_;
+  sim::CpuServer cpu_;
+  sim::CpuServer bus_;
+  FlowTable table_;
+  std::unique_ptr<PacketBufferManager> packet_buffer_;
+  std::unique_ptr<FlowBufferManager> flow_buffer_;
+  std::unordered_map<std::uint16_t, Port> ports_;
+  of::Channel* channel_ = nullptr;
+  metrics::DelayRecorder* recorder_ = nullptr;
+  SwitchCounters counters_;
+  // packet_in xid -> original packet metadata, for attributing responses and
+  // restoring simulator metadata on no-buffer packet_out frames.
+  struct PendingRequest {
+    std::uint64_t flow_id = metrics::kUntrackedFlow;
+    std::uint32_t seq_in_flow = 0;
+    sim::SimTime created_at;
+  };
+
+  [[nodiscard]] std::uint64_t flow_id_for_xid(std::uint32_t xid) const;
+  [[nodiscard]] const PendingRequest* pending_for_xid(std::uint32_t xid) const;
+
+  std::unordered_map<std::uint32_t, PendingRequest> pending_requests_;
+  sim::EventHandle sweep_event_;
+  // Cleared by stop(): silences housekeeping and the flow-granularity
+  // resend timers so a drained simulator can terminate.
+  bool running_ = true;
+};
+
+}  // namespace sdnbuf::sw

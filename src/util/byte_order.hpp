@@ -1,0 +1,56 @@
+// Big-endian (network byte order) serialization helpers.
+//
+// OpenFlow and all classic network headers are big-endian on the wire; these
+// helpers read/write integers into byte buffers independent of host
+// endianness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sdnbuf::util {
+
+inline void put_be8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_be16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_be64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_be32(out, static_cast<std::uint32_t>(v >> 32));
+  put_be32(out, static_cast<std::uint32_t>(v));
+}
+
+[[nodiscard]] inline std::uint8_t get_be8(std::span<const std::uint8_t> in, std::size_t off) {
+  return in[off];
+}
+
+[[nodiscard]] inline std::uint16_t get_be16(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint16_t>((std::uint16_t{in[off]} << 8) | in[off + 1]);
+}
+
+[[nodiscard]] inline std::uint32_t get_be32(std::span<const std::uint8_t> in, std::size_t off) {
+  return (std::uint32_t{in[off]} << 24) | (std::uint32_t{in[off + 1]} << 16) |
+         (std::uint32_t{in[off + 2]} << 8) | std::uint32_t{in[off + 3]};
+}
+
+[[nodiscard]] inline std::uint64_t get_be64(std::span<const std::uint8_t> in, std::size_t off) {
+  return (std::uint64_t{get_be32(in, off)} << 32) | get_be32(in, off + 4);
+}
+
+// Appends `n` zero bytes (OpenFlow structures use explicit padding).
+inline void put_pad(std::vector<std::uint8_t>& out, std::size_t n) {
+  out.insert(out.end(), n, 0);
+}
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,32 @@
+// Always-on invariant checks.
+//
+// The simulator is deterministic; an invariant violation is a programming
+// error, so we fail fast with a message instead of limping on. Unlike
+// `assert`, these stay enabled in release builds (the simulations are cheap
+// enough that the cost is irrelevant, and silent corruption of experiment
+// results is not acceptable).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdnbuf::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line, msg ? " — " : "",
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace sdnbuf::util
+
+#define SDNBUF_CHECK(expr)                                                      \
+  do {                                                                          \
+    if (!(expr)) ::sdnbuf::util::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SDNBUF_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) ::sdnbuf::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sdnbuf::util {
+
+CliFlags::CliFlags(int argc, const char* const* argv, const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string key;
+    std::string value;
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      key = body;
+      // `--key value` when the next token is not itself a flag; otherwise a
+      // boolean `--flag`.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      ok_ = false;
+      error_ = "unknown flag: --" + key;
+      return;
+    }
+    values_[key] = std::move(value);
+  }
+}
+
+bool CliFlags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliFlags::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+long long CliFlags::get_int(const std::string& name, long long fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,39 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--key=value`, `--key value` and boolean `--flag` forms; unknown
+// flags are an error so typos don't silently fall back to defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdnbuf::util {
+
+class CliFlags {
+ public:
+  // Parses argv. `known` lists accepted flag names (without "--"); passing an
+  // unknown flag prints usage and returns std::nullopt via ok().
+  CliFlags(int argc, const char* const* argv, const std::vector<std::string>& known);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  // Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sdnbuf::util

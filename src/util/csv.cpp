@@ -1,0 +1,95 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double c : cells) s.push_back(format_double(c, 6));
+  row_strings(s);
+}
+
+void CsvWriter::row(const std::string& label, const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size() + 1);
+  s.push_back(label);
+  for (double c : cells) s.push_back(format_double(c, 6));
+  row_strings(s);
+}
+
+void TableWriter::set_columns(std::vector<std::string> names) { columns_ = std::move(names); }
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  SDNBUF_CHECK_MSG(columns_.empty() || cells.size() == columns_.size(),
+                   "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::add_row(const std::string& label, const std::vector<double>& cells,
+                          int precision) {
+  std::vector<std::string> s;
+  s.reserve(cells.size() + 1);
+  s.push_back(label);
+  for (double c : cells) s.push_back(format_double(c, precision));
+  add_row(std::move(s));
+}
+
+void TableWriter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << "  ";
+      out << std::setw(static_cast<int>(widths[i])) << (i == 0 ? std::left : std::right)
+          << cells[i] << (i == 0 ? std::internal : std::internal);
+    }
+    out << '\n';
+  };
+  if (!columns_.empty()) {
+    emit(columns_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace sdnbuf::util

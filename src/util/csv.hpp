@@ -1,0 +1,51 @@
+// CSV and aligned-table writers used by the benchmark harness to emit the
+// paper's figure series both machine-readably (CSV) and human-readably.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdnbuf::util {
+
+// Writes rows of string/number cells as RFC-4180-ish CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names) { row_strings(names); }
+  void row_strings(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells);
+  // Mixed row: first cell a label, rest numeric.
+  void row(const std::string& label, const std::vector<double>& cells);
+
+ private:
+  static std::string escape(const std::string& s);
+  std::ostream* out_;
+};
+
+// Collects rows, then renders an aligned, padded text table (what the bench
+// binaries print to stdout).
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(std::vector<std::string> cells);
+  void add_row(const std::string& label, const std::vector<double>& cells, int precision = 3);
+
+  // Renders with column alignment and a rule under the header.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace sdnbuf::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,39 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded per run, so no locking is needed; the
+// level is a global knob set once by examples/benches (default: Warn, so
+// tests and benches stay quiet).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sdnbuf::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+// Emits one line to stderr: "[LEVEL] component: message".
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+}  // namespace sdnbuf::util
+
+// Streams `expr` only when the level is enabled (arguments are not evaluated
+// otherwise).
+#define SDNBUF_LOG(level, component, expr)                                \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::sdnbuf::util::log_level())) { \
+      std::ostringstream sdnbuf_log_os;                                   \
+      sdnbuf_log_os << expr;                                              \
+      ::sdnbuf::util::log_line(level, component, sdnbuf_log_os.str());    \
+    }                                                                     \
+  } while (0)
+
+#define SDNBUF_TRACE(component, expr) SDNBUF_LOG(::sdnbuf::util::LogLevel::Trace, component, expr)
+#define SDNBUF_DEBUG(component, expr) SDNBUF_LOG(::sdnbuf::util::LogLevel::Debug, component, expr)
+#define SDNBUF_INFO(component, expr) SDNBUF_LOG(::sdnbuf::util::LogLevel::Info, component, expr)
+#define SDNBUF_WARN(component, expr) SDNBUF_LOG(::sdnbuf::util::LogLevel::Warn, component, expr)
+#define SDNBUF_ERROR(component, expr) SDNBUF_LOG(::sdnbuf::util::LogLevel::Error, component, expr)

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be exactly reproducible across platforms and standard
+// library implementations, so we implement both the generator
+// (xoshiro256**, seeded via SplitMix64) and the distributions ourselves
+// instead of relying on `std::*_distribution`, whose output is
+// implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace sdnbuf::util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  // Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double normal();
+
+  // Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  // Lognormal such that the *median* of the output is `scale` and the
+  // underlying normal has standard deviation `sigma`. Used for service-time
+  // jitter: multiply a nominal cost by `lognormal(1.0, sigma)`.
+  double lognormal(double scale, double sigma);
+
+  // Derives an independent stream (e.g. one per component) from this one.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sdnbuf::util {
+
+namespace {
+
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_rate_bps(double bits_per_second) {
+  if (bits_per_second >= 1e9) return format_with_unit(bits_per_second / 1e9, "Gbps");
+  if (bits_per_second >= 1e6) return format_with_unit(bits_per_second / 1e6, "Mbps");
+  if (bits_per_second >= 1e3) return format_with_unit(bits_per_second / 1e3, "Kbps");
+  return format_with_unit(bits_per_second, "bps");
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  if (b >= 1e9) return format_with_unit(b / 1e9, "GB");
+  if (b >= 1e6) return format_with_unit(b / 1e6, "MB");
+  if (b >= 1e3) return format_with_unit(b / 1e3, "KB");
+  return format_with_unit(b, "B");
+}
+
+std::string format_duration_ns(std::int64_t nanoseconds) {
+  const auto ns = static_cast<double>(nanoseconds);
+  if (std::abs(ns) >= 1e9) return format_with_unit(ns / 1e9, "s");
+  if (std::abs(ns) >= 1e6) return format_with_unit(ns / 1e6, "ms");
+  if (std::abs(ns) >= 1e3) return format_with_unit(ns / 1e3, "us");
+  return format_with_unit(ns, "ns");
+}
+
+std::string hex_dump(const std::uint8_t* data, std::size_t size, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = size < max_bytes ? size : max_bytes;
+  char buf[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", data[i]);
+    if (i) out += ' ';
+    out += buf;
+  }
+  if (n < size) out += " ...";
+  return out;
+}
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,22 @@
+// Small string formatting helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdnbuf::util {
+
+// "12.5 Mbps", "980.0 Kbps", ...
+[[nodiscard]] std::string format_rate_bps(double bits_per_second);
+
+// "1.5 KB", "2.0 MB", ...
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+// "1.234 ms", "56.7 us", ...
+[[nodiscard]] std::string format_duration_ns(std::int64_t nanoseconds);
+
+// Hex dump of at most `max_bytes` bytes, "ab cd ef ...".
+[[nodiscard]] std::string hex_dump(const std::uint8_t* data, std::size_t size,
+                                   std::size_t max_bytes = 64);
+
+}  // namespace sdnbuf::util

@@ -1,0 +1,300 @@
+// Unit tests for the two buffer managers: capacity accounting, buffer_id
+// semantics, deferred reclamation, expiry, and the flow-granularity
+// invariants of Algorithms 1-2 (shared id, first-of-flow detection,
+// whole-flow release).
+#include <gtest/gtest.h>
+
+#include "openflow/constants.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/flow_buffer.hpp"
+#include "switchd/packet_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace sdnbuf::sw {
+namespace {
+
+constexpr auto kReclaim = sim::SimTime::milliseconds(4);
+
+net::Packet packet_for(std::uint32_t flow, std::uint32_t seq = 0) {
+  auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                net::Ipv4Address{0x0a010001u + flow},
+                                net::Ipv4Address::from_octets(10, 2, 0, 1),
+                                static_cast<std::uint16_t>(10000 + flow), 9, 1000);
+  p.flow_id = flow;
+  p.seq_in_flow = seq;
+  return p;
+}
+
+struct PacketBufferTest : ::testing::Test {
+  sim::Simulator sim;
+  PacketBufferManager buf{sim, 4, kReclaim};
+};
+
+TEST_F(PacketBufferTest, StoreAssignsDistinctIds) {
+  const auto a = buf.store(packet_for(0));
+  const auto b = buf.store(packet_for(1));
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*a, of::kNoBuffer);
+  EXPECT_EQ(buf.units_in_use(), 2u);
+  EXPECT_EQ(buf.packets_stored(), 2u);
+}
+
+TEST_F(PacketBufferTest, ReleaseReturnsTheStoredPacket) {
+  const auto id = buf.store(packet_for(7, 3));
+  ASSERT_TRUE(id);
+  const auto released = buf.release(*id);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->flow_id, 7u);
+  EXPECT_EQ(released->seq_in_flow, 3u);
+  // Double release fails.
+  EXPECT_FALSE(buf.release(*id).has_value());
+  EXPECT_EQ(buf.total_released(), 1u);
+}
+
+TEST_F(PacketBufferTest, UnknownIdReleaseFails) {
+  EXPECT_FALSE(buf.release(12345).has_value());
+}
+
+TEST_F(PacketBufferTest, CapacityExhaustionRejects) {
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(buf.store(packet_for(i)).has_value());
+  EXPECT_FALSE(buf.store(packet_for(4)).has_value());
+  EXPECT_EQ(buf.rejected_full(), 1u);
+}
+
+TEST_F(PacketBufferTest, ReclaimDelayHoldsUnits) {
+  const auto id = buf.store(packet_for(0));
+  buf.release(*id);
+  // Unit still charged until the reclaim delay elapses.
+  EXPECT_EQ(buf.units_in_use(), 1u);
+  EXPECT_EQ(buf.packets_stored(), 0u);
+  sim.run();
+  EXPECT_EQ(buf.units_in_use(), 0u);
+}
+
+TEST_F(PacketBufferTest, UnitsReusableAfterReclaim) {
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(*buf.store(packet_for(i)));
+  // Release one; before reclaim the buffer is still full.
+  ASSERT_TRUE(buf.release(ids[0]).has_value());
+  EXPECT_FALSE(buf.store(packet_for(9)).has_value());
+  sim.run();  // reclaim fires
+  EXPECT_TRUE(buf.store(packet_for(9)).has_value());
+}
+
+TEST_F(PacketBufferTest, PeekDoesNotRemove) {
+  const auto id = buf.store(packet_for(3));
+  ASSERT_NE(buf.peek(*id), nullptr);
+  EXPECT_EQ(buf.peek(*id)->flow_id, 3u);
+  EXPECT_EQ(buf.packets_stored(), 1u);
+  EXPECT_EQ(buf.peek(999), nullptr);
+}
+
+TEST_F(PacketBufferTest, ExpireDropsOldPackets) {
+  buf.store(packet_for(0));
+  sim.run_until(sim::SimTime::milliseconds(100));
+  buf.store(packet_for(1));
+  // Cutoff at t=50ms: only the first packet is stale.
+  EXPECT_EQ(buf.expire_older_than(sim::SimTime::milliseconds(50)), 1u);
+  EXPECT_EQ(buf.packets_stored(), 1u);
+  EXPECT_EQ(buf.total_expired(), 1u);
+}
+
+TEST_F(PacketBufferTest, OccupancyTracksMax) {
+  buf.store(packet_for(0));
+  buf.store(packet_for(1));
+  buf.store(packet_for(2));
+  EXPECT_EQ(buf.occupancy().max(), 3u);
+  EXPECT_EQ(buf.occupancy().current(), 3u);
+}
+
+struct FlowBufferTest : ::testing::Test {
+  sim::Simulator sim;
+  FlowBufferManager buf{sim, 16, kReclaim};
+};
+
+TEST_F(FlowBufferTest, FirstPacketOfFlowSignalsRequest) {
+  const auto r = buf.store(packet_for(0, 0));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->first_of_flow);
+  EXPECT_EQ(r->queued, 1u);
+}
+
+TEST_F(FlowBufferTest, SubsequentPacketsShareTheBufferId) {
+  const auto first = buf.store(packet_for(0, 0));
+  const auto second = buf.store(packet_for(0, 1));
+  const auto third = buf.store(packet_for(0, 2));
+  ASSERT_TRUE(first && second && third);
+  EXPECT_FALSE(second->first_of_flow);
+  EXPECT_FALSE(third->first_of_flow);
+  EXPECT_EQ(first->buffer_id, second->buffer_id);
+  EXPECT_EQ(first->buffer_id, third->buffer_id);
+  EXPECT_EQ(third->queued, 3u);
+  EXPECT_EQ(buf.flows_buffered(), 1u);
+  EXPECT_EQ(buf.packets_buffered(), 3u);
+  // One buffer unit: the three packets share a single buffer_id slot.
+  EXPECT_EQ(buf.units_in_use(), 1u);
+}
+
+TEST_F(FlowBufferTest, DistinctFlowsGetDistinctIds) {
+  const auto a = buf.store(packet_for(0));
+  const auto b = buf.store(packet_for(1));
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(b->first_of_flow);
+  EXPECT_NE(a->buffer_id, b->buffer_id);
+  EXPECT_EQ(buf.flows_buffered(), 2u);
+}
+
+TEST_F(FlowBufferTest, BufferIdDerivedFromFiveTuple) {
+  const auto r = buf.store(packet_for(5));
+  ASSERT_TRUE(r.has_value());
+  const auto key = packet_for(5).flow_key();
+  EXPECT_EQ(r->buffer_id, static_cast<std::uint32_t>(key.hash()) & 0x7fffffff);
+  EXPECT_EQ(buf.buffer_id_of(key), r->buffer_id);
+}
+
+TEST_F(FlowBufferTest, ReleaseAllReturnsInArrivalOrder) {
+  const auto r = buf.store(packet_for(0, 0));
+  buf.store(packet_for(0, 1));
+  buf.store(packet_for(0, 2));
+  const auto packets = buf.release_all(r->buffer_id);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].seq_in_flow, 0u);
+  EXPECT_EQ(packets[1].seq_in_flow, 1u);
+  EXPECT_EQ(packets[2].seq_in_flow, 2u);
+  EXPECT_EQ(buf.flows_buffered(), 0u);
+  // Releasing again yields nothing.
+  EXPECT_TRUE(buf.release_all(r->buffer_id).empty());
+}
+
+TEST_F(FlowBufferTest, NewFlowAfterReleaseIsFirstAgain) {
+  const auto r1 = buf.store(packet_for(0, 0));
+  buf.release_all(r1->buffer_id);
+  const auto r2 = buf.store(packet_for(0, 1));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->first_of_flow);  // map entry was erased by the release
+}
+
+TEST_F(FlowBufferTest, UnitsReclaimAfterDelay) {
+  const auto r = buf.store(packet_for(0, 0));
+  buf.store(packet_for(0, 1));
+  buf.release_all(r->buffer_id);
+  EXPECT_EQ(buf.units_in_use(), 1u);  // the flow's slot pends reclamation
+  EXPECT_EQ(buf.packets_buffered(), 0u);
+  sim.run();
+  EXPECT_EQ(buf.units_in_use(), 0u);
+}
+
+TEST_F(FlowBufferTest, CapacityCountsBufferIdSlots) {
+  // Capacity 16 buffer_id slots: 16 distinct flows fill it; more packets of
+  // buffered flows still fit (they share existing slots), a 17th flow fails.
+  for (std::uint32_t f = 0; f < 16; ++f) EXPECT_TRUE(buf.store(packet_for(f)).has_value());
+  EXPECT_TRUE(buf.store(packet_for(0, 1)).has_value());  // shares flow 0's slot
+  EXPECT_FALSE(buf.store(packet_for(99)).has_value());   // needs a fresh slot
+  EXPECT_EQ(buf.rejected_full(), 1u);
+}
+
+TEST_F(FlowBufferTest, RequestTimestampBookkeeping) {
+  const auto r = buf.store(packet_for(0));
+  EXPECT_FALSE(buf.last_request_at(r->buffer_id).has_value());
+  buf.mark_request_sent(r->buffer_id, sim::SimTime::milliseconds(3));
+  ASSERT_TRUE(buf.last_request_at(r->buffer_id).has_value());
+  EXPECT_EQ(*buf.last_request_at(r->buffer_id), sim::SimTime::milliseconds(3));
+  // Unknown id is inert.
+  EXPECT_FALSE(buf.last_request_at(0xdead).has_value());
+  buf.mark_request_sent(0xdead, sim::SimTime::zero());
+}
+
+TEST_F(FlowBufferTest, FrontPacketForResend) {
+  const auto r = buf.store(packet_for(0, 0));
+  buf.store(packet_for(0, 1));
+  const auto* front = buf.front_packet(r->buffer_id);
+  ASSERT_NE(front, nullptr);
+  EXPECT_EQ(front->seq_in_flow, 0u);
+  EXPECT_EQ(buf.front_packet(0xdead), nullptr);
+}
+
+TEST_F(FlowBufferTest, ExpireDropsWholeFlows) {
+  buf.store(packet_for(0, 0));
+  sim.run_until(sim::SimTime::milliseconds(100));
+  buf.store(packet_for(0, 1));  // same flow, newer packet
+  buf.store(packet_for(1, 0));  // fresh flow
+  // Flow 0's FIRST packet is stale -> the whole flow (2 packets) is dropped.
+  EXPECT_EQ(buf.expire_older_than(sim::SimTime::milliseconds(50)), 2u);
+  EXPECT_EQ(buf.flows_buffered(), 1u);
+  EXPECT_EQ(buf.total_expired(), 2u);
+  EXPECT_FALSE(buf.buffer_id_of(packet_for(0).flow_key()).has_value());
+}
+
+TEST_F(FlowBufferTest, IdCollisionProbing) {
+  // Force a collision: store flow A, then manufacture a key whose derived id
+  // collides by storing many flows — verify all ids are unique.
+  std::set<std::uint32_t> ids;
+  for (std::uint32_t f = 0; f < 16; ++f) {
+    const auto r = buf.store(packet_for(f));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(ids.insert(r->buffer_id).second) << "duplicate buffer_id";
+  }
+}
+
+// Parameterized conservation property: stored == released + expired +
+// still-buffered, for both managers across seeds.
+class BufferConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferConservationTest, PacketGranularityConserves) {
+  sim::Simulator sim;
+  PacketBufferManager buf{sim, 32, kReclaim};
+  util::Rng rng{GetParam()};
+  std::vector<std::uint32_t> live;
+  std::uint64_t stored = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_below(2) == 0u) {
+      const auto id = buf.store(packet_for(static_cast<std::uint32_t>(rng.next_below(50)),
+                                           static_cast<std::uint32_t>(step)));
+      if (id) {
+        live.push_back(*id);
+        ++stored;
+      }
+    } else if (!live.empty()) {
+      const std::size_t pick = rng.next_below(live.size());
+      buf.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    sim.run_until(sim.now() + sim::SimTime::microseconds(100));
+  }
+  EXPECT_EQ(buf.total_stored(), stored);
+  EXPECT_EQ(buf.total_stored(),
+            buf.total_released() + buf.total_expired() + buf.packets_stored());
+  sim.run();
+  EXPECT_EQ(buf.units_in_use(), buf.packets_stored());
+}
+
+TEST_P(BufferConservationTest, FlowGranularityConserves) {
+  sim::Simulator sim;
+  FlowBufferManager buf{sim, 64, kReclaim};
+  util::Rng rng{GetParam() * 31 + 7};
+  std::vector<std::uint32_t> live_ids;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_below(3) != 0u) {
+      const auto r = buf.store(packet_for(static_cast<std::uint32_t>(rng.next_below(10)),
+                                          static_cast<std::uint32_t>(step)));
+      if (r && r->first_of_flow) live_ids.push_back(r->buffer_id);
+    } else if (!live_ids.empty()) {
+      const std::size_t pick = rng.next_below(live_ids.size());
+      buf.release_all(live_ids[pick]);
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    sim.run_until(sim.now() + sim::SimTime::microseconds(100));
+  }
+  sim.run();
+  // Conservation via totals: stored == released + expired + in the manager.
+  EXPECT_EQ(buf.packets_buffered(),
+            buf.total_stored() - buf.total_released() - buf.total_expired());
+  // After draining, live buffer_id slots equal live flows.
+  EXPECT_EQ(buf.units_in_use(), buf.flows_buffered());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferConservationTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sdnbuf::sw

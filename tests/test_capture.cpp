@@ -1,0 +1,187 @@
+// Tests for the control-channel capture (tcpdump stand-in), the message
+// dissector, and the OFPT_ERROR message path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/link.hpp"
+#include "openflow/capture.hpp"
+#include "openflow/channel.hpp"
+#include "controller/controller.hpp"
+#include "switchd/switch.hpp"
+
+namespace sdnbuf::of {
+namespace {
+
+net::Packet sample_packet(std::uint32_t flow = 0) {
+  auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                net::Ipv4Address{0x0a010001u + flow},
+                                net::Ipv4Address::from_octets(10, 2, 0, 1),
+                                static_cast<std::uint16_t>(10000 + flow), 9, 1000);
+  p.flow_id = flow;
+  return p;
+}
+
+struct CaptureTest : ::testing::Test {
+  sim::Simulator sim;
+  net::DuplexLink link{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  Channel channel{sim, link.forward(), link.reverse()};
+  ChannelCapture capture;
+
+  void SetUp() override {
+    capture.attach(channel);
+    channel.set_controller_handler([](const OfMessage&, std::size_t) {});
+    channel.set_switch_handler([](const OfMessage&, std::size_t) {});
+  }
+};
+
+TEST_F(CaptureTest, RecordsBothDirections) {
+  PacketIn pi;
+  pi.xid = 7;
+  pi.data = sample_packet().serialize(128);
+  channel.send_from_switch(pi);
+  channel.send_from_controller(FlowMod{});
+  sim.run();
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].direction, Direction::ToController);
+  EXPECT_EQ(capture.records()[0].type, MsgType::PacketIn);
+  EXPECT_EQ(capture.records()[0].xid, 7u);
+  EXPECT_EQ(capture.records()[1].direction, Direction::ToSwitch);
+  EXPECT_EQ(capture.total_messages(Direction::ToController), 1u);
+  EXPECT_EQ(capture.total_messages(Direction::ToSwitch), 1u);
+}
+
+TEST_F(CaptureTest, WireBytesMatchChannelAccounting) {
+  PacketIn pi;
+  pi.data = sample_packet().serialize(128);
+  const std::size_t sent = channel.send_from_switch(pi);
+  sim.run();
+  EXPECT_EQ(capture.records().front().wire_bytes, sent);
+  EXPECT_EQ(capture.total_bytes(Direction::ToController),
+            channel.to_controller_counters().total_bytes());
+}
+
+TEST_F(CaptureTest, TimestampsAreSendTimes) {
+  sim.schedule(sim::SimTime::milliseconds(3),
+               [this]() { channel.send_from_switch(Hello{1}); });
+  sim.run();
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].timestamp, sim::SimTime::milliseconds(3));
+}
+
+TEST_F(CaptureTest, RingBufferRollsOver) {
+  ChannelCapture small{3};
+  small.attach(channel);
+  for (std::uint32_t i = 0; i < 5; ++i) channel.send_from_switch(EchoRequest{i});
+  sim.run();
+  EXPECT_EQ(small.records().size(), 3u);
+  EXPECT_EQ(small.dropped_records(), 2u);
+  EXPECT_EQ(small.records().front().xid, 2u);  // oldest kept
+  EXPECT_EQ(small.total_messages(Direction::ToController), 5u);  // counters keep running
+}
+
+TEST_F(CaptureTest, DumpRendersAndFilters) {
+  PacketIn pi;
+  pi.buffer_id = 42;
+  pi.total_len = 1000;
+  pi.in_port = 1;
+  pi.data = sample_packet().serialize(128);
+  channel.send_from_switch(pi);
+  channel.send_from_controller(FlowMod{});
+  sim.run();
+  std::ostringstream all;
+  capture.dump(all);
+  EXPECT_NE(all.str().find("packet_in buffer_id=42"), std::string::npos);
+  EXPECT_NE(all.str().find("flow_mod"), std::string::npos);
+  std::ostringstream filtered;
+  capture.dump(filtered, "packet_in");
+  EXPECT_NE(filtered.str().find("packet_in"), std::string::npos);
+  EXPECT_EQ(filtered.str().find("flow_mod"), std::string::npos);
+}
+
+TEST_F(CaptureTest, ClearResetsEverything) {
+  channel.send_from_switch(Hello{1});
+  sim.run();
+  capture.clear();
+  EXPECT_TRUE(capture.records().empty());
+  EXPECT_EQ(capture.total_messages(Direction::ToController), 0u);
+}
+
+TEST(Dissect, SummarizesKeyFields) {
+  PacketIn pi;
+  pi.buffer_id = kNoBuffer;
+  pi.total_len = 1000;
+  pi.in_port = 3;
+  pi.reason = PacketInReason::FlowResend;
+  pi.data.resize(1000);
+  const std::string s = dissect(pi);
+  EXPECT_NE(s.find("NO_BUFFER"), std::string::npos);
+  EXPECT_NE(s.find("in_port=3"), std::string::npos);
+  EXPECT_NE(s.find("flow_resend"), std::string::npos);
+
+  FlowMod fm;
+  fm.buffer_id = 9;
+  fm.actions = output_to(2);
+  const std::string f = dissect(fm);
+  EXPECT_NE(f.find("buffer_id=9"), std::string::npos);
+  EXPECT_NE(f.find("output:2"), std::string::npos);
+}
+
+// --- OFPT_ERROR ---
+
+TEST(ErrorMessage, CodecRoundTrip) {
+  Error m;
+  m.xid = 5;
+  m.type = ErrorType::BadRequest;
+  m.code = ErrorCode::BufferUnknown;
+  m.data = {1, 2, 3, 4};
+  const auto wire = encode_message(m);
+  EXPECT_EQ(wire.size(), kErrorFixedSize + 4);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Error>(*decoded), m);
+}
+
+TEST(ErrorMessage, SwitchReportsUnknownBufferRelease) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  net::Link h1{sim, "h1", 100e6, sim::SimTime::zero()};
+  Channel channel{sim, control.forward(), control.reverse()};
+  sw::SwitchConfig config;
+  config.buffer_mode = sw::BufferMode::PacketGranularity;
+  sw::Switch ovs{sim, config, 7};
+  ovs.attach_port(1, h1, nullptr);
+  ovs.connect(channel);
+  std::optional<Error> error;
+  channel.set_controller_handler([&](const OfMessage& m, std::size_t) {
+    if (const auto* e = std::get_if<Error>(&m)) error = *e;
+  });
+  PacketOut po;
+  po.xid = 77;
+  po.buffer_id = 0xdead;  // never allocated
+  po.actions = output_to(1);
+  channel.send_from_controller(po);
+  sim.run();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->xid, 77u);
+  EXPECT_EQ(error->type, ErrorType::BadRequest);
+  EXPECT_EQ(error->code, ErrorCode::BufferUnknown);
+  EXPECT_FALSE(error->data.empty());  // carries the offending message prefix
+  EXPECT_LE(error->data.size(), 64u);
+  EXPECT_EQ(ovs.counters().unknown_buffer_releases, 1u);
+}
+
+TEST(ErrorMessage, ControllerCountsErrors) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::Controller controller{sim, ctrl::ControllerConfig{}, 42};
+  controller.connect(channel);
+  channel.send_from_switch(Error{});
+  sim.run();
+  EXPECT_EQ(controller.counters().errors_seen, 1u);
+}
+
+}  // namespace
+}  // namespace sdnbuf::of

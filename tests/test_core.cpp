@@ -1,0 +1,97 @@
+// Unit tests for the core harness glue: result summarization, sweep
+// aggregation helpers, and experiment-config plumbing that the integration
+// tests do not cover directly.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+
+namespace sdnbuf::core {
+namespace {
+
+TEST(Summarize, MentionsTheKeyNumbers) {
+  ExperimentResult r;
+  r.to_controller_mbps = 12.5;
+  r.to_switch_mbps = 3.25;
+  r.switch_cpu_pct = 150.0;
+  r.controller_cpu_pct = 42.0;
+  r.pkt_ins_sent = 321;
+  r.full_frame_pkt_ins = 7;
+  r.packets_sent = 400;
+  r.packets_delivered = 400;
+  r.buffer_max_units = 59;
+  r.buffer_avg_units = 31.5;
+  r.setup_ms.add(1.25);
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("321"), std::string::npos);
+  EXPECT_NE(s.find("400/400"), std::string::npos);
+  EXPECT_NE(s.find("59"), std::string::npos);
+}
+
+TEST(Summarize, OmitsBufferWhenUnused) {
+  ExperimentResult r;
+  r.buffer_max_units = 0;
+  const std::string s = summarize(r);
+  EXPECT_EQ(s.find("buf("), std::string::npos);
+}
+
+TEST(SweepResult, OverallMeanAndMax) {
+  SweepResult result;
+  for (const double v : {1.0, 2.0, 6.0}) {
+    RatePoint p;
+    p.rate_mbps = v * 10;
+    p.setup_ms.add(v);
+    result.points.push_back(std::move(p));
+  }
+  const auto metric = [](const RatePoint& p) { return p.setup_ms.mean(); };
+  EXPECT_DOUBLE_EQ(result.overall_mean(metric), 3.0);
+  EXPECT_DOUBLE_EQ(result.overall_max(metric), 6.0);
+}
+
+TEST(ExperimentConfig, TcpFractionFlowsThroughToTraffic) {
+  ExperimentConfig config;
+  config.mode = sw::BufferMode::PacketGranularity;
+  config.rate_mbps = 50.0;
+  config.n_flows = 40;
+  config.tcp_flow_fraction = 0.5;
+  config.seed = 5;
+  const auto r = run_experiment(config);
+  // Mixed flows still conserve and complete.
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.flows_complete, 40u);
+}
+
+TEST(ExperimentConfig, CustomCostModelChangesResults) {
+  ExperimentConfig slow;
+  slow.mode = sw::BufferMode::PacketGranularity;
+  slow.rate_mbps = 50.0;
+  slow.n_flows = 50;
+  slow.seed = 5;
+  ExperimentConfig fast = slow;
+  fast.testbed.switch_config.costs.flow_mod_install_us = 5.0;
+  fast.testbed.switch_config.costs.miss_base_us = 5.0;
+  const auto r_slow = run_experiment(slow);
+  const auto r_fast = run_experiment(fast);
+  EXPECT_LT(r_fast.setup_ms.mean(), r_slow.setup_ms.mean());
+}
+
+TEST(ExperimentConfig, SmallerMissSendLenShrinksRequests) {
+  ExperimentConfig big;
+  big.mode = sw::BufferMode::PacketGranularity;
+  big.rate_mbps = 50.0;
+  big.n_flows = 50;
+  big.seed = 5;
+  ExperimentConfig small = big;
+  small.testbed.switch_config.miss_send_len = 64;
+  const auto r_big = run_experiment(big);
+  const auto r_small = run_experiment(small);
+  EXPECT_LT(r_small.to_controller_bytes, r_big.to_controller_bytes);
+  // 64 fewer data bytes per request, same request count.
+  EXPECT_EQ(r_small.pkt_ins_sent, r_big.pkt_ins_sent);
+  EXPECT_EQ(r_big.to_controller_bytes - r_small.to_controller_bytes,
+            64u * r_big.pkt_ins_sent);
+}
+
+}  // namespace
+}  // namespace sdnbuf::core

@@ -1,0 +1,308 @@
+// Tests for the OpenFlow statistics subsystem: wire codec round trips,
+// switch-side collection (flow / aggregate / port), controller polling and
+// the interaction with the reactive forwarding path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "net/link.hpp"
+#include "openflow/channel.hpp"
+#include "switchd/switch.hpp"
+
+namespace sdnbuf {
+namespace {
+
+net::Packet flow_packet(std::uint32_t flow) {
+  auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                net::Ipv4Address{0x0a010001u + flow},
+                                net::Ipv4Address::from_octets(10, 2, 0, 1),
+                                static_cast<std::uint16_t>(10000 + flow), 9, 1000);
+  p.flow_id = flow;
+  return p;
+}
+
+// --- codec ---
+
+TEST(StatsCodec, FlowStatsRequestRoundTrip) {
+  of::FlowStatsRequest m;
+  m.xid = 9;
+  m.match = of::Match::exact_from(flow_packet(1), 2);
+  m.out_port = 3;
+  const auto wire = of::encode_message(m);
+  EXPECT_EQ(wire.size(), of::kStatsHeaderSize + of::kFlowStatsRequestBodySize);
+  const auto decoded = of::decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<of::FlowStatsRequest>(*decoded), m);
+}
+
+TEST(StatsCodec, FlowStatsReplyRoundTrip) {
+  of::FlowStatsReply m;
+  m.xid = 10;
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    of::FlowStatsEntry e;
+    e.match = of::Match::exact_from(flow_packet(f), 1);
+    e.duration_sec = 12 + f;
+    e.duration_nsec = 345;
+    e.priority = 100;
+    e.idle_timeout_s = 5;
+    e.hard_timeout_s = 0;
+    e.cookie = 0xc0ffee + f;
+    e.packet_count = 7 * (f + 1);
+    e.byte_count = 7000 * (f + 1);
+    m.flows.push_back(std::move(e));
+  }
+  const auto wire = of::encode_message(m);
+  EXPECT_EQ(wire.size(), of::kStatsHeaderSize + 3 * of::kFlowStatsEntrySize);
+  const auto decoded = of::decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<of::FlowStatsReply>(*decoded), m);
+}
+
+TEST(StatsCodec, EmptyFlowStatsReply) {
+  of::FlowStatsReply m;
+  m.xid = 1;
+  const auto decoded = of::decode_message(of::encode_message(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<of::FlowStatsReply>(*decoded).flows.empty());
+}
+
+TEST(StatsCodec, AggregateRoundTrip) {
+  of::AggregateStatsRequest req;
+  req.xid = 2;
+  req.match = of::Match::wildcard_all();
+  const auto dreq = of::decode_message(of::encode_message(req));
+  ASSERT_TRUE(dreq.has_value());
+  EXPECT_EQ(std::get<of::AggregateStatsRequest>(*dreq), req);
+
+  of::AggregateStatsReply reply;
+  reply.xid = 3;
+  reply.packet_count = 123456;
+  reply.byte_count = 99999999;
+  reply.flow_count = 321;
+  const auto dreply = of::decode_message(of::encode_message(reply));
+  ASSERT_TRUE(dreply.has_value());
+  EXPECT_EQ(std::get<of::AggregateStatsReply>(*dreply), reply);
+}
+
+TEST(StatsCodec, PortStatsRoundTrip) {
+  of::PortStatsRequest req;
+  req.xid = 4;
+  req.port_no = of::kPortNone;
+  const auto dreq = of::decode_message(of::encode_message(req));
+  ASSERT_TRUE(dreq.has_value());
+  EXPECT_EQ(std::get<of::PortStatsRequest>(*dreq), req);
+
+  of::PortStatsReply reply;
+  reply.xid = 5;
+  reply.ports.push_back(of::PortStatsEntry{1, 10, 20, 10000, 20000, 1, 2});
+  reply.ports.push_back(of::PortStatsEntry{2, 30, 40, 30000, 40000, 0, 0});
+  const auto wire = of::encode_message(reply);
+  EXPECT_EQ(wire.size(), of::kStatsHeaderSize + 2 * of::kPortStatsEntrySize);
+  const auto dreply = of::decode_message(wire);
+  ASSERT_TRUE(dreply.has_value());
+  EXPECT_EQ(std::get<of::PortStatsReply>(*dreply), reply);
+}
+
+TEST(StatsCodec, RejectsMalformed) {
+  auto wire = of::encode_message(of::PortStatsRequest{1, 2});
+  wire.resize(wire.size() - 1);  // truncated body
+  EXPECT_FALSE(of::decode_message(wire).has_value());
+  wire = of::encode_message(of::AggregateStatsReply{});
+  wire[8] = 99;  // unknown stats type
+  wire[9] = 99;
+  EXPECT_FALSE(of::decode_message(wire).has_value());
+}
+
+// --- switch-side collection ---
+
+struct StatsSwitchTest : ::testing::Test {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  net::Link h1{sim, "h1", 100e6, sim::SimTime::microseconds(20)};
+  net::Link h2{sim, "h2", 100e6, sim::SimTime::microseconds(20)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  std::vector<of::OfMessage> replies;
+  std::unique_ptr<sw::Switch> ovs;
+
+  void make() {
+    sw::SwitchConfig config;
+    config.buffer_mode = sw::BufferMode::PacketGranularity;
+    ovs = std::make_unique<sw::Switch>(sim, config, 7);
+    ovs->attach_port(1, h1, nullptr);
+    ovs->attach_port(2, h2, nullptr);
+    ovs->connect(channel);
+    channel.set_controller_handler(
+        [this](const of::OfMessage& m, std::size_t) { replies.push_back(m); });
+  }
+
+  void install_rule(std::uint32_t flow, std::uint16_t out_port) {
+    of::FlowMod fm;
+    fm.match = of::Match::exact_from(flow_packet(flow), 1);
+    fm.priority = 100;
+    fm.cookie = flow;
+    fm.actions = of::output_to(out_port);
+    channel.send_from_controller(fm);
+  }
+};
+
+TEST_F(StatsSwitchTest, FlowStatsReportInstalledRules) {
+  make();
+  install_rule(0, 2);
+  install_rule(1, 2);
+  sim.run();
+  // Exercise rule 0 with two packets.
+  ovs->receive(1, flow_packet(0));
+  ovs->receive(1, flow_packet(0));
+  sim.run();
+  channel.send_from_controller(of::FlowStatsRequest{7, of::Match::wildcard_all(), of::kPortNone});
+  sim.run();
+  ASSERT_FALSE(replies.empty());
+  const auto& reply = std::get<of::FlowStatsReply>(replies.back());
+  EXPECT_EQ(reply.xid, 7u);
+  ASSERT_EQ(reply.flows.size(), 2u);
+  std::uint64_t total_packets = 0;
+  for (const auto& f : reply.flows) total_packets += f.packet_count;
+  EXPECT_EQ(total_packets, 2u);
+  EXPECT_EQ(ovs->counters().stats_requests_handled, 1u);
+}
+
+TEST_F(StatsSwitchTest, FlowStatsFilterBySubsumption) {
+  make();
+  install_rule(0, 2);
+  install_rule(1, 2);
+  sim.run();
+  // Exact match for flow 0 only.
+  channel.send_from_controller(
+      of::FlowStatsRequest{8, of::Match::exact_from(flow_packet(0), 1), of::kPortNone});
+  sim.run();
+  const auto& reply = std::get<of::FlowStatsReply>(replies.back());
+  ASSERT_EQ(reply.flows.size(), 1u);
+  EXPECT_EQ(reply.flows[0].cookie, 0u);
+}
+
+TEST_F(StatsSwitchTest, AggregateStatsSumCounters) {
+  make();
+  install_rule(0, 2);
+  install_rule(1, 2);
+  sim.run();
+  ovs->receive(1, flow_packet(0));
+  ovs->receive(1, flow_packet(1));
+  ovs->receive(1, flow_packet(1));
+  sim.run();
+  channel.send_from_controller(
+      of::AggregateStatsRequest{9, of::Match::wildcard_all(), of::kPortNone});
+  sim.run();
+  const auto& reply = std::get<of::AggregateStatsReply>(replies.back());
+  EXPECT_EQ(reply.flow_count, 2u);
+  EXPECT_EQ(reply.packet_count, 3u);
+  EXPECT_EQ(reply.byte_count, 3000u);
+}
+
+TEST_F(StatsSwitchTest, PortStatsCountRxAndTx) {
+  make();
+  install_rule(0, 2);
+  sim.run();
+  ovs->receive(1, flow_packet(0));
+  ovs->receive(1, flow_packet(0));
+  sim.run();
+  channel.send_from_controller(of::PortStatsRequest{10, of::kPortNone});
+  sim.run();
+  const auto& reply = std::get<of::PortStatsReply>(replies.back());
+  ASSERT_EQ(reply.ports.size(), 2u);
+  const auto& p1 = reply.ports[0].port_no == 1 ? reply.ports[0] : reply.ports[1];
+  const auto& p2 = reply.ports[0].port_no == 2 ? reply.ports[0] : reply.ports[1];
+  EXPECT_EQ(p1.rx_packets, 2u);
+  EXPECT_EQ(p1.rx_bytes, 2000u);
+  EXPECT_EQ(p2.tx_packets, 2u);
+  EXPECT_EQ(p2.tx_bytes, 2000u);
+}
+
+TEST_F(StatsSwitchTest, PortStatsSinglePortFilter) {
+  make();
+  sim.run();
+  channel.send_from_controller(of::PortStatsRequest{11, 2});
+  sim.run();
+  const auto& reply = std::get<of::PortStatsReply>(replies.back());
+  ASSERT_EQ(reply.ports.size(), 1u);
+  EXPECT_EQ(reply.ports[0].port_no, 2);
+}
+
+// --- controller polling ---
+
+TEST(StatsController, PeriodicPollingSendsRequests) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::ControllerConfig config;
+  config.stats_poll_interval = sim::SimTime::milliseconds(100);
+  ctrl::Controller controller{sim, config, 42};
+  controller.connect(channel);
+  int aggregate_requests = 0;
+  int port_requests = 0;
+  channel.set_switch_handler([&](const of::OfMessage& m, std::size_t) {
+    if (std::holds_alternative<of::AggregateStatsRequest>(m)) ++aggregate_requests;
+    if (std::holds_alternative<of::PortStatsRequest>(m)) ++port_requests;
+  });
+  controller.start();
+  sim.run_until(sim::SimTime::milliseconds(550));
+  controller.stop();
+  sim.run();
+  EXPECT_EQ(aggregate_requests, 5);  // t = 100..500 ms
+  EXPECT_EQ(port_requests, 5);
+  EXPECT_EQ(controller.counters().stats_requests_sent, 10u);
+}
+
+TEST(StatsController, PollingDisabledByDefault) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::Controller controller{sim, ctrl::ControllerConfig{}, 42};
+  controller.connect(channel);
+  controller.start();  // interval zero: no-op
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(StatsController, RepliesStoredAndCounted) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::Controller controller{sim, ctrl::ControllerConfig{}, 42};
+  controller.connect(channel);
+  of::AggregateStatsReply agg;
+  agg.flow_count = 42;
+  channel.send_from_switch(agg);
+  of::PortStatsReply ports;
+  ports.ports.push_back(of::PortStatsEntry{1, 1, 2, 3, 4, 0, 0});
+  channel.send_from_switch(ports);
+  sim.run();
+  EXPECT_EQ(controller.counters().stats_replies_seen, 2u);
+  ASSERT_TRUE(controller.last_aggregate_stats().has_value());
+  EXPECT_EQ(controller.last_aggregate_stats()->flow_count, 42u);
+  ASSERT_TRUE(controller.last_port_stats().has_value());
+  EXPECT_EQ(controller.last_port_stats()->ports.size(), 1u);
+}
+
+// --- fault injection (exercises Algorithm 1's resend end to end) ---
+
+TEST(FaultInjection, DroppedPacketInsAreCounted) {
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::ControllerConfig config;
+  config.drop_pkt_in_probability = 1.0;  // drop everything
+  ctrl::Controller controller{sim, config, 42};
+  controller.connect(channel);
+  int responses = 0;
+  channel.set_switch_handler([&](const of::OfMessage&, std::size_t) { ++responses; });
+  of::PacketIn pi;
+  pi.data = flow_packet(0).serialize(128);
+  channel.send_from_switch(pi);
+  sim.run();
+  EXPECT_EQ(controller.counters().pkt_ins_dropped, 1u);
+  EXPECT_EQ(controller.counters().pkt_ins_handled, 0u);
+  EXPECT_EQ(responses, 0);
+}
+
+}  // namespace
+}  // namespace sdnbuf

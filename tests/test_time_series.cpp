@@ -1,0 +1,112 @@
+// Tests for the TimeSeries gauge recorder and its integration with the
+// occupancy tracker, plus the controller's rule-aggregation option.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "metrics/occupancy.hpp"
+#include "metrics/time_series.hpp"
+
+namespace sdnbuf::metrics {
+namespace {
+
+using sim::SimTime;
+
+TEST(TimeSeries, RecordsInOrder) {
+  TimeSeries ts;
+  ts.record(SimTime::milliseconds(1), 1.0);
+  ts.record(SimTime::milliseconds(2), 3.0);
+  ts.record(SimTime::milliseconds(2), 2.0);  // same timestamp allowed
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.front().value, 1.0);
+  EXPECT_EQ(ts.back().value, 2.0);
+}
+
+TEST(TimeSeries, ValueAtIsStepFunction) {
+  TimeSeries ts;
+  ts.record(SimTime::milliseconds(10), 5.0);
+  ts.record(SimTime::milliseconds(20), 9.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::milliseconds(5), -1.0), -1.0);  // before first
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::milliseconds(10)), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::milliseconds(15)), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::milliseconds(20)), 9.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(1)), 9.0);
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  TimeSeries ts;
+  ts.record(SimTime::zero(), 0.0);
+  ts.record(SimTime::seconds(1), 10.0);
+  // [0,1): 0; [1,2): 10 -> mean 5 over [0,2).
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(SimTime::zero(), SimTime::seconds(2)), 5.0);
+  // Over [1,2) only: constant 10.
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(SimTime::seconds(1), SimTime::seconds(2)), 10.0);
+}
+
+TEST(TimeSeries, ResampleMaxPreservesPeaks) {
+  TimeSeries ts;
+  ts.record(SimTime::milliseconds(1), 1.0);
+  ts.record(SimTime::milliseconds(2), 100.0);  // short spike
+  ts.record(SimTime::milliseconds(3), 2.0);
+  const auto buckets = ts.resample_max(SimTime::zero(), SimTime::milliseconds(10), 2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 100.0);  // the spike survives resampling
+  EXPECT_DOUBLE_EQ(buckets[1].value, 2.0);
+}
+
+TEST(TimeSeries, CsvOutput) {
+  TimeSeries ts;
+  ts.record(SimTime::milliseconds(1), 4.0);
+  std::ostringstream os;
+  ts.write_csv(os, "units");
+  EXPECT_NE(os.str().find("t_ms,units"), std::string::npos);
+  EXPECT_NE(os.str().find("1,4"), std::string::npos);
+}
+
+TEST(TimeSeries, SummaryOverValues) {
+  TimeSeries ts;
+  for (int i = 1; i <= 4; ++i) ts.record(SimTime::milliseconds(i), i);
+  EXPECT_DOUBLE_EQ(ts.value_summary().mean(), 2.5);
+  EXPECT_DOUBLE_EQ(ts.value_summary().max(), 4.0);
+}
+
+TEST(OccupancyTracker, MirrorsIntoSeries) {
+  OccupancyTracker occ{SimTime::zero()};
+  TimeSeries series;
+  occ.set_series(&series);
+  occ.increment(SimTime::milliseconds(1));
+  occ.increment(SimTime::milliseconds(2));
+  occ.decrement(SimTime::milliseconds(3));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.points()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(series.points()[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(series.points()[2].value, 1.0);
+}
+
+// --- controller rule aggregation ([16]-style) ---
+
+TEST(RuleAggregation, OneRuleCoversManyFlows) {
+  // Exact-match rules: one miss per flow. With /24 source aggregation, the
+  // first miss installs a rule covering the whole forged-source block.
+  core::ExperimentConfig exact;
+  exact.mode = sw::BufferMode::PacketGranularity;
+  exact.rate_mbps = 20.0;
+  exact.n_flows = 200;  // forged sources 10.1.0.1 .. 10.1.0.200
+  exact.seed = 3;
+  core::ExperimentConfig aggregated = exact;
+  aggregated.testbed.controller_config.aggregate_src_bits = 16;  // /16 source block
+
+  const auto r_exact = core::run_experiment(exact);
+  const auto r_aggregated = core::run_experiment(aggregated);
+  EXPECT_EQ(r_exact.pkt_ins_sent, 200u);
+  // A handful of flows miss before the aggregate rule lands; afterwards
+  // everything hits it.
+  EXPECT_LT(r_aggregated.pkt_ins_sent, 20u);
+  EXPECT_TRUE(r_aggregated.drained);
+  EXPECT_EQ(r_aggregated.duplicates, 0u);
+  EXPECT_LT(r_aggregated.to_controller_bytes, r_exact.to_controller_bytes / 10);
+}
+
+}  // namespace
+}  // namespace sdnbuf::metrics
