@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_proactive.dir/bench_baseline_proactive.cpp.o"
+  "CMakeFiles/bench_baseline_proactive.dir/bench_baseline_proactive.cpp.o.d"
+  "bench_baseline_proactive"
+  "bench_baseline_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

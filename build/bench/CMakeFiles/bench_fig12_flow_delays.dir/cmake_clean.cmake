@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_flow_delays.dir/bench_fig12_flow_delays.cpp.o"
+  "CMakeFiles/bench_fig12_flow_delays.dir/bench_fig12_flow_delays.cpp.o.d"
+  "bench_fig12_flow_delays"
+  "bench_fig12_flow_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_flow_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_flow_setup_delay.cpp" "bench/CMakeFiles/bench_fig5_flow_setup_delay.dir/bench_fig5_flow_setup_delay.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_flow_setup_delay.dir/bench_fig5_flow_setup_delay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sdnbuf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdnbuf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sdnbuf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdnbuf_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/sdnbuf_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sdnbuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/sdnbuf_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdnbuf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

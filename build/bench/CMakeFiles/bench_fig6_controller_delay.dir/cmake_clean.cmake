@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_controller_delay.dir/bench_fig6_controller_delay.cpp.o"
+  "CMakeFiles/bench_fig6_controller_delay.dir/bench_fig6_controller_delay.cpp.o.d"
+  "bench_fig6_controller_delay"
+  "bench_fig6_controller_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_controller_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

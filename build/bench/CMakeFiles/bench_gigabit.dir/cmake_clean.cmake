@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gigabit.dir/bench_gigabit.cpp.o"
+  "CMakeFiles/bench_gigabit.dir/bench_gigabit.cpp.o.d"
+  "bench_gigabit"
+  "bench_gigabit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gigabit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_traffic.dir/bench_mixed_traffic.cpp.o"
+  "CMakeFiles/bench_mixed_traffic.dir/bench_mixed_traffic.cpp.o.d"
+  "bench_mixed_traffic"
+  "bench_mixed_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realistic_workload.dir/bench_realistic_workload.cpp.o"
+  "CMakeFiles/bench_realistic_workload.dir/bench_realistic_workload.cpp.o.d"
+  "bench_realistic_workload"
+  "bench_realistic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realistic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_loss.dir/bench_robustness_loss.cpp.o"
+  "CMakeFiles/bench_robustness_loss.dir/bench_robustness_loss.cpp.o.d"
+  "bench_robustness_loss"
+  "bench_robustness_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

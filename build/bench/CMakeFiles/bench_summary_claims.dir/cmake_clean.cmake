@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_claims.dir/bench_summary_claims.cpp.o"
+  "CMakeFiles/bench_summary_claims.dir/bench_summary_claims.cpp.o.d"
+  "bench_summary_claims"
+  "bench_summary_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

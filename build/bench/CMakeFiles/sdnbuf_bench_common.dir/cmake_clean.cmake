@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sdnbuf_bench_common.dir/common.cpp.o.d"
+  "libsdnbuf_bench_common.a"
+  "libsdnbuf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdnbuf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_control_channel.dir/inspect_control_channel.cpp.o"
+  "CMakeFiles/inspect_control_channel.dir/inspect_control_channel.cpp.o.d"
+  "inspect_control_channel"
+  "inspect_control_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_control_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

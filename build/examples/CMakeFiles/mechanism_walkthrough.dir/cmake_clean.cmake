@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_walkthrough.dir/mechanism_walkthrough.cpp.o"
+  "CMakeFiles/mechanism_walkthrough.dir/mechanism_walkthrough.cpp.o.d"
+  "mechanism_walkthrough"
+  "mechanism_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_rule_eviction.dir/tcp_rule_eviction.cpp.o"
+  "CMakeFiles/tcp_rule_eviction.dir/tcp_rule_eviction.cpp.o.d"
+  "tcp_rule_eviction"
+  "tcp_rule_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_rule_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_burst.dir/udp_burst.cpp.o"
+  "CMakeFiles/udp_burst.dir/udp_burst.cpp.o.d"
+  "udp_burst"
+  "udp_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

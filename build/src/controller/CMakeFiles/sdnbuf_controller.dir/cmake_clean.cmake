@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_controller.dir/controller.cpp.o"
+  "CMakeFiles/sdnbuf_controller.dir/controller.cpp.o.d"
+  "libsdnbuf_controller.a"
+  "libsdnbuf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain_testbed.cpp" "src/core/CMakeFiles/sdnbuf_core.dir/chain_testbed.cpp.o" "gcc" "src/core/CMakeFiles/sdnbuf_core.dir/chain_testbed.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sdnbuf_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sdnbuf_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/sdnbuf_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/sdnbuf_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/sdnbuf_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/sdnbuf_core.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/sdnbuf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdnbuf_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/sdnbuf_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/sdnbuf_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sdnbuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdnbuf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_core.dir/chain_testbed.cpp.o"
+  "CMakeFiles/sdnbuf_core.dir/chain_testbed.cpp.o.d"
+  "CMakeFiles/sdnbuf_core.dir/experiment.cpp.o"
+  "CMakeFiles/sdnbuf_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sdnbuf_core.dir/sweep.cpp.o"
+  "CMakeFiles/sdnbuf_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/sdnbuf_core.dir/testbed.cpp.o"
+  "CMakeFiles/sdnbuf_core.dir/testbed.cpp.o.d"
+  "libsdnbuf_core.a"
+  "libsdnbuf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/sink.cpp" "src/host/CMakeFiles/sdnbuf_host.dir/sink.cpp.o" "gcc" "src/host/CMakeFiles/sdnbuf_host.dir/sink.cpp.o.d"
+  "/root/repo/src/host/synthetic_workload.cpp" "src/host/CMakeFiles/sdnbuf_host.dir/synthetic_workload.cpp.o" "gcc" "src/host/CMakeFiles/sdnbuf_host.dir/synthetic_workload.cpp.o.d"
+  "/root/repo/src/host/traffic_gen.cpp" "src/host/CMakeFiles/sdnbuf_host.dir/traffic_gen.cpp.o" "gcc" "src/host/CMakeFiles/sdnbuf_host.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/sdnbuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdnbuf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

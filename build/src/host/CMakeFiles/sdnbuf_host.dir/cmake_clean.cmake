@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_host.dir/sink.cpp.o"
+  "CMakeFiles/sdnbuf_host.dir/sink.cpp.o.d"
+  "CMakeFiles/sdnbuf_host.dir/synthetic_workload.cpp.o"
+  "CMakeFiles/sdnbuf_host.dir/synthetic_workload.cpp.o.d"
+  "CMakeFiles/sdnbuf_host.dir/traffic_gen.cpp.o"
+  "CMakeFiles/sdnbuf_host.dir/traffic_gen.cpp.o.d"
+  "libsdnbuf_host.a"
+  "libsdnbuf_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_metrics.dir/delay_recorder.cpp.o"
+  "CMakeFiles/sdnbuf_metrics.dir/delay_recorder.cpp.o.d"
+  "CMakeFiles/sdnbuf_metrics.dir/occupancy.cpp.o"
+  "CMakeFiles/sdnbuf_metrics.dir/occupancy.cpp.o.d"
+  "CMakeFiles/sdnbuf_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/sdnbuf_metrics.dir/time_series.cpp.o.d"
+  "libsdnbuf_metrics.a"
+  "libsdnbuf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/sdnbuf_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/sdnbuf_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/flow_key.cpp" "src/net/CMakeFiles/sdnbuf_net.dir/flow_key.cpp.o" "gcc" "src/net/CMakeFiles/sdnbuf_net.dir/flow_key.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/sdnbuf_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/sdnbuf_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/sdnbuf_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/sdnbuf_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/sdnbuf_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/sdnbuf_net.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

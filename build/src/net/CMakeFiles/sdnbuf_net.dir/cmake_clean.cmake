@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_net.dir/address.cpp.o"
+  "CMakeFiles/sdnbuf_net.dir/address.cpp.o.d"
+  "CMakeFiles/sdnbuf_net.dir/flow_key.cpp.o"
+  "CMakeFiles/sdnbuf_net.dir/flow_key.cpp.o.d"
+  "CMakeFiles/sdnbuf_net.dir/headers.cpp.o"
+  "CMakeFiles/sdnbuf_net.dir/headers.cpp.o.d"
+  "CMakeFiles/sdnbuf_net.dir/link.cpp.o"
+  "CMakeFiles/sdnbuf_net.dir/link.cpp.o.d"
+  "CMakeFiles/sdnbuf_net.dir/packet.cpp.o"
+  "CMakeFiles/sdnbuf_net.dir/packet.cpp.o.d"
+  "libsdnbuf_net.a"
+  "libsdnbuf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/actions.cpp" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/actions.cpp.o" "gcc" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/actions.cpp.o.d"
+  "/root/repo/src/openflow/capture.cpp" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/capture.cpp.o" "gcc" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/capture.cpp.o.d"
+  "/root/repo/src/openflow/channel.cpp" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/channel.cpp.o" "gcc" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/channel.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/match.cpp.o" "gcc" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/match.cpp.o.d"
+  "/root/repo/src/openflow/messages.cpp" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/messages.cpp.o" "gcc" "src/openflow/CMakeFiles/sdnbuf_openflow.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sdnbuf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_openflow.dir/actions.cpp.o"
+  "CMakeFiles/sdnbuf_openflow.dir/actions.cpp.o.d"
+  "CMakeFiles/sdnbuf_openflow.dir/capture.cpp.o"
+  "CMakeFiles/sdnbuf_openflow.dir/capture.cpp.o.d"
+  "CMakeFiles/sdnbuf_openflow.dir/channel.cpp.o"
+  "CMakeFiles/sdnbuf_openflow.dir/channel.cpp.o.d"
+  "CMakeFiles/sdnbuf_openflow.dir/match.cpp.o"
+  "CMakeFiles/sdnbuf_openflow.dir/match.cpp.o.d"
+  "CMakeFiles/sdnbuf_openflow.dir/messages.cpp.o"
+  "CMakeFiles/sdnbuf_openflow.dir/messages.cpp.o.d"
+  "libsdnbuf_openflow.a"
+  "libsdnbuf_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

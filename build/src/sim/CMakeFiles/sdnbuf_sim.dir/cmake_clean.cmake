@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_sim.dir/server.cpp.o"
+  "CMakeFiles/sdnbuf_sim.dir/server.cpp.o.d"
+  "CMakeFiles/sdnbuf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdnbuf_sim.dir/simulator.cpp.o.d"
+  "libsdnbuf_sim.a"
+  "libsdnbuf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

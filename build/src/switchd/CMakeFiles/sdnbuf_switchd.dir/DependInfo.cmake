@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchd/egress_scheduler.cpp" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/egress_scheduler.cpp.o" "gcc" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/egress_scheduler.cpp.o.d"
+  "/root/repo/src/switchd/flow_buffer.cpp" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/flow_buffer.cpp.o" "gcc" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/flow_buffer.cpp.o.d"
+  "/root/repo/src/switchd/flow_table.cpp" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/flow_table.cpp.o" "gcc" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/flow_table.cpp.o.d"
+  "/root/repo/src/switchd/packet_buffer.cpp" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/packet_buffer.cpp.o" "gcc" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/packet_buffer.cpp.o.d"
+  "/root/repo/src/switchd/switch.cpp" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/switch.cpp.o" "gcc" "src/switchd/CMakeFiles/sdnbuf_switchd.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/sdnbuf_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sdnbuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdnbuf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

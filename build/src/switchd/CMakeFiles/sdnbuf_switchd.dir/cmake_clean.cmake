@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_switchd.dir/egress_scheduler.cpp.o"
+  "CMakeFiles/sdnbuf_switchd.dir/egress_scheduler.cpp.o.d"
+  "CMakeFiles/sdnbuf_switchd.dir/flow_buffer.cpp.o"
+  "CMakeFiles/sdnbuf_switchd.dir/flow_buffer.cpp.o.d"
+  "CMakeFiles/sdnbuf_switchd.dir/flow_table.cpp.o"
+  "CMakeFiles/sdnbuf_switchd.dir/flow_table.cpp.o.d"
+  "CMakeFiles/sdnbuf_switchd.dir/packet_buffer.cpp.o"
+  "CMakeFiles/sdnbuf_switchd.dir/packet_buffer.cpp.o.d"
+  "CMakeFiles/sdnbuf_switchd.dir/switch.cpp.o"
+  "CMakeFiles/sdnbuf_switchd.dir/switch.cpp.o.d"
+  "libsdnbuf_switchd.a"
+  "libsdnbuf_switchd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_switchd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnbuf_util.dir/cli.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sdnbuf_util.dir/csv.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sdnbuf_util.dir/logging.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sdnbuf_util.dir/rng.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdnbuf_util.dir/stats.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sdnbuf_util.dir/strings.cpp.o"
+  "CMakeFiles/sdnbuf_util.dir/strings.cpp.o.d"
+  "libsdnbuf_util.a"
+  "libsdnbuf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnbuf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openflow.dir/test_openflow.cpp.o"
+  "CMakeFiles/test_openflow.dir/test_openflow.cpp.o.d"
+  "test_openflow"
+  "test_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
