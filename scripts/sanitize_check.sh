@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer, runs the
+# full test suite, and gives the scenario fuzzer a fixed-seed budget. This is
+# the acceptance gate for the invariant-checking layer: every fuzzed scenario
+# runs all three buffer mechanisms with the invariant registry attached, so a
+# clean exit means no memory error, no UB, and no invariant violation.
+#
+# Usage: scripts/sanitize_check.sh [build_dir] [fuzz_runs] [fuzz_seed]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+FUZZ_RUNS="${2:-50}"
+FUZZ_SEED="${3:-1}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSDNBUF_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED"
+
+echo "sanitize_check: OK (${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED})"

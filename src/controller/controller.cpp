@@ -108,6 +108,7 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
     if (config_.drop_pkt_in_probability > 0.0 &&
         rng_.next_double() < config_.drop_pkt_in_probability) {
       ++counters_.pkt_ins_dropped;
+      if (observer_ != nullptr) observer_->on_pkt_in_dropped(pi->xid, pi->buffer_id, sim_.now());
       return;
     }
     handle_packet_in(datapath_id, *pi);
@@ -146,6 +147,7 @@ void Controller::handle_packet_in(std::uint64_t datapath_id, const of::PacketIn&
     auto packet = net::Packet::parse(msg.data, msg.total_len);
     if (!packet) {
       ++counters_.parse_failures;
+      if (observer_ != nullptr) observer_->on_pkt_in_dropped(msg.xid, msg.buffer_id, sim_.now());
       SDNBUF_WARN("controller", "undecodable packet_in data");
       return;
     }

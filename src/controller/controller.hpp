@@ -23,6 +23,7 @@
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "verify/observer.hpp"
 
 namespace sdnbuf::ctrl {
 
@@ -140,6 +141,10 @@ class Controller {
 
   void reset_counters() { counters_ = ControllerCounters{}; }
 
+  // Invariant-checking observer (owned by the caller; may be null). Reports
+  // fault-injected packet_in drops so conservation accounting stays closed.
+  void set_invariant_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
  private:
   [[nodiscard]] sim::SimTime cost_us(double nominal_us);
 
@@ -162,6 +167,7 @@ class Controller {
   sim::CpuServer cpu_;
   std::map<std::uint64_t, SwitchBinding> switches_;
   ControllerCounters counters_;
+  verify::InvariantObserver* observer_ = nullptr;
   bool polling_ = false;
   sim::EventHandle poll_event_;
   std::optional<of::AggregateStatsReply> last_aggregate_stats_;

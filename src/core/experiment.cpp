@@ -13,8 +13,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   tb.seed = config.seed;
   tb.switch_config.buffer_mode = config.mode;
   tb.switch_config.buffer_capacity = config.buffer_capacity;
+  tb.observer = config.observer;
 
   Testbed bed{tb};
+  if (config.capture != nullptr) config.capture->attach(bed.channel());
   bed.warm_up();
 
   host::TrafficConfig traffic;

@@ -7,6 +7,7 @@
 
 #include "core/testbed.hpp"
 #include "host/traffic_gen.hpp"
+#include "openflow/capture.hpp"
 #include "util/stats.hpp"
 
 namespace sdnbuf::core {
@@ -34,6 +35,14 @@ struct ExperimentConfig {
 
   // Extra simulated time allowed for the tail of the run to drain.
   sim::SimTime drain_timeout = sim::SimTime::seconds(5);
+
+  // Optional invariant-checking observer, wired through the testbed (see
+  // TestbedConfig::observer). Observes the warm-up too; call finalize() on
+  // the registry after run_experiment returns.
+  verify::InvariantObserver* observer = nullptr;
+  // Optional control-channel capture, attached before warm-up so two
+  // same-seed runs produce byte-identical traces end to end.
+  of::ChannelCapture* capture = nullptr;
 };
 
 struct ExperimentResult {

@@ -24,15 +24,28 @@ Testbed::Testbed(const TestbedConfig& config) : sink1_(sim_), sink2_(sim_) {
   switch_ = std::make_unique<sw::Switch>(sim_, config.switch_config, config.seed * 2654435761u);
   controller_ =
       std::make_unique<ctrl::Controller>(sim_, config.controller_config, config.seed * 40503u + 1);
+  observer_ = config.observer;
 
   // Egress wiring: the switch's port N link delivers to host N's sink.
-  switch_->attach_port(kHost1Port, host1_link_->reverse(),
-                       [this](const net::Packet& p) { sink1_.receive(p); });
-  switch_->attach_port(kHost2Port, host2_link_->reverse(),
-                       [this](const net::Packet& p) { sink2_.receive(p); });
+  switch_->attach_port(kHost1Port, host1_link_->reverse(), [this](const net::Packet& p) {
+    if (observer_ != nullptr) observer_->on_packet_delivered(p, sim_.now());
+    sink1_.receive(p);
+  });
+  switch_->attach_port(kHost2Port, host2_link_->reverse(), [this](const net::Packet& p) {
+    if (observer_ != nullptr) observer_->on_packet_delivered(p, sim_.now());
+    sink2_.receive(p);
+  });
 
   switch_->connect(*channel_);
   controller_->connect(*channel_);
+  if (observer_ != nullptr) {
+    switch_->set_invariant_observer(observer_);
+    controller_->set_invariant_observer(observer_);
+    channel_->set_verify_tap([obs = observer_](bool to_controller, const of::OfMessage& msg,
+                                               std::size_t, sim::SimTime when) {
+      obs->on_control_message(to_controller, msg, when);
+    });
+  }
   switch_->set_delay_recorder(&recorder_);
   sink1_.set_delay_recorder(&recorder_);
   sink2_.set_delay_recorder(&recorder_);
@@ -46,11 +59,13 @@ net::Ipv4Address Testbed::host1_ip() const { return net::Ipv4Address::from_octet
 net::Ipv4Address Testbed::host2_ip() const { return net::Ipv4Address::from_octets(10, 2, 0, 1); }
 
 void Testbed::inject_from_host1(const net::Packet& packet) {
+  if (observer_ != nullptr) observer_->on_packet_injected(packet, sim_.now());
   host1_link_->forward().send(packet.frame_size,
                               [this, packet]() { switch_->receive(kHost1Port, packet); });
 }
 
 void Testbed::inject_from_host2(const net::Packet& packet) {
+  if (observer_ != nullptr) observer_->on_packet_injected(packet, sim_.now());
   host2_link_->forward().send(packet.frame_size,
                               [this, packet]() { switch_->receive(kHost2Port, packet); });
 }

@@ -22,6 +22,7 @@
 #include "openflow/channel.hpp"
 #include "sim/simulator.hpp"
 #include "switchd/switch.hpp"
+#include "verify/observer.hpp"
 
 namespace sdnbuf::core {
 
@@ -36,6 +37,10 @@ struct TestbedConfig {
   double control_link_mbps = 1000.0;
   sim::SimTime control_link_delay = sim::SimTime::microseconds(300);
   std::uint64_t seed = 1;
+  // Invariant-checking observer (owned by the caller; may be null). Wired
+  // into the switch, controller, channel, buffers, injection points and host
+  // sinks so a registry sees the complete packet/control event stream.
+  verify::InvariantObserver* observer = nullptr;
 };
 
 class Testbed {
@@ -88,6 +93,7 @@ class Testbed {
   host::HostSink sink1_;
   host::HostSink sink2_;
   metrics::DelayRecorder recorder_;
+  verify::InvariantObserver* observer_ = nullptr;
   sim::SimTime measurement_start_;
 };
 

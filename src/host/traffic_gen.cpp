@@ -1,5 +1,7 @@
 #include "host/traffic_gen.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace sdnbuf::host {
@@ -50,15 +52,14 @@ std::pair<std::uint64_t, std::uint32_t> TrafficGenerator::schedule_slot(
   const std::uint64_t per_batch = batch * config_.packets_per_flow;
   const std::uint64_t batch_index = index / per_batch;
   const std::uint64_t slot = index % per_batch;
-  const std::uint64_t round = slot / batch;          // which packet of each flow
-  const std::uint64_t flow_in_batch = slot % batch;  // which flow of the batch
-  std::uint64_t flow = batch_index * batch + flow_in_batch;
-  // The tail batch may be smaller than batch_size; clamp round-robin width.
-  if (flow >= config_.n_flows) {
-    const std::uint64_t tail = config_.n_flows - batch_index * batch;
-    flow = batch_index * batch + flow_in_batch % tail;
-  }
-  return {flow, static_cast<std::uint32_t>(round)};
+  // The tail batch holds fewer flows than batch_size; the round-robin width
+  // must shrink with it or tail flows get early packets twice and their last
+  // packets never (found by fuzz_scenarios: double-injection).
+  const std::uint64_t first_flow = batch_index * batch;
+  const std::uint64_t width = std::min<std::uint64_t>(batch, config_.n_flows - first_flow);
+  const std::uint64_t round = slot / width;          // which packet of each flow
+  const std::uint64_t flow_in_batch = slot % width;  // which flow of the batch
+  return {first_flow + flow_in_batch, static_cast<std::uint32_t>(round)};
 }
 
 void TrafficGenerator::start(sim::SimTime start_delay, std::function<void()> on_done) {

@@ -51,6 +51,7 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
   const std::size_t wire_bytes = wire.size() + kTransportOverhead;
   counters.record(message_type(msg), wire_bytes);
   if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
+  if (verify_tap_) verify_tap_(to_controller, msg, wire_bytes, sim_.now());
   link.send(wire_bytes, [&handler, wire = std::move(wire), wire_bytes]() {
     auto decoded = decode_message(wire);
     SDNBUF_CHECK_MSG(decoded.has_value(), "control channel delivered an undecodable message");

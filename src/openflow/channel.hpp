@@ -66,6 +66,11 @@ class Channel {
                                    std::size_t wire_bytes, sim::SimTime when)>;
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
 
+  // Second, independent tap slot for the invariant-checking layer, so a
+  // verification run can observe the channel while a ChannelCapture holds
+  // the capture tap.
+  void set_verify_tap(TapFn tap) { verify_tap_ = std::move(tap); }
+
   void reset_counters() {
     to_controller_counters_.reset();
     to_switch_counters_.reset();
@@ -87,6 +92,7 @@ class Channel {
   MessageCounters to_controller_counters_;
   MessageCounters to_switch_counters_;
   TapFn tap_;
+  TapFn verify_tap_;
   std::uint32_t next_xid_ = 1;
 };
 

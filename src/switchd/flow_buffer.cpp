@@ -50,6 +50,10 @@ std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net
   result.queued = it->second.packets.size();
   ++packets_buffered_;
   ++total_stored_;
+  if (observer_ != nullptr) {
+    observer_->on_buffer_store(result.buffer_id, packet, result.first_of_flow,
+                               /*flow_granularity=*/true, sim_.now());
+  }
   return result;
 }
 
@@ -74,6 +78,10 @@ std::vector<net::Packet> FlowBufferManager::release_all(std::uint32_t buffer_id)
   free_unit();
   flows_.erase(it);
   id_to_flow_.erase(idit);
+  if (observer_ != nullptr) {
+    for (const auto& packet : out) observer_->on_buffer_release(buffer_id, packet, sim_.now());
+    observer_->on_buffer_unit_retired(buffer_id, sim_.now());
+  }
   return out;
 }
 
@@ -110,13 +118,20 @@ std::size_t FlowBufferManager::expire_older_than(sim::SimTime cutoff) {
   std::size_t dropped = 0;
   for (const auto& key : stale) {
     const auto it = flows_.find(key);
+    const std::uint32_t buffer_id = it->second.buffer_id;
+    if (observer_ != nullptr) {
+      for (const auto& packet : it->second.packets) {
+        observer_->on_buffer_expire(buffer_id, packet, sim_.now());
+      }
+    }
     dropped += it->second.packets.size();
     total_expired_ += it->second.packets.size();
     SDNBUF_CHECK(packets_buffered_ >= it->second.packets.size());
     packets_buffered_ -= it->second.packets.size();
     free_unit();
-    id_to_flow_.erase(it->second.buffer_id);
+    id_to_flow_.erase(buffer_id);
     flows_.erase(it);
+    if (observer_ != nullptr) observer_->on_buffer_unit_retired(buffer_id, sim_.now());
   }
   return dropped;
 }

@@ -27,12 +27,16 @@
 #include "net/flow_key.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "verify/observer.hpp"
 
 namespace sdnbuf::sw {
 
 class FlowBufferManager {
  public:
   FlowBufferManager(sim::Simulator& sim, std::size_t capacity, sim::SimTime reclaim_delay);
+
+  // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
+  void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
 
   struct StoreResult {
     std::uint32_t buffer_id = 0;
@@ -96,6 +100,7 @@ class FlowBufferManager {
   sim::Simulator& sim_;
   std::size_t capacity_;
   sim::SimTime reclaim_delay_;
+  verify::InvariantObserver* observer_ = nullptr;
   std::size_t units_in_use_ = 0;     // buffer_id slots incl. pending reclaim
   std::size_t packets_buffered_ = 0;
   std::unordered_map<net::FlowKey, FlowState> flows_;

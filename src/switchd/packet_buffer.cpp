@@ -32,6 +32,10 @@ std::optional<std::uint32_t> PacketBufferManager::store(const net::Packet& packe
   const std::uint32_t id = allocate_id();
   packets_.emplace(id, Stored{packet, sim_.now()});
   ++total_stored_;
+  if (observer_ != nullptr) {
+    observer_->on_buffer_store(id, packet, /*new_unit=*/true, /*flow_granularity=*/false,
+                               sim_.now());
+  }
   return id;
 }
 
@@ -51,6 +55,10 @@ std::optional<net::Packet> PacketBufferManager::release(std::uint32_t buffer_id)
   packets_.erase(it);
   ++total_released_;
   free_unit();
+  if (observer_ != nullptr) {
+    observer_->on_buffer_release(buffer_id, packet, sim_.now());
+    observer_->on_buffer_unit_retired(buffer_id, sim_.now());
+  }
   return packet;
 }
 
@@ -65,7 +73,12 @@ std::size_t PacketBufferManager::expire_older_than(sim::SimTime cutoff) {
     if (stored.stored_at <= cutoff) stale.push_back(id);
   }
   for (const auto id : stale) {
-    packets_.erase(id);
+    const auto it = packets_.find(id);
+    if (observer_ != nullptr) {
+      observer_->on_buffer_expire(id, it->second.packet, sim_.now());
+      observer_->on_buffer_unit_retired(id, sim_.now());
+    }
+    packets_.erase(it);
     ++total_expired_;
     free_unit();
   }

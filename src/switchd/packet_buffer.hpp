@@ -22,12 +22,16 @@
 #include "metrics/occupancy.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "verify/observer.hpp"
 
 namespace sdnbuf::sw {
 
 class PacketBufferManager {
  public:
   PacketBufferManager(sim::Simulator& sim, std::size_t capacity, sim::SimTime reclaim_delay);
+
+  // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
+  void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
 
   // Stores a miss-match packet; returns its buffer_id, or nullopt when the
   // buffer is exhausted.
@@ -67,6 +71,7 @@ class PacketBufferManager {
   sim::Simulator& sim_;
   std::size_t capacity_;
   sim::SimTime reclaim_delay_;
+  verify::InvariantObserver* observer_ = nullptr;
   std::size_t units_in_use_ = 0;
   std::uint32_t next_id_ = 1;
   std::unordered_map<std::uint32_t, Stored> packets_;

@@ -49,6 +49,12 @@ EgressScheduler& Switch::port_scheduler(std::uint16_t port_no) {
   return *it->second.scheduler;
 }
 
+void Switch::set_invariant_observer(verify::InvariantObserver* observer) {
+  observer_ = observer;
+  if (packet_buffer_ != nullptr) packet_buffer_->set_observer(observer);
+  if (flow_buffer_ != nullptr) flow_buffer_->set_observer(observer);
+}
+
 void Switch::connect(of::Channel& channel) {
   channel_ = &channel;
   channel.set_switch_handler(
@@ -220,6 +226,7 @@ void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
   pending_requests_[msg.xid] =
       PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at};
   ++counters_.pkt_ins_sent;
+  if (observer_ != nullptr) observer_->on_packet_in_sent(msg.xid, packet, buffer_id, sim_.now());
   channel_->send_from_switch(msg);
   if (recorder_ != nullptr) recorder_->on_packet_in_sent(packet.flow_id, sim_.now());
 }
@@ -400,6 +407,7 @@ void Switch::execute_actions(const net::Packet& packet, const of::ActionList& ac
                              std::uint16_t in_port) {
   if (actions.empty()) {
     ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "no-actions", sim_.now());
     return;
   }
   net::Packet current = packet;
@@ -428,6 +436,7 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port) {
   const auto it = ports_.find(out_port);
   if (it == ports_.end()) {
     ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "unknown-port", sim_.now());
     SDNBUF_WARN("switch", "egress to unknown port " << out_port);
     return;
   }
@@ -435,6 +444,7 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port) {
   if (!port.scheduler->enqueue(packet)) {
     ++port.tx_dropped;
     ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "egress-queue", sim_.now());
     return;
   }
   ++counters_.packets_forwarded;
@@ -452,6 +462,7 @@ void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {
     if (!port.scheduler->enqueue(packet)) {
       ++port.tx_dropped;
       ++counters_.packets_dropped;
+      if (observer_ != nullptr) observer_->on_packet_dropped(packet, "flood-queue", sim_.now());
       continue;
     }
     if (recorder_ != nullptr) recorder_->on_packet_departure(packet.flow_id, sim_.now());
@@ -459,7 +470,10 @@ void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {
     ++port.tx_packets;
     port.tx_bytes += packet.frame_size;
   }
-  if (!sent) ++counters_.packets_dropped;
+  if (!sent) {
+    ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "flood-no-ports", sim_.now());
+  }
 }
 
 void Switch::handle_flow_stats(const of::FlowStatsRequest& msg) {

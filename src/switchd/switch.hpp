@@ -39,6 +39,7 @@
 #include "switchd/flow_table.hpp"
 #include "switchd/packet_buffer.hpp"
 #include "util/rng.hpp"
+#include "verify/observer.hpp"
 
 namespace sdnbuf::sw {
 
@@ -116,6 +117,10 @@ class Switch {
   // Metrics sink (owned by the experiment); may be null.
   void set_delay_recorder(metrics::DelayRecorder* recorder) { recorder_ = recorder; }
 
+  // Invariant-checking observer (owned by the caller; may be null). Also
+  // propagated to the buffer managers; install before traffic starts.
+  void set_invariant_observer(verify::InvariantObserver* observer);
+
   [[nodiscard]] sim::CpuServer& cpu() { return cpu_; }
   [[nodiscard]] sim::CpuServer& bus() { return bus_; }
   [[nodiscard]] FlowTable& flow_table() { return table_; }
@@ -186,6 +191,7 @@ class Switch {
   std::unordered_map<std::uint16_t, Port> ports_;
   of::Channel* channel_ = nullptr;
   metrics::DelayRecorder* recorder_ = nullptr;
+  verify::InvariantObserver* observer_ = nullptr;
   SwitchCounters counters_;
   // packet_in xid -> original packet metadata, for attributing responses and
   // restoring simulator metadata on no-buffer packet_out frames.

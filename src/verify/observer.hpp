@@ -1,0 +1,64 @@
+// Invariant observation points.
+//
+// `InvariantObserver` is the hook interface the datapath components call at
+// every semantically meaningful transition: packet injection/delivery/drop,
+// buffer unit lifecycle (store / release / expire / retire), packet_in
+// emission, controller-side fault drops, and every control-channel send.
+// Components hold a nullable observer pointer and pay nothing when it is
+// unset, so production runs are unaffected; the concrete implementation
+// (`verify::InvariantRegistry`) turns the event stream into mechanical
+// invariant checks.
+//
+// The interface lives below switchd/controller/core in the dependency order
+// (it only speaks net/openflow/sim vocabulary), which is what lets every
+// layer report into one registry.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "openflow/messages.hpp"
+#include "sim/time.hpp"
+
+namespace sdnbuf::verify {
+
+class InvariantObserver {
+ public:
+  virtual ~InvariantObserver() = default;
+
+  // --- payload path (testbed injection points and host sinks) ---
+  virtual void on_packet_injected(const net::Packet& packet, sim::SimTime now) = 0;
+  virtual void on_packet_delivered(const net::Packet& packet, sim::SimTime now) = 0;
+  // `where` names the drop site ("no-actions", "unknown-port", "egress-queue", ...).
+  virtual void on_packet_dropped(const net::Packet& packet, const char* where,
+                                 sim::SimTime now) = 0;
+
+  // --- buffer unit lifecycle (PacketBufferManager / FlowBufferManager) ---
+  // `new_unit` is true when the store allocated a fresh buffer_id slot;
+  // `flow_granularity` distinguishes shared per-flow slots from per-packet
+  // slots (they obey different stability rules).
+  virtual void on_buffer_store(std::uint32_t buffer_id, const net::Packet& packet, bool new_unit,
+                               bool flow_granularity, sim::SimTime now) = 0;
+  virtual void on_buffer_release(std::uint32_t buffer_id, const net::Packet& packet,
+                                 sim::SimTime now) = 0;
+  virtual void on_buffer_expire(std::uint32_t buffer_id, const net::Packet& packet,
+                                sim::SimTime now) = 0;
+  // The buffer_id slot stops being live (after a release_all / release /
+  // expiry); reclaim-delay accounting is not the observer's concern.
+  virtual void on_buffer_unit_retired(std::uint32_t buffer_id, sim::SimTime now) = 0;
+
+  // --- control path ---
+  // The switch emitted a packet_in for `packet` (metadata intact) under
+  // `xid`; buffer_id is kNoBuffer for full-frame punts.
+  virtual void on_packet_in_sent(std::uint32_t xid, const net::Packet& packet,
+                                 std::uint32_t buffer_id, sim::SimTime now) = 0;
+  // Controller-side fault injection silently discarded the packet_in.
+  virtual void on_pkt_in_dropped(std::uint32_t xid, std::uint32_t buffer_id,
+                                 sim::SimTime now) = 0;
+  // Every message crossing the channel, at send time (wired via the
+  // channel's verify tap).
+  virtual void on_control_message(bool to_controller, const of::OfMessage& msg,
+                                  sim::SimTime now) = 0;
+};
+
+}  // namespace sdnbuf::verify

@@ -4,11 +4,15 @@
 // whole-flow release).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <unordered_map>
+
 #include "openflow/constants.hpp"
 #include "sim/simulator.hpp"
 #include "switchd/flow_buffer.hpp"
 #include "switchd/packet_buffer.hpp"
 #include "util/rng.hpp"
+#include "verify/invariants.hpp"
 
 namespace sdnbuf::sw {
 namespace {
@@ -235,6 +239,166 @@ TEST_F(FlowBufferTest, IdCollisionProbing) {
     ASSERT_TRUE(r.has_value());
     EXPECT_TRUE(ids.insert(r->buffer_id).second) << "duplicate buffer_id";
   }
+}
+
+// Two distinct 5-tuples whose 31-bit truncated hashes collide must get
+// distinct (linearly probed) buffer_ids and release independently. The
+// colliding pair is found by a deterministic birthday search over src_ip.
+TEST_F(FlowBufferTest, FiveTupleHashCollisionProbesToDistinctIds) {
+  const net::FlowKey tmpl = packet_for(0).flow_key();
+  // FNV over near-sequential ips is collision-free in the low 31 bits (the
+  // multiply only carries entropy upward), so scramble the index into a
+  // (src_ip, src_port) pair first. splitmix64 keeps the search deterministic.
+  auto scramble = [](std::uint32_t i) {
+    std::uint64_t z = i + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  auto key_at = [&](std::uint32_t i) {
+    const std::uint64_t z = scramble(i);
+    net::FlowKey k = tmpl;
+    k.src_ip = net::Ipv4Address{static_cast<std::uint32_t>(z)};
+    k.src_port = static_cast<std::uint16_t>(z >> 32);
+    return k;
+  };
+  // Birthday search: ~400k keys in a 2^31 id space yields dozens of expected
+  // collisions; the result is fixed by the FNV hash, so this is deterministic.
+  std::unordered_map<std::uint32_t, std::uint32_t> seen;
+  std::uint32_t a = 0, b = 0;
+  bool found = false;
+  for (std::uint32_t i = 0; i < 400'000 && !found; ++i) {
+    const auto id = static_cast<std::uint32_t>(key_at(i).hash()) & 0x7fffffff;
+    const auto [it, inserted] = seen.emplace(id, i);
+    if (!inserted) {
+      a = it->second;
+      b = i;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no 31-bit hash collision in the search range";
+  ASSERT_NE(key_at(a), key_at(b));
+  ASSERT_EQ(static_cast<std::uint32_t>(key_at(a).hash()) & 0x7fffffff,
+            static_cast<std::uint32_t>(key_at(b).hash()) & 0x7fffffff);
+
+  auto packet_at = [&](std::uint32_t i, std::uint32_t seq) {
+    const net::FlowKey k = key_at(i);
+    auto p = net::make_udp_packet(net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+                                  k.src_ip, k.dst_ip, k.src_port, k.dst_port, 1000);
+    p.flow_id = i;
+    p.seq_in_flow = seq;
+    return p;
+  };
+  const auto ra = buf.store(packet_at(a, 0));
+  const auto rb = buf.store(packet_at(b, 0));
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(ra->buffer_id, static_cast<std::uint32_t>(key_at(a).hash()) & 0x7fffffff);
+  EXPECT_EQ(rb->buffer_id, (ra->buffer_id + 1) & 0x7fffffff) << "expected linear probe";
+  EXPECT_EQ(buf.buffer_id_of(key_at(a)), ra->buffer_id);
+  EXPECT_EQ(buf.buffer_id_of(key_at(b)), rb->buffer_id);
+
+  // The probed id must stay stable for subsequent packets of that flow.
+  const auto rb2 = buf.store(packet_at(b, 1));
+  ASSERT_TRUE(rb2.has_value());
+  EXPECT_FALSE(rb2->first_of_flow);
+  EXPECT_EQ(rb2->buffer_id, rb->buffer_id);
+
+  // Releasing one colliding flow must not disturb the other.
+  const auto released_a = buf.release_all(ra->buffer_id);
+  ASSERT_EQ(released_a.size(), 1u);
+  EXPECT_EQ(released_a[0].flow_id, a);
+  EXPECT_EQ(buf.packets_buffered(), 2u);
+  ASSERT_TRUE(buf.buffer_id_of(key_at(b)).has_value());
+  EXPECT_EQ(*buf.buffer_id_of(key_at(b)), rb->buffer_id);
+  EXPECT_TRUE(buf.release_all(ra->buffer_id).empty());  // id is gone, not B's
+  const auto released_b = buf.release_all(rb->buffer_id);
+  ASSERT_EQ(released_b.size(), 2u);
+  EXPECT_EQ(released_b[0].flow_id, b);
+}
+
+// The re-request race: the switch's resend timeout fires, the controller
+// answers both the original and the resent packet_in. The second packet_out
+// with the same buffer_id must release nothing and change no counters.
+TEST_F(FlowBufferTest, DuplicateReleaseAfterResendIsInert) {
+  const auto r = buf.store(packet_for(0, 0));
+  buf.store(packet_for(0, 1));
+  buf.mark_request_sent(r->buffer_id, sim::SimTime::milliseconds(1));
+  buf.mark_request_sent(r->buffer_id, sim::SimTime::milliseconds(9));  // the resend
+
+  const auto first = buf.release_all(r->buffer_id);
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(buf.total_released(), 2u);
+  // The duplicate response must be a no-op on packets, counters and requests.
+  EXPECT_TRUE(buf.release_all(r->buffer_id).empty());
+  EXPECT_EQ(buf.total_released(), 2u);
+  EXPECT_EQ(buf.packets_buffered(), 0u);
+  EXPECT_FALSE(buf.last_request_at(r->buffer_id).has_value());
+  EXPECT_EQ(buf.front_packet(r->buffer_id), nullptr);
+}
+
+TEST_F(FlowBufferTest, ReleaseAfterExpiryIsInert) {
+  const auto r = buf.store(packet_for(0, 0));
+  buf.store(packet_for(0, 1));
+  sim.run_until(sim::SimTime::milliseconds(100));
+  EXPECT_EQ(buf.expire_older_than(sim::SimTime::milliseconds(50)), 2u);
+  // A packet_out racing against expiry finds the id gone.
+  EXPECT_TRUE(buf.release_all(r->buffer_id).empty());
+  EXPECT_EQ(buf.total_expired(), 2u);
+  EXPECT_EQ(buf.total_released(), 0u);
+  sim.run();
+  EXPECT_EQ(buf.units_in_use(), 0u);
+}
+
+TEST_F(PacketBufferTest, ReleaseAfterExpiryIsInert) {
+  const auto id = buf.store(packet_for(0));
+  sim.run_until(sim::SimTime::milliseconds(100));
+  EXPECT_EQ(buf.expire_older_than(sim::SimTime::milliseconds(50)), 1u);
+  EXPECT_FALSE(buf.release(*id).has_value());
+  EXPECT_EQ(buf.total_expired(), 1u);
+  EXPECT_EQ(buf.total_released(), 0u);
+  sim.run();
+  EXPECT_EQ(buf.units_in_use(), 0u);
+}
+
+// Both managers drive their invariant-observer hooks through a full
+// store/release/expire lifecycle without tripping the registry.
+TEST(BufferObserverIntegration, ManagersReportCleanLifecycle) {
+  sim::Simulator sim;
+  verify::InvariantRegistry reg;
+  PacketBufferManager pbuf{sim, 4, kReclaim};
+  FlowBufferManager fbuf{sim, 4, kReclaim};
+  pbuf.set_observer(&reg);
+  fbuf.set_observer(&reg);
+
+  // Conservation needs the full path: inject, buffer, release, deliver (or
+  // expire — an expired packet is accounted without a delivery).
+  reg.on_packet_injected(packet_for(1, 0), sim.now());
+  const auto pid = pbuf.store(packet_for(1, 0));
+  ASSERT_TRUE(pid.has_value());
+  const auto released = pbuf.release(*pid);
+  ASSERT_TRUE(released.has_value());
+  reg.on_packet_delivered(*released, sim.now());
+  EXPECT_FALSE(pbuf.release(*pid).has_value());  // rejected, so no observer event
+
+  reg.on_packet_injected(packet_for(2, 0), sim.now());
+  reg.on_packet_injected(packet_for(2, 1), sim.now());
+  const auto fr = fbuf.store(packet_for(2, 0));
+  fbuf.store(packet_for(2, 1));
+  ASSERT_TRUE(fr.has_value());
+  const auto flow_released = fbuf.release_all(fr->buffer_id);
+  EXPECT_EQ(flow_released.size(), 2u);
+  for (const auto& p : flow_released) reg.on_packet_delivered(p, sim.now());
+  EXPECT_TRUE(fbuf.release_all(fr->buffer_id).empty());
+
+  reg.on_packet_injected(packet_for(3, 0), sim.now());
+  fbuf.store(packet_for(3, 0));
+  sim.run_until(sim::SimTime::milliseconds(100));
+  EXPECT_EQ(fbuf.expire_older_than(sim::SimTime::milliseconds(50)), 1u);
+
+  sim.run();
+  reg.finalize(/*expect_all_delivered=*/false);
+  EXPECT_GT(reg.events_observed(), 0u);
+  EXPECT_TRUE(reg.ok()) << reg.report();
 }
 
 // Parameterized conservation property: stored == released + expired +

@@ -2,11 +2,14 @@
 // cancellation, run_until semantics, and the multi-server queueing station.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "util/rng.hpp"
 
 namespace sdnbuf::sim {
 namespace {
@@ -132,6 +135,92 @@ TEST(Simulator, ExecutedEventsCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule(SimTime::zero(), []() {});
   sim.run();
   EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+// Property: over many randomized schedules with heavy time collisions,
+// execution order is exactly (time, scheduling order).
+TEST(SimulatorProperty, EqualTimeEventsAlwaysExecuteInSchedulingOrder) {
+  util::Rng rng(0xfeed);
+  for (int trial = 0; trial < 50; ++trial) {
+    Simulator sim;
+    const int n = 20 + static_cast<int>(rng.next_below(60));
+    std::vector<std::pair<std::int64_t, int>> expected;  // (time, insertion idx)
+    std::vector<int> executed;
+    for (int i = 0; i < n; ++i) {
+      // Only 8 distinct timestamps, so most events collide.
+      const auto t = SimTime::microseconds(static_cast<std::int64_t>(rng.next_below(8)));
+      expected.emplace_back(t.ns(), i);
+      sim.schedule(t, [&executed, i]() { executed.push_back(i); });
+    }
+    sim.run();
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(executed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(executed[i], expected[i].second) << "trial " << trial << " position " << i;
+    }
+  }
+}
+
+// Property: cancelling a handle after its event fired never unschedules
+// anything else and keeps the pending-event accounting exact.
+TEST(SimulatorProperty, CancelAfterFireIsAlwaysNoop) {
+  util::Rng rng(0xcafe);
+  for (int trial = 0; trial < 50; ++trial) {
+    Simulator sim;
+    const int n = 10 + static_cast<int>(rng.next_below(30));
+    int ran = 0;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(sim.schedule(
+          SimTime::microseconds(static_cast<std::int64_t>(rng.next_below(5))), [&]() { ++ran; }));
+    }
+    sim.run();
+    ASSERT_EQ(ran, n);
+    for (auto& h : handles) {
+      ASSERT_FALSE(h.pending());
+      h.cancel();  // all no-ops
+      h.cancel();  // idempotent
+    }
+    ASSERT_EQ(sim.pending_events(), 0u);
+    // The simulator is still fully functional afterwards.
+    bool late = false;
+    sim.schedule(SimTime::microseconds(1), [&]() { late = true; });
+    ASSERT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    ASSERT_TRUE(late);
+  }
+}
+
+// Property: run_until(t) executes exactly the events with time <= t, leaves
+// the rest queued, and advances the clock to exactly t even when no event
+// sits on the boundary.
+TEST(SimulatorProperty, RunUntilAdvancesClockExactlyToBoundary) {
+  util::Rng rng(0xbead);
+  for (int trial = 0; trial < 50; ++trial) {
+    Simulator sim;
+    const int n = 10 + static_cast<int>(rng.next_below(40));
+    std::vector<std::int64_t> times_ns;
+    std::size_t executed = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto t = SimTime::microseconds(static_cast<std::int64_t>(rng.next_below(100)));
+      times_ns.push_back(t.ns());
+      sim.schedule(t, [&executed]() { ++executed; });
+    }
+    // A nanosecond-granular boundary, so it usually falls strictly between
+    // the microsecond-aligned event times.
+    const SimTime boundary =
+        SimTime::nanoseconds(static_cast<std::int64_t>(rng.next_below(100'000'000)));
+    sim.run_until(boundary);
+    const auto expected = static_cast<std::size_t>(
+        std::count_if(times_ns.begin(), times_ns.end(),
+                      [&boundary](std::int64_t t) { return t <= boundary.ns(); }));
+    ASSERT_EQ(executed, expected) << "trial " << trial;
+    ASSERT_EQ(sim.now(), boundary) << "trial " << trial;  // exact, not "last event time"
+    ASSERT_EQ(sim.pending_events(), times_ns.size() - expected);
+    sim.run();
+    ASSERT_EQ(executed, times_ns.size());
+  }
 }
 
 TEST(CpuServer, SingleCoreSerializesJobs) {
