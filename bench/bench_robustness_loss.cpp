@@ -1,12 +1,24 @@
-// Robustness: lossy/overloaded controller (fault injection).
+// Robustness: the control channel misbehaves.
 //
-// The flow-granularity mechanism carries a re-request timeout (Algorithm 1,
-// lines 12-13) precisely so a lost or ignored packet_in does not strand the
-// buffered flow. This bench drops a fraction of packet_ins at the controller
-// and compares delivery: without a buffer a dropped request loses the packet
-// outright; with the packet-granularity buffer the packet waits until buffer
-// expiry and is lost; with the flow-granularity buffer the resend recovers
-// it at the cost of one timeout.
+// Part 1 — lossy channel. A fraction of control messages is dropped in
+// both directions (seeded of::FaultProfile). The flow-granularity
+// mechanism's re-request timeout (Algorithm 1, lines 12-13) recovers a
+// lost request or release, so its delivery stays near 100%; the
+// packet-granularity buffer strands each affected packet until expiry;
+// without a buffer the full-frame exchange is both slower (longer
+// vulnerable window, more punts per flow) and unrecoverable.
+//
+// Part 2 — outage, degradation and recovery. The channel goes dark at
+// 1.05 s, just before the 1.1 s table sweep hard-expires the installed
+// rules (hard timeout 1 s), so the flows re-miss into a dead channel:
+// misses are buffered and their pkt_ins lost until echo liveness
+// (50 ms x 3) degrades the switch at ~1.2 s. From then on fail-standalone
+// floods misses while fail-secure drops them (and has already expired its
+// buffers). When the window closes the hello re-handshake restores the
+// connection; after the short outage the stranded flow-granularity units
+// are still younger than the 500 ms buffer expiry, so reconciliation
+// re-requests and delivers them (packet-granularity orphans are expired);
+// the long outage outlives the expiry and recovery comes too late.
 #include <iostream>
 
 #include "common.hpp"
@@ -17,17 +29,22 @@ int main(int argc, char** argv) {
   using namespace sdnbuf;
   const auto options = bench::parse_options(argc, argv);
 
-  util::TableWriter table("robustness: controller drops a fraction of packet_ins "
-                          "(50 flows x 4 packets at 50 Mbps)");
-  table.set_columns({"mechanism", "drop %", "delivered %", "resend pkt_ins", "setup ms"});
+  const std::vector<bench::MechanismSpec> mechanisms = {
+      {"no-buffer", sw::BufferMode::NoBuffer, 0},
+      {"packet-granularity", sw::BufferMode::PacketGranularity, 256},
+      {"flow-granularity", sw::BufferMode::FlowGranularity, 256}};
 
-  for (const auto& mechanism :
-       {bench::MechanismSpec{"no-buffer", sw::BufferMode::NoBuffer, 0},
-        bench::MechanismSpec{"packet-granularity", sw::BufferMode::PacketGranularity, 256},
-        bench::MechanismSpec{"flow-granularity", sw::BufferMode::FlowGranularity, 256}}) {
-    for (const double drop : {0.0, 0.05, 0.10, 0.20}) {
+  // ---- Part 1: symmetric channel loss sweep --------------------------------
+  util::TableWriter loss_table("robustness: control channel drops a fraction of messages in "
+                               "each direction (50 flows x 6 packets at 50 Mbps)");
+  loss_table.set_columns({"mechanism", "loss %", "delivered %", "resend pkt_ins",
+                          "msgs lost", "setup ms"});
+
+  for (const auto& mechanism : mechanisms) {
+    for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
       util::Summary delivered_pct;
       util::Summary resends;
+      util::Summary lost_msgs;
       util::Summary setup;
       for (int rep = 0; rep < options.repetitions; ++rep) {
         core::ExperimentConfig config;
@@ -35,25 +52,100 @@ int main(int argc, char** argv) {
         config.buffer_capacity = 256;
         config.rate_mbps = 50.0;
         config.n_flows = 50;
-        config.packets_per_flow = 4;
+        config.packets_per_flow = 6;
         config.order = host::EmissionOrder::CrossSequence;
         config.seed = options.seed * 4241 + static_cast<std::uint64_t>(rep);
-        config.testbed.controller_config.drop_pkt_in_probability = drop;
+        config.testbed.fault_profile.loss_to_controller = loss;
+        config.testbed.fault_profile.loss_to_switch = loss;
+        config.drain_timeout = sim::SimTime::seconds(2);
         const auto r = core::run_experiment(config);
         delivered_pct.add(100.0 * static_cast<double>(r.packets_delivered) /
                           static_cast<double>(r.packets_sent));
         resends.add(static_cast<double>(r.resend_pkt_ins));
+        lost_msgs.add(static_cast<double>(r.channel_lost_msgs));
         if (r.setup_ms.count() > 0) setup.add(r.setup_ms.mean());
       }
-      table.add_row({mechanism.label, util::format_double(drop * 100, 0),
-                     util::format_double(delivered_pct.mean(), 1),
-                     util::format_double(resends.mean(), 1),
-                     util::format_double(setup.mean(), 3)});
+      loss_table.add_row({mechanism.label, util::format_double(loss * 100, 0),
+                          util::format_double(delivered_pct.mean(), 1),
+                          util::format_double(resends.mean(), 1),
+                          util::format_double(lost_msgs.mean(), 1),
+                          util::format_double(setup.mean(), 3)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nOnly the flow-granularity mechanism recovers dropped requests (its\n"
-               "timeout re-request), sustaining ~100% delivery; the others lose every\n"
-               "packet whose request the controller dropped.\n";
+  loss_table.print(std::cout);
+  std::cout << "\nOnly the flow-granularity mechanism re-requests after a loss, so it\n"
+               "recovers both lost requests and lost releases; packet-granularity\n"
+               "strands the affected packet until buffer expiry, and no-buffer both\n"
+               "loses the frame outright and punts more packets per flow (its\n"
+               "full-frame exchange is slower, widening the vulnerable window).\n\n";
+
+  // ---- Part 2: outage, degradation modes and recovery ----------------------
+  util::TableWriter outage_table(
+      "robustness: control connection outage starting 1.05 s into a 5-flow, 20 Mbps run "
+      "(rules hard-expire after 1 s; echo 50 ms x 3 misses)");
+  outage_table.set_columns({"mechanism", "fail mode", "outage s", "delivered %", "restore ms",
+                            "degraded fwd/drop", "reconcile rereq/exp", "resends"});
+
+  const sim::SimTime outage_start = sim::SimTime::milliseconds(1050);
+  for (const auto& mechanism : mechanisms) {
+    for (const auto fail_mode :
+         {sw::ConnectionFailMode::FailSecure, sw::ConnectionFailMode::FailStandalone}) {
+      for (const double outage_s : {0.3, 0.7}) {
+        util::Summary delivered_pct;
+        util::Summary restore_ms;
+        util::Summary degraded_fwd;
+        util::Summary degraded_drop;
+        util::Summary rereq;
+        util::Summary rexp;
+        util::Summary resends;
+        for (int rep = 0; rep < options.repetitions; ++rep) {
+          core::ExperimentConfig config;
+          config.mode = mechanism.mode;
+          config.buffer_capacity = 256;
+          config.rate_mbps = 20.0;
+          config.n_flows = 5;
+          config.packets_per_flow = 1200;
+          config.order = host::EmissionOrder::CrossSequence;
+          config.seed = options.seed * 51721 + static_cast<std::uint64_t>(rep);
+          config.testbed.controller_config.rule_hard_timeout_s = 1;
+          config.testbed.switch_config.echo_interval = sim::SimTime::milliseconds(50);
+          config.testbed.switch_config.echo_miss_threshold = 3;
+          config.testbed.switch_config.fail_mode = fail_mode;
+          config.testbed.fault_profile.outages.push_back(
+              {outage_start, outage_start + sim::SimTime::from_seconds(outage_s)});
+          config.drain_timeout = sim::SimTime::seconds(2);
+          const auto r = core::run_experiment(config);
+          delivered_pct.add(100.0 * static_cast<double>(r.packets_delivered) /
+                            static_cast<double>(r.packets_sent));
+          if (r.last_reconnect_s >= 0.0) {
+            restore_ms.add(1e3 * (r.last_reconnect_s - (outage_start.sec() + outage_s)));
+          }
+          degraded_fwd.add(static_cast<double>(r.standalone_forwarded));
+          degraded_drop.add(static_cast<double>(r.failsecure_dropped));
+          rereq.add(static_cast<double>(r.reconcile_rerequests));
+          rexp.add(static_cast<double>(r.reconcile_expired));
+          resends.add(static_cast<double>(r.resend_pkt_ins));
+        }
+        outage_table.add_row(
+            {mechanism.label, sw::fail_mode_name(fail_mode), util::format_double(outage_s, 1),
+             util::format_double(delivered_pct.mean(), 1),
+             util::format_double(restore_ms.mean(), 0),
+             util::format_double(degraded_fwd.mean(), 0) + "/" +
+                 util::format_double(degraded_drop.mean(), 0),
+             util::format_double(rereq.mean(), 1) + "/" + util::format_double(rexp.mean(), 1),
+             util::format_double(resends.mean(), 1)});
+      }
+    }
+  }
+  outage_table.print(std::cout);
+  std::cout << "\nThe rules hard-expire into a dead channel, so misses are buffered and\n"
+               "their pkt_ins lost until liveness degrades the switch; from then on\n"
+               "fail-standalone floods misses (fwd) while fail-secure drops them (drop,\n"
+               "after expiring its buffers at degradation). After the short outage the\n"
+               "re-handshake lands while stranded flow-granularity units are younger\n"
+               "than the 500 ms buffer expiry, so reconciliation re-requests and\n"
+               "delivers them; packet-granularity can only expire its orphans. The\n"
+               "long outage outlives the buffer expiry: nothing is left to reconcile\n"
+               "and the buffered packets are lost in every mechanism.\n";
   return 0;
 }

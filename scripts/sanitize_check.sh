@@ -23,5 +23,8 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED"
+# Second pass with channel faults forced on: every scenario exercises the
+# loss/duplication/outage code paths under the sanitizers.
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-faults
 
-echo "sanitize_check: OK (${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED})"
+echo "sanitize_check: OK (2 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED})"

@@ -125,9 +125,13 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
     last_port_stats_ = *port_stats;
   } else if (std::holds_alternative<of::FlowRemoved>(msg)) {
     ++counters_.flow_removed_seen;
-  } else if (std::holds_alternative<of::Hello>(msg)) {
-    // Handshake completion; nothing further to do.
+  } else if (const auto* hello = std::get_if<of::Hello>(&msg)) {
+    // Echo the switch's hello xid back: that completes both the initial
+    // handshake and a post-outage re-handshake on the switch side.
+    ++counters_.hellos_seen;
+    binding(datapath_id).channel->send_from_controller(of::Hello{hello->xid});
   } else if (const auto* echo = std::get_if<of::EchoRequest>(&msg)) {
+    ++counters_.echo_requests_seen;
     binding(datapath_id).channel->send_from_controller(of::EchoReply{echo->xid});
   }
   // EchoReply / FeaturesReply / BarrierReply need no reaction here.

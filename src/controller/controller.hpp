@@ -87,6 +87,8 @@ struct ControllerCounters {
   std::uint64_t stats_requests_sent = 0;
   std::uint64_t stats_replies_seen = 0;
   std::uint64_t errors_seen = 0;
+  std::uint64_t hellos_seen = 0;          // handshakes + re-handshakes answered
+  std::uint64_t echo_requests_seen = 0;   // liveness probes answered
 };
 
 class Controller {

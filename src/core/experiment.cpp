@@ -92,6 +92,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.to_switch_msgs = down.total_count();
   r.to_controller_bytes = up.total_bytes();
   r.to_switch_bytes = down.total_bytes();
+  r.echo_msgs = up.count(of::MsgType::EchoRequest) + up.count(of::MsgType::EchoReply) +
+                down.count(of::MsgType::EchoRequest) + down.count(of::MsgType::EchoReply);
+  r.hello_msgs = up.count(of::MsgType::Hello) + down.count(of::MsgType::Hello);
+  r.error_msgs = up.count(of::MsgType::Error) + down.count(of::MsgType::Error);
+
+  const auto& fc = bed.channel().fault_counters();
+  r.channel_lost_msgs = fc.total_lost();
+  r.channel_duplicated_msgs = fc.total_duplicated();
+  r.channel_outage_dropped_msgs = fc.total_outage_dropped();
+  r.connection_losses = sc.connection_losses;
+  r.reconnects = sc.reconnects;
+  r.failsecure_dropped = sc.failsecure_dropped;
+  r.standalone_forwarded = sc.standalone_forwarded;
+  r.resend_cap_expired = sc.resend_cap_expired;
+  r.reconcile_rerequests = sc.reconcile_rerequests;
+  r.reconcile_expired = sc.reconcile_expired;
+  if (bed.ovs().last_restored_at() > t0) {
+    r.last_reconnect_s = (bed.ovs().last_restored_at() - t0).sec();
+  }
 
   r.packets_sent = gen.packets_emitted();
   r.packets_delivered = bed.sink2().packets_received();
@@ -113,6 +132,14 @@ std::string summarize(const ExperimentResult& r) {
     os << "  buf(avg/max)=" << util::format_double(r.buffer_avg_units, 1) << '/'
        << util::format_double(r.buffer_max_units, 0);
   }
+  if (r.channel_lost_msgs + r.channel_duplicated_msgs + r.channel_outage_dropped_msgs > 0) {
+    os << "  chan(lost/dup/outage)=" << r.channel_lost_msgs << '/' << r.channel_duplicated_msgs
+       << '/' << r.channel_outage_dropped_msgs;
+  }
+  if (r.connection_losses > 0) {
+    os << "  conn(losses/reconnects)=" << r.connection_losses << '/' << r.reconnects;
+  }
+  if (r.echo_msgs > 0) os << "  echo=" << r.echo_msgs;
   return os.str();
 }
 

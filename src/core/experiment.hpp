@@ -79,6 +79,28 @@ struct ExperimentResult {
   std::uint64_t stats_requests = 0;
   std::uint64_t pkt_ins_dropped = 0;  // controller fault injection
 
+  // Liveness / handshake traffic (both directions summed).
+  std::uint64_t echo_msgs = 0;   // echo_request + echo_reply
+  std::uint64_t hello_msgs = 0;
+  std::uint64_t error_msgs = 0;
+
+  // Channel fault injection (see of::ChannelFaultCounters).
+  std::uint64_t channel_lost_msgs = 0;
+  std::uint64_t channel_duplicated_msgs = 0;
+  std::uint64_t channel_outage_dropped_msgs = 0;
+
+  // Degradation and recovery accounting.
+  std::uint64_t connection_losses = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t failsecure_dropped = 0;
+  std::uint64_t standalone_forwarded = 0;
+  std::uint64_t resend_cap_expired = 0;
+  std::uint64_t reconcile_rerequests = 0;
+  std::uint64_t reconcile_expired = 0;
+  // When the last hello re-handshake completed, in seconds relative to the
+  // measurement start; negative if the connection never degraded.
+  double last_reconnect_s = -1.0;
+
   // Conservation / sanity.
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;

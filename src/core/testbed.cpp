@@ -25,6 +25,8 @@ Testbed::Testbed(const TestbedConfig& config) : sink1_(sim_), sink2_(sim_) {
   controller_ =
       std::make_unique<ctrl::Controller>(sim_, config.controller_config, config.seed * 40503u + 1);
   observer_ = config.observer;
+  fault_profile_ = config.fault_profile;
+  seed_ = config.seed;
 
   // Egress wiring: the switch's port N link delivers to host N's sink.
   switch_->attach_port(kHost1Port, host1_link_->reverse(), [this](const net::Packet& p) {
@@ -44,6 +46,10 @@ Testbed::Testbed(const TestbedConfig& config) : sink1_(sim_), sink2_(sim_) {
     channel_->set_verify_tap([obs = observer_](bool to_controller, const of::OfMessage& msg,
                                                std::size_t, sim::SimTime when) {
       obs->on_control_message(to_controller, msg, when);
+    });
+    channel_->set_fault_tap([obs = observer_](bool to_controller, const of::OfMessage& msg,
+                                              of::FaultKind kind, sim::SimTime when) {
+      obs->on_channel_fault(to_controller, msg, kind, when);
     });
   }
   switch_->set_delay_recorder(&recorder_);
@@ -98,6 +104,17 @@ void Testbed::warm_up() {
                        controller_->lookup_mac(host2_mac()).has_value(),
                    "warm-up failed to teach the controller both host locations");
   reset_statistics();
+
+  // Arm channel faults only now: warm-up always runs over a clean channel.
+  // Configured outage windows are relative to the measurement start.
+  if (fault_profile_.any()) {
+    of::FaultProfile armed = fault_profile_;
+    for (auto& w : armed.outages) {
+      w.start = w.start + measurement_start_;
+      w.end = w.end + measurement_start_;
+    }
+    channel_->set_fault_profile(armed, seed_ * 0x9e3779b97f4a7c15ULL + 0xfa017ULL);
+  }
 }
 
 void Testbed::reset_statistics() {

@@ -37,6 +37,10 @@ struct TestbedConfig {
   double control_link_mbps = 1000.0;
   sim::SimTime control_link_delay = sim::SimTime::microseconds(300);
   std::uint64_t seed = 1;
+  // Control-channel fault injection. Armed when warm-up finishes so the
+  // handshake/learning phase always runs over a clean channel; outage
+  // windows are relative to the measurement start (t=0 = end of warm-up).
+  of::FaultProfile fault_profile;
   // Invariant-checking observer (owned by the caller; may be null). Wired
   // into the switch, controller, channel, buffers, injection points and host
   // sinks so a registry sees the complete packet/control event stream.
@@ -94,6 +98,8 @@ class Testbed {
   host::HostSink sink2_;
   metrics::DelayRecorder recorder_;
   verify::InvariantObserver* observer_ = nullptr;
+  of::FaultProfile fault_profile_;
+  std::uint64_t seed_ = 1;
   sim::SimTime measurement_start_;
 };
 

@@ -42,6 +42,64 @@ void MessageCounters::reset() {
 Channel::Channel(sim::Simulator& sim, net::Link& to_controller, net::Link& to_switch)
     : sim_(sim), to_controller_(to_controller), to_switch_(to_switch) {}
 
+void Channel::set_fault_profile(FaultProfile profile, std::uint64_t seed) {
+  for (std::size_t i = 0; i < profile.outages.size(); ++i) {
+    SDNBUF_CHECK_MSG(profile.outages[i].start <= profile.outages[i].end,
+                     "outage window ends before it starts");
+    if (i > 0) {
+      SDNBUF_CHECK_MSG(profile.outages[i - 1].end <= profile.outages[i].start,
+                       "outage windows must be sorted and non-overlapping");
+    }
+  }
+  fault_profile_ = std::move(profile);
+  fault_rng_.emplace(seed);
+  deliver_floor_[0] = deliver_floor_[1] = sim::SimTime::zero();
+}
+
+void Channel::transmit(net::Link& link, Handler& handler, std::vector<std::uint8_t> wire,
+                       std::size_t wire_bytes, const OfMessage& msg, bool to_controller) {
+  const double loss_p =
+      to_controller ? fault_profile_.loss_to_controller : fault_profile_.loss_to_switch;
+  if (fault_rng_ && loss_p > 0.0 && fault_rng_->next_double() < loss_p) {
+    auto& lost =
+        to_controller ? fault_counters_.lost_to_controller : fault_counters_.lost_to_switch;
+    ++lost;
+    if (fault_tap_) fault_tap_(to_controller, msg, FaultKind::Loss, sim_.now());
+    // The doomed copy still occupies the link: loss happens in transit, not
+    // at the sender.
+    link.send(wire_bytes, []() {});
+    return;
+  }
+  const bool jittered = fault_rng_ && fault_profile_.max_extra_delay > sim::SimTime::zero();
+  sim::SimTime extra;
+  if (jittered) {
+    extra = sim::SimTime::nanoseconds(static_cast<std::int64_t>(fault_rng_->next_below(
+        static_cast<std::uint64_t>(fault_profile_.max_extra_delay.ns()) + 1)));
+  }
+  link.send(wire_bytes,
+            [this, &handler, wire = std::move(wire), wire_bytes, extra, jittered, to_controller]() {
+    auto decoded = decode_message(wire);
+    SDNBUF_CHECK_MSG(decoded.has_value(), "control channel delivered an undecodable message");
+    if (!jittered) {
+      if (handler) handler(*decoded, wire_bytes);
+      return;
+    }
+    // Jitter must not reorder a direction's messages (TCP delivers in
+    // order): never deliver before an earlier message's delivery time.
+    sim::SimTime when = sim_.now() + extra;
+    sim::SimTime& floor = deliver_floor_[to_controller ? 1 : 0];
+    if (when < floor) when = floor;
+    floor = when;
+    if (when <= sim_.now()) {
+      if (handler) handler(*decoded, wire_bytes);
+    } else {
+      sim_.schedule(when - sim_.now(), [&handler, delivered = *decoded, wire_bytes]() {
+        if (handler) handler(delivered, wire_bytes);
+      });
+    }
+  });
+}
+
 std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& handler,
                           const OfMessage& msg, bool to_controller) {
   // Encode through the real codec; the decoded copy is delivered to the
@@ -49,14 +107,36 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
   // immediately in every simulation.
   auto wire = encode_message(msg);
   const std::size_t wire_bytes = wire.size() + kTransportOverhead;
+  if (fault_profile_.in_outage(sim_.now())) {
+    // Connection down: the message never reaches the wire, so it appears in
+    // no counter or capture — exactly what tcpdump would (not) see.
+    auto& dropped = to_controller ? fault_counters_.outage_dropped_to_controller
+                                  : fault_counters_.outage_dropped_to_switch;
+    ++dropped;
+    if (fault_tap_) fault_tap_(to_controller, msg, FaultKind::Outage, sim_.now());
+    return wire_bytes;
+  }
+  const double dup_p =
+      to_controller ? fault_profile_.duplicate_to_controller : fault_profile_.duplicate_to_switch;
+  const bool duplicate = fault_rng_ && dup_p > 0.0 && fault_rng_->next_double() < dup_p;
   counters.record(message_type(msg), wire_bytes);
   if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
   if (verify_tap_) verify_tap_(to_controller, msg, wire_bytes, sim_.now());
-  link.send(wire_bytes, [&handler, wire = std::move(wire), wire_bytes]() {
-    auto decoded = decode_message(wire);
-    SDNBUF_CHECK_MSG(decoded.has_value(), "control channel delivered an undecodable message");
-    if (handler) handler(*decoded, wire_bytes);
-  });
+  std::vector<std::uint8_t> copy;
+  if (duplicate) copy = wire;
+  transmit(link, handler, std::move(wire), wire_bytes, msg, to_controller);
+  if (duplicate) {
+    auto& duped = to_controller ? fault_counters_.duplicated_to_controller
+                                : fault_counters_.duplicated_to_switch;
+    ++duped;
+    // Fault tap first, then the duplicate's capture/verify records, so an
+    // observer widens its accounting before seeing the second crossing.
+    if (fault_tap_) fault_tap_(to_controller, msg, FaultKind::Duplicate, sim_.now());
+    counters.record(message_type(msg), wire_bytes);
+    if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
+    if (verify_tap_) verify_tap_(to_controller, msg, wire_bytes, sim_.now());
+    transmit(link, handler, std::move(copy), wire_bytes, msg, to_controller);
+  }
   return wire_bytes;
 }
 

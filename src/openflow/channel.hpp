@@ -10,10 +10,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <vector>
 
 #include "net/link.hpp"
 #include "openflow/messages.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace sdnbuf::of {
 
@@ -30,8 +33,63 @@ class MessageCounters {
 
  private:
   static constexpr std::size_t kSlots = 20;
+  static_assert(kSlots >= kMsgTypeSlots, "MessageCounters must cover every MsgType");
   std::array<std::uint64_t, kSlots> counts_{};
   std::array<std::uint64_t, kSlots> bytes_{};
+};
+
+// A scheduled window (absolute simulation times) during which the control
+// connection is down: nothing sent in either direction reaches the wire.
+struct OutageWindow {
+  sim::SimTime start;
+  sim::SimTime end;  // exclusive
+};
+
+// Seeded channel fault injection. All probabilities are per message; loss
+// and duplication are drawn independently per direction so asymmetric
+// control paths (congested uplink, clean downlink) are expressible. The
+// profile is inert by default — a Channel without one is byte-for-byte the
+// reliable transport it always was.
+struct FaultProfile {
+  double loss_to_controller = 0.0;
+  double loss_to_switch = 0.0;
+  double duplicate_to_controller = 0.0;
+  double duplicate_to_switch = 0.0;
+  // Extra per-delivery jitter, uniform in [0, max_extra_delay]. Delivery
+  // order within a direction is preserved (TCP does not reorder).
+  sim::SimTime max_extra_delay;
+  // Must be sorted by start and non-overlapping.
+  std::vector<OutageWindow> outages;
+
+  [[nodiscard]] bool any() const {
+    return loss_to_controller > 0.0 || loss_to_switch > 0.0 || duplicate_to_controller > 0.0 ||
+           duplicate_to_switch > 0.0 || max_extra_delay > sim::SimTime::zero() ||
+           !outages.empty();
+  }
+  [[nodiscard]] bool in_outage(sim::SimTime now) const {
+    for (const auto& w : outages) {
+      if (now < w.start) return false;
+      if (now < w.end) return true;
+    }
+    return false;
+  }
+};
+
+struct ChannelFaultCounters {
+  std::uint64_t lost_to_controller = 0;
+  std::uint64_t lost_to_switch = 0;
+  std::uint64_t duplicated_to_controller = 0;
+  std::uint64_t duplicated_to_switch = 0;
+  std::uint64_t outage_dropped_to_controller = 0;
+  std::uint64_t outage_dropped_to_switch = 0;
+
+  [[nodiscard]] std::uint64_t total_lost() const { return lost_to_controller + lost_to_switch; }
+  [[nodiscard]] std::uint64_t total_duplicated() const {
+    return duplicated_to_controller + duplicated_to_switch;
+  }
+  [[nodiscard]] std::uint64_t total_outage_dropped() const {
+    return outage_dropped_to_controller + outage_dropped_to_switch;
+  }
 };
 
 class Channel {
@@ -71,9 +129,27 @@ class Channel {
   // the capture tap.
   void set_verify_tap(TapFn tap) { verify_tap_ = std::move(tap); }
 
+  // Installs (or replaces) the fault profile; draws come from a dedicated
+  // Rng stream so fault decisions never perturb the switch/controller cost
+  // jitter streams. Outage windows are absolute simulation times.
+  void set_fault_profile(FaultProfile profile, std::uint64_t seed);
+  [[nodiscard]] const FaultProfile& fault_profile() const { return fault_profile_; }
+  [[nodiscard]] const ChannelFaultCounters& fault_counters() const { return fault_counters_; }
+  // False while an outage window covers `now`.
+  [[nodiscard]] bool connection_up() const { return !fault_profile_.in_outage(sim_.now()); }
+
+  // Fault observation tap: fires once per injected fault, at send time for
+  // outage drops and duplicates, at send time of the doomed copy for losses.
+  // For Duplicate it fires *before* the duplicate's capture/verify tap
+  // records, so an observer can widen its accounting first.
+  using FaultTapFn = std::function<void(bool to_controller, const OfMessage& msg, FaultKind kind,
+                                        sim::SimTime when)>;
+  void set_fault_tap(FaultTapFn tap) { fault_tap_ = std::move(tap); }
+
   void reset_counters() {
     to_controller_counters_.reset();
     to_switch_counters_.reset();
+    fault_counters_ = ChannelFaultCounters{};
   }
 
   // Allocates a fresh transaction id (shared by both endpoints for
@@ -83,6 +159,10 @@ class Channel {
  private:
   std::size_t send(net::Link& link, MessageCounters& counters, Handler& handler,
                    const OfMessage& msg, bool to_controller);
+  // One wire transmission (original or duplicate): loss draw, delay draw,
+  // link transit, in-order delivery to the handler.
+  void transmit(net::Link& link, Handler& handler, std::vector<std::uint8_t> wire,
+                std::size_t wire_bytes, const OfMessage& msg, bool to_controller);
 
   sim::Simulator& sim_;
   net::Link& to_controller_;
@@ -93,6 +173,13 @@ class Channel {
   MessageCounters to_switch_counters_;
   TapFn tap_;
   TapFn verify_tap_;
+  FaultTapFn fault_tap_;
+  FaultProfile fault_profile_;
+  ChannelFaultCounters fault_counters_;
+  std::optional<util::Rng> fault_rng_;
+  // Per-direction delivery-time floor ([0] to_switch, [1] to_controller):
+  // extra-delay jitter must not reorder messages within a direction.
+  sim::SimTime deliver_floor_[2];
   std::uint32_t next_xid_ = 1;
 };
 

@@ -31,6 +31,19 @@ enum class MsgType : std::uint8_t {
   BarrierReply = 19,
 };
 
+// One-past the largest MsgType enumerator; per-type tables (message
+// counters) must cover at least this many slots.
+inline constexpr std::size_t kMsgTypeSlots = static_cast<std::size_t>(MsgType::BarrierReply) + 1;
+
+// Channel fault-injection event kinds (see of::FaultProfile).
+enum class FaultKind : std::uint8_t {
+  Loss = 0,       // the message left the sender but never arrived
+  Duplicate = 1,  // a second copy of the message was delivered
+  Outage = 2,     // the connection was down; the message never hit the wire
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
 // ofp_stats_types (subset of OF 1.0).
 enum class StatsType : std::uint16_t {
   Flow = 1,

@@ -35,6 +35,15 @@ const char* msg_type_name(MsgType t) {
   return "?";
 }
 
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::Loss: return "loss";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::Outage: return "outage";
+  }
+  return "?";
+}
+
 MsgType message_type(const OfMessage& msg) {
   struct Visitor {
     MsgType operator()(const Hello&) const { return MsgType::Hello; }

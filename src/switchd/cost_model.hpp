@@ -70,8 +70,19 @@ struct CostModel {
   // levels of Fig. 8 / Fig. 13).
   sim::SimTime buffer_reclaim_delay = sim::SimTime::milliseconds(4);
 
-  // Flow-granularity re-request timeout (Algorithm 1, line 12).
+  // Flow-granularity re-request timeout (Algorithm 1, line 12). This is the
+  // *initial* timeout; each further re-request multiplies it by
+  // `flow_resend_backoff` up to `flow_resend_timeout_cap` (capped
+  // exponential backoff, so a silent controller is probed ever more
+  // gently instead of periodically forever).
   sim::SimTime flow_resend_timeout = sim::SimTime::milliseconds(20);
+  double flow_resend_backoff = 2.0;
+  sim::SimTime flow_resend_timeout_cap = sim::SimTime::milliseconds(160);
+  // Re-requests per unit before the switch gives up and expires it (the
+  // flow's packets are accounted as expired-in-buffer). With the defaults
+  // the last probe goes out ~300 ms after the first request — inside the
+  // 500 ms buffer_expiry, so the cap (not the sweep) decides the outcome.
+  unsigned max_flow_resends = 4;
 };
 
 }  // namespace sdnbuf::sw

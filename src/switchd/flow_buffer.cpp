@@ -1,5 +1,7 @@
 #include "switchd/flow_buffer.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace sdnbuf::sw {
@@ -21,7 +23,8 @@ std::uint32_t FlowBufferManager::derive_id(const net::FlowKey& key) const {
   }
 }
 
-std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net::Packet& packet) {
+std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net::Packet& packet,
+                                                                       std::uint16_t in_port) {
   const net::FlowKey key = packet.flow_key();
   auto it = flows_.find(key);
   if (it == flows_.end() && units_in_use_ >= capacity_) {
@@ -35,6 +38,7 @@ std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net
     // Algorithm 1, lines 6-9: first miss-match packet of the flow.
     FlowState state;
     state.buffer_id = derive_id(key);
+    state.in_port = in_port;
     state.first_stored_at = sim_.now();
     result.first_of_flow = true;
     result.buffer_id = state.buffer_id;
@@ -110,29 +114,69 @@ const net::Packet* FlowBufferManager::front_packet(std::uint32_t buffer_id) cons
   return packets.empty() ? nullptr : &packets.front();
 }
 
+std::uint16_t FlowBufferManager::in_port_of(std::uint32_t buffer_id) const {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return 0;
+  return flows_.at(idit->second).in_port;
+}
+
+unsigned FlowBufferManager::resend_count(std::uint32_t buffer_id) const {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return 0;
+  return flows_.at(idit->second).resends;
+}
+
+void FlowBufferManager::record_resend(std::uint32_t buffer_id) {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return;
+  ++flows_.at(idit->second).resends;
+}
+
+void FlowBufferManager::reset_request_state(std::uint32_t buffer_id) {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return;
+  FlowState& state = flows_.at(idit->second);
+  state.resends = 0;
+  state.last_request_at.reset();
+}
+
+std::vector<std::uint32_t> FlowBufferManager::live_unit_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [key, state] : flows_) ids.push_back(state.buffer_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 std::size_t FlowBufferManager::expire_older_than(sim::SimTime cutoff) {
-  std::vector<net::FlowKey> stale;
+  std::vector<std::uint32_t> stale;
   for (const auto& [key, state] : flows_) {
-    if (state.first_stored_at <= cutoff) stale.push_back(key);
+    if (state.first_stored_at <= cutoff) stale.push_back(state.buffer_id);
   }
+  std::sort(stale.begin(), stale.end());  // deterministic expiry order
   std::size_t dropped = 0;
-  for (const auto& key : stale) {
-    const auto it = flows_.find(key);
-    const std::uint32_t buffer_id = it->second.buffer_id;
-    if (observer_ != nullptr) {
-      for (const auto& packet : it->second.packets) {
-        observer_->on_buffer_expire(buffer_id, packet, sim_.now());
-      }
+  for (const std::uint32_t buffer_id : stale) dropped += expire_unit(buffer_id);
+  return dropped;
+}
+
+std::size_t FlowBufferManager::expire_unit(std::uint32_t buffer_id) {
+  const auto idit = id_to_flow_.find(buffer_id);
+  if (idit == id_to_flow_.end()) return 0;
+  const auto it = flows_.find(idit->second);
+  SDNBUF_CHECK(it != flows_.end());
+  if (observer_ != nullptr) {
+    for (const auto& packet : it->second.packets) {
+      observer_->on_buffer_expire(buffer_id, packet, sim_.now());
     }
-    dropped += it->second.packets.size();
-    total_expired_ += it->second.packets.size();
-    SDNBUF_CHECK(packets_buffered_ >= it->second.packets.size());
-    packets_buffered_ -= it->second.packets.size();
-    free_unit();
-    id_to_flow_.erase(buffer_id);
-    flows_.erase(it);
-    if (observer_ != nullptr) observer_->on_buffer_unit_retired(buffer_id, sim_.now());
   }
+  const std::size_t dropped = it->second.packets.size();
+  total_expired_ += dropped;
+  SDNBUF_CHECK(packets_buffered_ >= dropped);
+  packets_buffered_ -= dropped;
+  free_unit();
+  flows_.erase(it);
+  id_to_flow_.erase(idit);
+  if (observer_ != nullptr) observer_->on_buffer_unit_retired(buffer_id, sim_.now());
   return dropped;
 }
 

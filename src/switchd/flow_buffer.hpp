@@ -49,8 +49,9 @@ class FlowBufferManager {
 
   // Algorithm 1, lines 5-11: buffers the packet under the flow's shared
   // buffer_id, creating it for the first packet. nullopt when the buffer is
-  // exhausted (caller falls back to a full-frame packet_in).
-  std::optional<StoreResult> store(const net::Packet& packet);
+  // exhausted (caller falls back to a full-frame packet_in). `in_port` is
+  // remembered per flow so a reconnect can rebuild the re-request.
+  std::optional<StoreResult> store(const net::Packet& packet, std::uint16_t in_port = 0);
 
   // Algorithm 2, lines 4-9: removes and returns all buffered packets of the
   // flow in arrival order; empty if the id is unknown.
@@ -68,9 +69,31 @@ class FlowBufferManager {
   // A representative packet of the flow for building a resend packet_in.
   [[nodiscard]] const net::Packet* front_packet(std::uint32_t buffer_id) const;
 
+  // Ingress port of the flow's buffered packets (0 if the id is unknown).
+  [[nodiscard]] std::uint16_t in_port_of(std::uint32_t buffer_id) const;
+
+  // Re-requests already sent for this unit (Algorithm 1 line 13 repeats);
+  // drives the capped exponential backoff.
+  [[nodiscard]] unsigned resend_count(std::uint32_t buffer_id) const;
+  void record_resend(std::uint32_t buffer_id);
+  // Forgets request history (resend count, last request time), as after a
+  // reconnect when the re-request protocol restarts from scratch.
+  void reset_request_state(std::uint32_t buffer_id);
+
+  // Ids of all units currently holding packets (deterministic order), for
+  // post-reconnect reconciliation.
+  [[nodiscard]] std::vector<std::uint32_t> live_unit_ids() const;
+
   // Drops entire flows whose *first* buffered packet is older than `cutoff`;
   // returns the number of packets dropped.
   std::size_t expire_older_than(sim::SimTime cutoff);
+
+  // Drops one unit and its packets (resend cap reached, or the unit turned
+  // out to be unrecoverable); returns the number of packets dropped.
+  std::size_t expire_unit(std::uint32_t buffer_id);
+
+  // Drops everything (fail-secure degradation); returns packets dropped.
+  std::size_t expire_all() { return expire_older_than(sim_.now()); }
 
   [[nodiscard]] std::size_t units_in_use() const { return units_in_use_; }
   [[nodiscard]] std::size_t flows_buffered() const { return flows_.size(); }
@@ -87,6 +110,8 @@ class FlowBufferManager {
  private:
   struct FlowState {
     std::uint32_t buffer_id = 0;
+    std::uint16_t in_port = 0;
+    unsigned resends = 0;
     std::deque<net::Packet> packets;
     sim::SimTime first_stored_at;
     std::optional<sim::SimTime> last_request_at;

@@ -1,5 +1,6 @@
 #include "switchd/packet_buffer.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "openflow/constants.hpp"
@@ -72,6 +73,7 @@ std::size_t PacketBufferManager::expire_older_than(sim::SimTime cutoff) {
   for (const auto& [id, stored] : packets_) {
     if (stored.stored_at <= cutoff) stale.push_back(id);
   }
+  std::sort(stale.begin(), stale.end());  // deterministic expiry order
   for (const auto id : stale) {
     const auto it = packets_.find(id);
     if (observer_ != nullptr) {

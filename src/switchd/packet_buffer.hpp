@@ -46,6 +46,10 @@ class PacketBufferManager {
   // Drops packets stored at or before `cutoff`; returns how many.
   std::size_t expire_older_than(sim::SimTime cutoff);
 
+  // Drops every buffered packet (fail-secure degradation, post-reconnect
+  // orphan reconciliation); returns how many.
+  std::size_t expire_all() { return expire_older_than(sim_.now()); }
+
   // Units currently charged against capacity (stored + awaiting reclaim).
   [[nodiscard]] std::size_t units_in_use() const { return units_in_use_; }
   [[nodiscard]] std::size_t packets_stored() const { return packets_.size(); }

@@ -16,6 +16,14 @@ const char* buffer_mode_name(BufferMode mode) {
   return "?";
 }
 
+const char* fail_mode_name(ConnectionFailMode mode) {
+  switch (mode) {
+    case ConnectionFailMode::FailSecure: return "fail-secure";
+    case ConnectionFailMode::FailStandalone: return "fail-standalone";
+  }
+  return "?";
+}
+
 Switch::Switch(sim::Simulator& sim, SwitchConfig config, std::uint64_t rng_seed)
     : sim_(sim),
       config_(std::move(config)),
@@ -63,11 +71,15 @@ void Switch::connect(of::Channel& channel) {
 
 void Switch::start() {
   sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() { sweep(); });
+  if (config_.echo_interval > sim::SimTime::zero()) {
+    echo_event_ = sim_.schedule(config_.echo_interval, [this]() { echo_tick(); });
+  }
 }
 
 void Switch::stop() {
   running_ = false;
   sweep_event_.cancel();
+  echo_event_.cancel();
 }
 
 sim::SimTime Switch::cost_us(double nominal_us) {
@@ -103,6 +115,10 @@ void Switch::receive(std::uint16_t in_port, net::Packet packet) {
 }
 
 void Switch::handle_miss(std::uint16_t in_port, const net::Packet& packet) {
+  if (conn_state_ != ConnectionState::Connected) {
+    handle_miss_degraded(in_port, packet);
+    return;
+  }
   switch (config_.buffer_mode) {
     case BufferMode::NoBuffer:
       miss_no_buffer(in_port, packet, /*buffer_exhausted=*/false);
@@ -114,6 +130,19 @@ void Switch::handle_miss(std::uint16_t in_port, const net::Packet& packet) {
       miss_flow_granularity(in_port, packet);
       break;
   }
+}
+
+void Switch::handle_miss_degraded(std::uint16_t in_port, const net::Packet& packet) {
+  if (config_.fail_mode == ConnectionFailMode::FailStandalone) {
+    // Standalone fallback: forward without the controller. Flooding is the
+    // L2 baseline a standalone learning switch degenerates to.
+    ++counters_.standalone_forwarded;
+    flood(packet, in_port);
+    return;
+  }
+  ++counters_.failsecure_dropped;
+  ++counters_.packets_dropped;
+  if (observer_ != nullptr) observer_->on_packet_dropped(packet, "fail-secure", sim_.now());
 }
 
 void Switch::miss_no_buffer(std::uint16_t in_port, const net::Packet& packet,
@@ -157,7 +186,7 @@ void Switch::miss_packet_granularity(std::uint16_t in_port, const net::Packet& p
 
 void Switch::miss_flow_granularity(std::uint16_t in_port, const net::Packet& packet) {
   SDNBUF_CHECK(flow_buffer_ != nullptr);
-  const auto stored = flow_buffer_->store(packet);
+  const auto stored = flow_buffer_->store(packet, in_port);
   if (!stored) {
     miss_no_buffer(in_port, packet, /*buffer_exhausted=*/true);
     return;
@@ -187,29 +216,141 @@ void Switch::miss_flow_granularity(std::uint16_t in_port, const net::Packet& pac
   }
 }
 
+sim::SimTime Switch::resend_timeout_for(unsigned resends) const {
+  sim::SimTime timeout = config_.costs.flow_resend_timeout;
+  for (unsigned i = 0; i < resends; ++i) {
+    timeout = timeout.scaled(config_.costs.flow_resend_backoff);
+    if (timeout >= config_.costs.flow_resend_timeout_cap) {
+      return config_.costs.flow_resend_timeout_cap;
+    }
+  }
+  return timeout;
+}
+
 void Switch::schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t in_port) {
-  sim_.schedule(config_.costs.flow_resend_timeout, [this, buffer_id, in_port]() {
+  sim_.schedule(resend_timeout_for(flow_buffer_->resend_count(buffer_id)),
+                [this, buffer_id, in_port]() {
     if (!running_) return;
+    // While degraded the re-request protocol pauses; complete_reconnect()
+    // restarts it for every still-live unit.
+    if (conn_state_ != ConnectionState::Connected) return;
     const net::Packet* front = flow_buffer_ ? flow_buffer_->front_packet(buffer_id) : nullptr;
     if (front == nullptr) return;  // released in the meantime — no resend
+    const unsigned resends = flow_buffer_->resend_count(buffer_id);
+    const sim::SimTime timeout = resend_timeout_for(resends);
     const auto last = flow_buffer_->last_request_at(buffer_id);
-    if (last && sim_.now() - *last < config_.costs.flow_resend_timeout) {
+    if (last && sim_.now() - *last < timeout) {
       schedule_flow_resend_check(buffer_id, in_port);
+      return;
+    }
+    if (resends >= config_.costs.max_flow_resends) {
+      // Algorithm 1's recovery has been exhausted: give the unit up and
+      // account its packets instead of probing a silent controller forever.
+      ++counters_.resend_cap_expired;
+      counters_.buffered_packets_expired += flow_buffer_->expire_unit(buffer_id);
       return;
     }
     // Algorithm 1, lines 12-13: the controller went silent; ask again.
     ++counters_.resend_pkt_ins;
+    flow_buffer_->record_resend(buffer_id);
     const std::size_t data_bytes = std::min<std::size_t>(config_.miss_send_len, front->frame_size);
     const net::Packet packet = *front;
     const double encode_us = config_.costs.pkt_in_base_us +
                              config_.costs.pkt_in_per_byte_us * static_cast<double>(data_bytes);
     cpu_.submit(cost_us(encode_us), [this, in_port, packet, buffer_id, data_bytes]() {
       if (flow_buffer_->front_packet(buffer_id) == nullptr) return;
+      if (conn_state_ != ConnectionState::Connected) return;
       send_packet_in(packet, in_port, buffer_id, data_bytes, of::PacketInReason::FlowResend);
       flow_buffer_->mark_request_sent(buffer_id, sim_.now());
       schedule_flow_resend_check(buffer_id, in_port);
     });
   });
+}
+
+void Switch::echo_tick() {
+  if (!running_) return;
+  if (outstanding_echo_xid_) {
+    // Previous probe is still unanswered — that is one miss.
+    ++echo_misses_;
+    if (conn_state_ == ConnectionState::Connected &&
+        echo_misses_ >= config_.echo_miss_threshold) {
+      enter_degraded();
+    }
+  }
+  SDNBUF_CHECK_MSG(channel_ != nullptr, "liveness requires a connected channel");
+  of::EchoRequest probe{channel_->next_xid()};
+  outstanding_echo_xid_ = probe.xid;
+  ++counters_.echo_requests_sent;
+  channel_->send_from_switch(probe);
+  echo_event_ = sim_.schedule(config_.echo_interval, [this]() { echo_tick(); });
+}
+
+void Switch::enter_degraded() {
+  ++counters_.connection_losses;
+  conn_state_ = ConnectionState::Degraded;
+  SDNBUF_DEBUG("switch", "controller declared lost after " << echo_misses_
+                             << " echo misses; degrading to "
+                             << fail_mode_name(config_.fail_mode));
+  if (config_.fail_mode == ConnectionFailMode::FailSecure) {
+    // Nothing will ever release these units while the controller is gone,
+    // and fail-secure buffers no new misses: expire everything now.
+    if (packet_buffer_ != nullptr) {
+      counters_.buffered_packets_expired += packet_buffer_->expire_all();
+    }
+    if (flow_buffer_ != nullptr) {
+      counters_.buffered_packets_expired += flow_buffer_->expire_all();
+    }
+  }
+  // Fail-standalone keeps the buffered units: the connection may come back
+  // before buffer_expiry, and reconciliation can then recover them.
+}
+
+void Switch::begin_reconnect() {
+  conn_state_ = ConnectionState::Reconnecting;
+  of::Hello hello{channel_->next_xid()};
+  pending_hello_xid_ = hello.xid;
+  channel_->send_from_switch(hello);
+}
+
+void Switch::complete_reconnect() {
+  conn_state_ = ConnectionState::Connected;
+  echo_misses_ = 0;
+  pending_hello_xid_.reset();
+  ++counters_.reconnects;
+  last_restored_at_ = sim_.now();
+  // Reconcile buffer state stranded by the outage.
+  if (flow_buffer_ != nullptr) {
+    // Flow-granularity units are recoverable: re-request each live unit so
+    // the controller can install the rule and release the whole flow.
+    for (const std::uint32_t id : flow_buffer_->live_unit_ids()) {
+      const net::Packet* front = flow_buffer_->front_packet(id);
+      if (front == nullptr) continue;
+      flow_buffer_->reset_request_state(id);
+      ++counters_.reconcile_rerequests;
+      const std::uint16_t in_port = flow_buffer_->in_port_of(id);
+      const std::size_t data_bytes =
+          std::min<std::size_t>(config_.miss_send_len, front->frame_size);
+      const net::Packet packet = *front;
+      const double encode_us =
+          config_.costs.pkt_in_base_us +
+          config_.costs.pkt_in_per_byte_us * static_cast<double>(data_bytes);
+      cpu_.submit(cost_us(encode_us), [this, in_port, packet, id, data_bytes]() {
+        if (flow_buffer_->front_packet(id) == nullptr) return;
+        if (conn_state_ != ConnectionState::Connected) return;
+        send_packet_in(packet, in_port, id, data_bytes, of::PacketInReason::FlowResend);
+        flow_buffer_->mark_request_sent(id, sim_.now());
+        schedule_flow_resend_check(id, in_port);
+      });
+    }
+  }
+  if (packet_buffer_ != nullptr) {
+    // Packet-granularity units are orphans: the controller's packet_outs for
+    // them were lost in the outage and it will never re-issue one for an
+    // unknown buffer_id. Expire them instead of leaking until the sweep.
+    const std::size_t orphans = packet_buffer_->expire_all();
+    counters_.reconcile_expired += orphans;
+    counters_.buffered_packets_expired += orphans;
+  }
 }
 
 void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
@@ -254,6 +395,17 @@ void Switch::on_control_message(const of::OfMessage& msg) {
     handle_packet_out(*po);
   } else if (const auto* echo = std::get_if<of::EchoRequest>(&msg)) {
     channel_->send_from_switch(of::EchoReply{echo->xid});
+  } else if (const auto* reply = std::get_if<of::EchoReply>(&msg)) {
+    ++counters_.echo_replies_received;
+    if (outstanding_echo_xid_ && reply->xid == *outstanding_echo_xid_) {
+      outstanding_echo_xid_.reset();
+      echo_misses_ = 0;
+    }
+    // Any echo reply proves the channel is alive again; start the hello
+    // re-handshake (idempotent while one is already pending).
+    if (conn_state_ == ConnectionState::Degraded) {
+      begin_reconnect();
+    }
   } else if (const auto* feats = std::get_if<of::FeaturesRequest>(&msg)) {
     of::FeaturesReply reply;
     reply.xid = feats->xid;
@@ -282,8 +434,13 @@ void Switch::on_control_message(const of::OfMessage& msg) {
     // Barrier semantics: previous messages are already processed in program
     // order (the channel is FIFO), so replying directly is faithful.
     channel_->send_from_switch(of::BarrierReply{barrier->xid});
-  } else if (std::holds_alternative<of::Hello>(msg)) {
-    channel_->send_from_switch(of::Hello{channel_->next_xid()});
+  } else if (const auto* hello = std::get_if<of::Hello>(&msg)) {
+    // The controller echoes our hello xid back to complete a re-handshake;
+    // unsolicited hellos (initial handshake) need no reply from us.
+    if (pending_hello_xid_ && hello->xid == *pending_hello_xid_ &&
+        conn_state_ == ConnectionState::Reconnecting) {
+      complete_reconnect();
+    }
   }
 }
 

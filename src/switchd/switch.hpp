@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,27 @@ enum class BufferMode {
 
 [[nodiscard]] const char* buffer_mode_name(BufferMode mode);
 
+// What the switch does with miss-match packets while the controller is lost
+// (OpenFlow connection-interruption modes).
+enum class ConnectionFailMode {
+  // Drop packets destined to the controller; buffered units are expired at
+  // degradation (nothing will ever release them while the controller is
+  // gone and new misses are not buffered).
+  FailSecure,
+  // Act as a standalone (learning) switch: forward miss-match packets
+  // without the controller — modeled as flooding, the L2 fallback.
+  FailStandalone,
+};
+
+[[nodiscard]] const char* fail_mode_name(ConnectionFailMode mode);
+
+// Control-connection liveness state.
+enum class ConnectionState {
+  Connected,     // normal operation
+  Degraded,      // echo miss threshold hit; fail_mode governs the datapath
+  Reconnecting,  // liveness returned; hello re-handshake in flight
+};
+
 struct SwitchConfig {
   std::string name = "ovs";
   std::uint64_t datapath_id = 0x0000000000000001ULL;
@@ -64,6 +86,14 @@ struct SwitchConfig {
   // flag (Floodlight sets the flag; we also allow forcing it).
   bool send_flow_removed = false;
   sim::SimTime sweep_interval = sim::SimTime::milliseconds(100);
+  // OpenFlow-style liveness: every `echo_interval` the switch probes the
+  // controller with an echo_request; after `echo_miss_threshold` unanswered
+  // probes in a row it declares the controller lost and degrades into
+  // `fail_mode`. zero interval disables liveness (the connection is assumed
+  // healthy forever, as before the fault plane existed).
+  sim::SimTime echo_interval = sim::SimTime::zero();
+  unsigned echo_miss_threshold = 3;
+  ConnectionFailMode fail_mode = ConnectionFailMode::FailSecure;
   CostModel costs;
   // Egress scheduling for every port (§VII future work). The default Fifo
   // policy is behaviourally identical to sending straight to the link.
@@ -86,6 +116,16 @@ struct SwitchCounters {
   std::uint64_t buffered_packets_expired = 0;
   std::uint64_t flow_removed_sent = 0;
   std::uint64_t stats_requests_handled = 0;
+  // Liveness / degradation / recovery.
+  std::uint64_t echo_requests_sent = 0;
+  std::uint64_t echo_replies_received = 0;
+  std::uint64_t connection_losses = 0;     // Connected -> Degraded transitions
+  std::uint64_t reconnects = 0;            // hello re-handshakes completed
+  std::uint64_t failsecure_dropped = 0;    // misses dropped while degraded
+  std::uint64_t standalone_forwarded = 0;  // misses flooded while degraded
+  std::uint64_t resend_cap_expired = 0;    // flow units expired at max_flow_resends
+  std::uint64_t reconcile_rerequests = 0;  // flow units re-requested after reconnect
+  std::uint64_t reconcile_expired = 0;     // packet units expired as orphans after reconnect
 };
 
 class Switch {
@@ -129,6 +169,10 @@ class Switch {
   [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
   [[nodiscard]] const SwitchConfig& config() const { return config_; }
 
+  [[nodiscard]] ConnectionState connection_state() const { return conn_state_; }
+  // When the last hello re-handshake completed (zero if never degraded).
+  [[nodiscard]] sim::SimTime last_restored_at() const { return last_restored_at_; }
+
   // Units currently charged against the buffer, 0 in NoBuffer mode.
   [[nodiscard]] std::size_t buffer_units_in_use() const;
   [[nodiscard]] const metrics::OccupancyTracker* buffer_occupancy() const;
@@ -163,6 +207,16 @@ class Switch {
   void send_packet_in(const net::Packet& packet, std::uint16_t in_port, std::uint32_t buffer_id,
                       std::size_t data_bytes, of::PacketInReason reason);
   void schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t in_port);
+  // Backoff schedule: timeout * backoff^resends, capped.
+  [[nodiscard]] sim::SimTime resend_timeout_for(unsigned resends) const;
+
+  // Connection lifecycle (liveness probe tick, degradation, hello
+  // re-handshake, stranded-buffer reconciliation).
+  void echo_tick();
+  void enter_degraded();
+  void begin_reconnect();
+  void complete_reconnect();
+  void handle_miss_degraded(std::uint16_t in_port, const net::Packet& packet);
 
   void on_control_message(const of::OfMessage& msg);
   void handle_flow_mod(const of::FlowMod& msg);
@@ -206,6 +260,13 @@ class Switch {
 
   std::unordered_map<std::uint32_t, PendingRequest> pending_requests_;
   sim::EventHandle sweep_event_;
+  sim::EventHandle echo_event_;
+  // Connection lifecycle state.
+  ConnectionState conn_state_ = ConnectionState::Connected;
+  unsigned echo_misses_ = 0;
+  std::optional<std::uint32_t> outstanding_echo_xid_;
+  std::optional<std::uint32_t> pending_hello_xid_;
+  sim::SimTime last_restored_at_;
   // Cleared by stop(): silences housekeeping and the flow-granularity
   // resend timers so a drained simulator can terminate.
   bool running_ = true;

@@ -44,6 +44,8 @@ std::string Violation::to_string() const {
 void InvariantRegistry::attach(of::Channel& channel) {
   channel.set_verify_tap([this](bool to_controller, const of::OfMessage& msg, std::size_t,
                                 sim::SimTime when) { on_control_message(to_controller, msg, when); });
+  channel.set_fault_tap([this](bool to_controller, const of::OfMessage& msg, of::FaultKind kind,
+                               sim::SimTime when) { on_channel_fault(to_controller, msg, kind, when); });
 }
 
 void InvariantRegistry::violate(sim::SimTime when, std::string invariant, std::string detail) {
@@ -78,9 +80,10 @@ void InvariantRegistry::on_packet_delivered(const net::Packet& packet, sim::SimT
   if (account->injected == 0) {
     violate(now, "spurious-delivery", payload_str(packet) + " delivered but never injected");
   }
-  if (++account->delivered > 1) {
+  if (++account->delivered > 1 + account->dup_allowance) {
     violate(now, "duplicate-delivery",
-            payload_str(packet) + " delivered " + std::to_string(account->delivered) + " times");
+            payload_str(packet) + " delivered " + std::to_string(account->delivered) +
+                " times (dup allowance " + std::to_string(account->dup_allowance) + ")");
   }
 }
 
@@ -249,8 +252,12 @@ void InvariantRegistry::on_control_message(bool to_controller, const of::OfMessa
     if (const auto* pi = std::get_if<of::PacketIn>(&msg)) {
       auto& record = packet_ins_[pi->xid];
       if (record.seen_on_wire) {
-        violate(now, "packet-in-xid-reuse",
-                "xid " + std::to_string(pi->xid) + " crossed the channel twice");
+        if (record.allowed_wire_crossings > 0) {
+          --record.allowed_wire_crossings;  // channel duplication, announced
+        } else {
+          violate(now, "packet-in-xid-reuse",
+                  "xid " + std::to_string(pi->xid) + " crossed the channel twice");
+        }
       }
       record.seen_on_wire = true;
       if (!record.has_meta) record.buffer_id = pi->buffer_id;
@@ -294,6 +301,46 @@ void InvariantRegistry::on_control_message(bool to_controller, const of::OfMessa
   }
 }
 
+void InvariantRegistry::on_channel_fault(bool to_controller, const of::OfMessage& msg,
+                                         of::FaultKind kind, sim::SimTime now) {
+  ++events_;
+  (void)now;
+  // A duplicated packet_in legitimately crosses the wire once more; widen
+  // the xid-reuse budget before the second crossing is observed.
+  if (to_controller && kind == of::FaultKind::Duplicate) {
+    if (const auto* pi = std::get_if<of::PacketIn>(&msg)) {
+      ++packet_ins_[pi->xid].allowed_wire_crossings;
+    }
+  }
+  // Attribute the downstream payload effect. Only frame-carrying messages
+  // take a payload with them: a full-frame packet_in upstream, a
+  // data-carrying packet_out downstream. Header-only messages (buffered
+  // packet_ins, flow_mods, echoes, hellos) leave the payload at the switch,
+  // where the resend/expiry machinery stays accountable for it.
+  std::uint32_t xid = 0;
+  bool carries_frame = false;
+  if (to_controller) {
+    if (const auto* pi = std::get_if<of::PacketIn>(&msg)) {
+      xid = pi->xid;
+      carries_frame = pi->buffer_id == of::kNoBuffer;
+    }
+  } else if (const auto* po = std::get_if<of::PacketOut>(&msg)) {
+    xid = po->xid;
+    carries_frame = po->buffer_id == of::kNoBuffer && !po->data.empty();
+  }
+  if (!carries_frame) return;
+  const auto it = packet_ins_.find(xid);
+  if (it == packet_ins_.end() || !it->second.has_meta) return;  // switch hook not wired
+  if (it->second.flow_id == metrics::kUntrackedFlow) return;
+  auto& account = accounts_[PayloadId{it->second.flow_id, it->second.seq_in_flow}];
+  if (kind == of::FaultKind::Duplicate) {
+    ++account.dup_allowance;
+  } else {
+    // Loss or outage took this copy of the frame with it.
+    ++account.lost;
+  }
+}
+
 void InvariantRegistry::finalize(bool expect_all_delivered) {
   finalized_ = true;
   const sim::SimTime when = std::max(last_send_[0], last_send_[1]);
@@ -301,14 +348,17 @@ void InvariantRegistry::finalize(bool expect_all_delivered) {
     const std::uint64_t accounted = static_cast<std::uint64_t>(account.delivered) +
                                     account.dropped + account.expired + account.lost +
                                     account.buffered;
-    if (accounted != account.injected) {
+    // Channel duplication can make one payload arrive (or be attributed)
+    // more than once, so conservation is a window: every injection must be
+    // accounted, and nothing beyond the duplication allowance may be.
+    if (accounted < account.injected || accounted > account.injected + account.dup_allowance) {
       std::ostringstream os;
       os << payload_str(id.first, id.second) << " injected=" << account.injected
          << " delivered=" << account.delivered << " dropped=" << account.dropped
          << " expired=" << account.expired << " lost=" << account.lost
-         << " buffered=" << account.buffered;
+         << " buffered=" << account.buffered << " dup_allowance=" << account.dup_allowance;
       violate(when, "conservation", os.str());
-    } else if (expect_all_delivered && account.delivered != account.injected) {
+    } else if (expect_all_delivered && account.delivered < account.injected) {
       violate(when, "undelivered",
               payload_str(id.first, id.second) + " accounted but never delivered");
     }

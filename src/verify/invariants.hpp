@@ -6,8 +6,11 @@
 //
 //   conservation      every injected payload is delivered exactly once, or
 //                     explicitly accounted (dropped at the switch, expired
-//                     from a buffer, lost to controller fault injection, or
-//                     still buffered when the run ends)
+//                     from a buffer, lost to controller fault injection or a
+//                     channel fault, or still buffered when the run ends);
+//                     channel duplication of frame-carrying messages widens
+//                     the budget by an explicit per-payload allowance, so
+//                     conservation stays closed under injected faults
 //   buffer lifecycle  buffer_ids are never reused while live, never released
 //                     twice, never leak packets, and a flow-granularity id
 //                     stays stable for its 5-tuple while the unit is live
@@ -73,6 +76,8 @@ class InvariantRegistry final : public InvariantObserver {
                          sim::SimTime now) override;
   void on_pkt_in_dropped(std::uint32_t xid, std::uint32_t buffer_id, sim::SimTime now) override;
   void on_control_message(bool to_controller, const of::OfMessage& msg, sim::SimTime now) override;
+  void on_channel_fault(bool to_controller, const of::OfMessage& msg, of::FaultKind kind,
+                        sim::SimTime now) override;
 
   // End-of-run accounting. With `expect_all_delivered` every tracked payload
   // must have been delivered; otherwise full accounting (delivered + dropped
@@ -102,8 +107,13 @@ class InvariantRegistry final : public InvariantObserver {
     std::uint32_t delivered = 0;
     std::uint32_t dropped = 0;
     std::uint32_t expired = 0;
-    std::uint32_t lost = 0;      // full-frame packet_in discarded by the controller
+    std::uint32_t lost = 0;      // full-frame message discarded (controller
+                                 // fault injection or channel loss/outage)
     std::uint32_t buffered = 0;  // currently held by a buffer manager
+    // Channel duplication of a frame-carrying message can legitimately make
+    // the payload arrive (or get accounted) up to this many extra times;
+    // conservation becomes a window instead of an equality.
+    std::uint32_t dup_allowance = 0;
   };
 
   struct LiveUnit {
@@ -120,6 +130,9 @@ class InvariantRegistry final : public InvariantObserver {
     std::uint32_t seq_in_flow = 0;
     bool has_meta = false;   // switch-side hook ran (metadata known)
     bool seen_on_wire = false;
+    // Channel duplication: this many further wire crossings of the same xid
+    // are legitimate, not an xid-reuse violation.
+    std::uint32_t allowed_wire_crossings = 0;
   };
 
   void violate(sim::SimTime when, std::string invariant, std::string detail);

@@ -59,6 +59,17 @@ class InvariantObserver {
   // channel's verify tap).
   virtual void on_control_message(bool to_controller, const of::OfMessage& msg,
                                   sim::SimTime now) = 0;
+  // A channel fault hit `msg`: lost in transit, never sent (outage), or
+  // delivered twice (duplicate). Fires via the channel's fault tap; for
+  // duplicates it fires before the duplicate's on_control_message. Default
+  // no-op so observers that predate the fault plane keep compiling.
+  virtual void on_channel_fault(bool to_controller, const of::OfMessage& msg, of::FaultKind kind,
+                                sim::SimTime now) {
+    (void)to_controller;
+    (void)msg;
+    (void)kind;
+    (void)now;
+  }
 };
 
 }  // namespace sdnbuf::verify

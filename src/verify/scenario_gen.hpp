@@ -34,6 +34,27 @@ struct Scenario {
   double drop_pkt_in_probability = 0.0;
   sim::SimTime stats_poll_interval = sim::SimTime::zero();
 
+  // Control-channel fault plane (armed after warm-up; see
+  // TestbedConfig::fault_profile). Loss/duplication are symmetric per
+  // direction here to keep the sampled space small.
+  double chan_loss_to_controller = 0.0;
+  double chan_loss_to_switch = 0.0;
+  double chan_duplicate_prob = 0.0;
+  sim::SimTime chan_extra_delay = sim::SimTime::zero();
+  // A single outage window relative to measurement start; zero length = none.
+  sim::SimTime outage_start = sim::SimTime::zero();
+  sim::SimTime outage_len = sim::SimTime::zero();
+  // Liveness + degradation mode (echo disabled unless an outage or faults
+  // make it interesting).
+  sim::SimTime echo_interval = sim::SimTime::zero();
+  sw::ConnectionFailMode fail_mode = sw::ConnectionFailMode::FailSecure;
+
+  [[nodiscard]] bool has_channel_faults() const {
+    return chan_loss_to_controller > 0.0 || chan_loss_to_switch > 0.0 ||
+           chan_duplicate_prob > 0.0 || chan_extra_delay > sim::SimTime::zero() ||
+           outage_len > sim::SimTime::zero();
+  }
+
   // One-line parameter dump for failure reports.
   [[nodiscard]] std::string describe() const;
 
@@ -45,8 +66,10 @@ struct Scenario {
 // Deterministic seed -> scenario mapping covering the paper's operating
 // envelope plus stress corners: undersized buffers, tiny flow tables
 // (eviction), controller fault injection (Algorithm 1 re-request), stats
-// polling and the piggyback ablation.
-[[nodiscard]] Scenario sample_scenario(std::uint64_t seed);
+// polling, the piggyback ablation and control-channel faults
+// (loss/duplication/jitter/outage). `force_faults` guarantees the sampled
+// scenario exercises the channel fault plane (used by the CI smoke step).
+[[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;

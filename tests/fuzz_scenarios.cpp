@@ -18,10 +18,10 @@
 int main(int argc, char** argv) {
   using namespace sdnbuf;
 
-  util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose"});
+  util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose", "force-faults"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\nusage: fuzz_scenarios [--runs N] [--seed S] [--offset K] "
-                         "[--verbose]\n",
+                         "[--verbose] [--force-faults]\n",
                  flags.error().c_str());
     return 2;
   }
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const long long base_seed = flags.get_int("seed", 1);
   const long long offset = flags.get_int("offset", 0);
   const bool verbose = flags.get_bool("verbose", false);
+  const bool force_faults = flags.get_bool("force-faults", false);
   if (runs < 1) {
     std::fprintf(stderr, "fuzz_scenarios: --runs must be a positive integer\n");
     return 2;
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
   int failed = 0;
   for (long long i = offset; i < offset + runs; ++i) {
     const verify::Scenario scenario =
-        verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i));
+        verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i), force_faults);
     const verify::ScenarioOutcome outcome = verify::run_scenario(scenario);
     if (outcome.ok()) {
       if (verbose) {
@@ -58,8 +59,8 @@ int main(int argc, char** argv) {
     for (const auto& failure : outcome.failures) {
       std::printf("      %s\n", failure.c_str());
     }
-    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1\n",
-                base_seed + i);
+    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s\n",
+                base_seed + i, force_faults ? " --force-faults" : "");
   }
 
   std::printf("fuzz_scenarios: %lld scenario(s) x 3 modes, %d failure(s)\n", runs, failed);

@@ -226,6 +226,54 @@ TEST_P(DeterminismTest, SameSeedSameCaptureTrace) {
   }
 }
 
+// Satellite of the fault plane: fault injection must be just as
+// deterministic as the fault-free path — same seed and same FaultProfile
+// produce byte-identical captures and identical fault decisions.
+TEST_P(DeterminismTest, SameSeedSameFaultDecisions) {
+  auto run = [this](of::ChannelCapture& capture) {
+    core::ExperimentConfig cfg;
+    cfg.mode = GetParam();
+    cfg.buffer_capacity = 32;
+    cfg.rate_mbps = 40.0;
+    cfg.frame_size = 400;
+    cfg.n_flows = 30;
+    cfg.packets_per_flow = 2;
+    cfg.seed = 1234;
+    cfg.capture = &capture;
+    cfg.testbed.fault_profile.loss_to_controller = 0.08;
+    cfg.testbed.fault_profile.loss_to_switch = 0.08;
+    cfg.testbed.fault_profile.duplicate_to_controller = 0.04;
+    cfg.testbed.fault_profile.duplicate_to_switch = 0.04;
+    cfg.testbed.fault_profile.max_extra_delay = sim::SimTime::microseconds(500);
+    return core::run_experiment(cfg);
+  };
+  of::ChannelCapture first;
+  of::ChannelCapture second;
+  const auto r1 = run(first);
+  const auto r2 = run(second);
+
+  // Identical fault decisions...
+  EXPECT_EQ(r1.channel_lost_msgs, r2.channel_lost_msgs);
+  EXPECT_EQ(r1.channel_duplicated_msgs, r2.channel_duplicated_msgs);
+  EXPECT_GT(r1.channel_lost_msgs + r1.channel_duplicated_msgs, 0u)
+      << "fault profile injected nothing; the regression is vacuous";
+  EXPECT_EQ(r1.packets_delivered, r2.packets_delivered);
+  EXPECT_EQ(r1.resend_pkt_ins, r2.resend_pkt_ins);
+  // ...and byte-identical captures.
+  const auto& a = first.records();
+  const auto& b = second.records();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp.ns(), b[i].timestamp.ns()) << "record " << i;
+    ASSERT_EQ(a[i].direction, b[i].direction) << "record " << i;
+    ASSERT_EQ(a[i].type, b[i].type) << "record " << i;
+    ASSERT_EQ(a[i].xid, b[i].xid) << "record " << i;
+    ASSERT_EQ(a[i].wire_bytes, b[i].wire_bytes) << "record " << i;
+    ASSERT_EQ(a[i].summary, b[i].summary) << "record " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismTest,
                          ::testing::Values(sw::BufferMode::NoBuffer,
                                            sw::BufferMode::PacketGranularity,
