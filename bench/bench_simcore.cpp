@@ -1,0 +1,224 @@
+// Simulation-core performance benchmark — the repo's perf trajectory.
+//
+// Three layers, mirroring the performance engine (DESIGN.md §9):
+//
+//   scheduler   events/sec on a scheduler-only workload (self-rescheduling
+//               timer chain plus a cancelled victim per tick, so slot reuse
+//               and tombstone handling are both on the clock)
+//   e1_run      packets/sec through the full reactive path on a standard E1
+//               run (1000 single-packet UDP flows at 50 Mbps, buffer-256)
+//   sweep       wall-clock of a repeated E1 sweep at --jobs 1 vs --jobs N,
+//               with the bitwise determinism contract checked on the spot
+//
+// Results go to stdout and to a JSON file (default BENCH_simcore.json in
+// the current directory — run from the repo root to seed the trajectory).
+// CI runs `--quick` and uploads the JSON as an artifact so regressions in
+// events/sec, packets/sec, or parallel speedup are visible per commit.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using sdnbuf::sim::EventHandle;
+using sdnbuf::sim::Simulator;
+using sdnbuf::sim::SimTime;
+namespace core = sdnbuf::core;
+namespace sw = sdnbuf::sw;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Scheduler-only workload. Each tick cancels the previous victim timer,
+// schedules a fresh one, and reschedules itself: 2 schedules + 1 cancel per
+// tick, all through pooled slots. Captures fit the EventFn inline buffer.
+struct Tick {
+  Simulator* sim;
+  std::uint64_t* remaining;
+  EventHandle* victim;
+  void operator()() const {
+    if (victim->pending()) victim->cancel();
+    *victim = sim->schedule(SimTime::milliseconds(10), []() {});
+    if (--*remaining > 0) sim->schedule(SimTime::microseconds(1), Tick{*this});
+  }
+};
+
+struct SchedulerScore {
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+};
+
+SchedulerScore bench_scheduler(std::uint64_t ticks) {
+  Simulator sim;
+  std::uint64_t remaining = ticks;
+  EventHandle victim;
+  sim.schedule(SimTime::zero(), Tick{&sim, &remaining, &victim});
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  SchedulerScore score;
+  score.wall_s = seconds_since(t0);
+  score.executed = sim.executed_events();
+  score.cancelled = ticks - 1;  // every victim but the last is cancelled
+  score.events_per_sec = static_cast<double>(score.executed) / score.wall_s;
+  return score;
+}
+
+core::ExperimentConfig e1_config() {
+  core::ExperimentConfig config;
+  config.mode = sw::BufferMode::PacketGranularity;
+  config.buffer_capacity = 256;
+  config.rate_mbps = 50.0;
+  config.frame_size = 1000;
+  config.n_flows = 1000;
+  config.packets_per_flow = 1;
+  config.seed = 1;
+  return config;
+}
+
+struct E1Score {
+  std::uint64_t runs = 0;
+  std::uint64_t packets = 0;
+  double wall_s = 0.0;
+  double packets_per_sec = 0.0;
+};
+
+E1Score bench_e1(int runs) {
+  E1Score score;
+  score.runs = static_cast<std::uint64_t>(runs);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < runs; ++i) {
+    core::ExperimentConfig config = e1_config();
+    config.seed = static_cast<std::uint64_t>(i + 1);
+    const core::ExperimentResult r = core::run_experiment(config);
+    score.packets += r.packets_delivered;
+    // run_experiment tears the testbed down, so count what the workload
+    // pushed through: every delivered packet crossed the full reactive
+    // path (miss -> packet_in -> flow_mod/packet_out -> forward).
+  }
+  score.wall_s = seconds_since(t0);
+  score.packets_per_sec = static_cast<double>(score.packets) / score.wall_s;
+  return score;
+}
+
+struct SweepScore {
+  std::size_t rates = 0;
+  int reps = 0;
+  unsigned jobs = 1;
+  double sequential_s = 0.0;
+  double parallel_s = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+SweepScore bench_sweep(bool quick, unsigned jobs) {
+  core::SweepConfig sweep;
+  sweep.base = e1_config();
+  sweep.rates_mbps = quick ? std::vector<double>{5, 50} : std::vector<double>{5, 50, 100};
+  sweep.repetitions = quick ? 4 : 20;
+
+  SweepScore score;
+  score.rates = sweep.rates_mbps.size();
+  score.reps = sweep.repetitions;
+  score.jobs = jobs;
+
+  sweep.jobs = 1;
+  auto t0 = std::chrono::steady_clock::now();
+  const core::SweepResult sequential = core::run_sweep(sweep, "e1");
+  score.sequential_s = seconds_since(t0);
+
+  sweep.jobs = static_cast<int>(jobs);
+  t0 = std::chrono::steady_clock::now();
+  const core::SweepResult parallel = core::run_sweep(sweep, "e1");
+  score.parallel_s = seconds_since(t0);
+
+  score.speedup = score.sequential_s / score.parallel_s;
+  std::ostringstream seq_csv;
+  std::ostringstream par_csv;
+  core::write_csv(sequential, seq_csv);
+  core::write_csv(parallel, par_csv);
+  score.identical = core::bitwise_equal(sequential, parallel) && seq_csv.str() == par_csv.str();
+  return score;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sdnbuf::util::CliFlags flags(argc, argv, {"quick", "jobs", "out", "e1-runs", "ticks"});
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n"
+              << "usage: " << argv[0] << " [--quick] [--jobs N] [--out PATH]\n";
+    return 1;
+  }
+  const bool quick = flags.get_bool("quick", false);
+  const unsigned jobs = static_cast<unsigned>(flags.get_int(
+      "jobs", static_cast<long long>(sdnbuf::util::ThreadPool::default_parallelism())));
+  const std::string out_path = flags.get_string("out", "BENCH_simcore.json");
+  const auto ticks =
+      static_cast<std::uint64_t>(flags.get_int("ticks", quick ? 300'000 : 2'000'000));
+  const int e1_runs = static_cast<int>(flags.get_int("e1-runs", quick ? 1 : 3));
+
+  std::printf("bench_simcore (%s, jobs=%u)\n", quick ? "quick" : "full", jobs);
+
+  const SchedulerScore sched = bench_scheduler(ticks);
+  std::printf("scheduler : %llu events (%llu cancels) in %.3f s -> %.0f events/sec\n",
+              static_cast<unsigned long long>(sched.executed),
+              static_cast<unsigned long long>(sched.cancelled), sched.wall_s,
+              sched.events_per_sec);
+
+  const E1Score e1 = bench_e1(e1_runs);
+  std::printf("e1_run    : %llu packets over %llu runs in %.3f s -> %.0f packets/sec\n",
+              static_cast<unsigned long long>(e1.packets),
+              static_cast<unsigned long long>(e1.runs), e1.wall_s, e1.packets_per_sec);
+
+  const SweepScore sweep = bench_sweep(quick, jobs);
+  std::printf(
+      "sweep     : %zu rates x %d reps  jobs=1 %.3f s  jobs=%u %.3f s  speedup %.2fx  %s\n",
+      sweep.rates, sweep.reps, sweep.sequential_s, sweep.jobs, sweep.parallel_s, sweep.speedup,
+      sweep.identical ? "bit-identical" : "DIVERGED");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"simcore\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"scheduler\": {\n"
+      << "    \"executed_events\": " << sched.executed << ",\n"
+      << "    \"cancelled_events\": " << sched.cancelled << ",\n"
+      << "    \"wall_s\": " << sched.wall_s << ",\n"
+      << "    \"events_per_sec\": " << sched.events_per_sec << "\n"
+      << "  },\n"
+      << "  \"e1_run\": {\n"
+      << "    \"runs\": " << e1.runs << ",\n"
+      << "    \"packets\": " << e1.packets << ",\n"
+      << "    \"wall_s\": " << e1.wall_s << ",\n"
+      << "    \"packets_per_sec\": " << e1.packets_per_sec << "\n"
+      << "  },\n"
+      << "  \"sweep\": {\n"
+      << "    \"rates\": " << sweep.rates << ",\n"
+      << "    \"repetitions\": " << sweep.reps << ",\n"
+      << "    \"jobs\": " << sweep.jobs << ",\n"
+      << "    \"sequential_s\": " << sweep.sequential_s << ",\n"
+      << "    \"parallel_s\": " << sweep.parallel_s << ",\n"
+      << "    \"speedup\": " << sweep.speedup << ",\n"
+      << "    \"identical\": " << (sweep.identical ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return sweep.identical ? 0 : 1;
+}

@@ -6,16 +6,17 @@
 #include <iostream>
 
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdnbuf::bench {
 
 Options parse_options(int argc, char** argv) {
-  const util::CliFlags flags(argc, argv,
-                             {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet"});
+  const util::CliFlags flags(
+      argc, argv, {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet", "jobs"});
   if (!flags.ok()) {
     std::cerr << flags.error() << "\n"
               << "usage: " << argv[0]
-              << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S]\n";
+              << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S] [--jobs N]\n";
     std::exit(1);
   }
   Options options;
@@ -27,6 +28,9 @@ Options parse_options(int argc, char** argv) {
   options.csv_dir = flags.get_string("csv-dir", "results");
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   options.quiet = flags.get_bool("quiet", false);
+  options.jobs = static_cast<int>(flags.get_int(
+      "jobs", static_cast<long long>(util::ThreadPool::default_parallelism())));
+  if (options.jobs < 1) options.jobs = 1;
   return options;
 }
 
@@ -55,6 +59,7 @@ core::SweepResult run_sweep_for(const Options& options, const MechanismSpec& mec
   core::SweepConfig sweep;
   sweep.rates_mbps = options.rates;
   sweep.repetitions = options.repetitions;
+  sweep.jobs = options.jobs;
   sweep.base = base;
   return core::run_sweep(sweep, mechanism.label);
 }

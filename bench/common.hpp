@@ -27,9 +27,14 @@ struct Options {
   std::string csv_dir = "results";
   bool quiet = false;
   std::uint64_t seed = 1;
+  // Sweep worker threads (core::SweepConfig::jobs). Defaults to
+  // hardware_concurrency; results are bit-identical for any value, and
+  // --jobs 1 runs the historical sequential path.
+  int jobs = 0;  // 0 -> ThreadPool::default_parallelism(), set by parse_options
 };
 
-// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed; exits on bad flags.
+// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed/--jobs; exits on bad
+// flags.
 [[nodiscard]] Options parse_options(int argc, char** argv);
 
 // The three E1 mechanism variants of §IV.

@@ -5,6 +5,10 @@
 # runs all three buffer mechanisms with the invariant registry attached, so a
 # clean exit means no memory error, no UB, and no invariant violation.
 #
+# A second build with ThreadSanitizer then runs the concurrency tests (the
+# thread pool and the parallel-sweep determinism contract), gating the
+# parallel sweep engine on data-race freedom.
+#
 # Usage: scripts/sanitize_check.sh [build_dir] [fuzz_runs] [fuzz_seed]
 set -euo pipefail
 
@@ -27,4 +31,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # loss/duplication/outage code paths under the sanitizers.
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-faults
 
-echo "sanitize_check: OK (2 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED})"
+# ThreadSanitizer pass over the concurrent pieces. TSan cannot be combined
+# with ASan, hence the separate build tree.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSDNBUF_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target test_thread_pool test_parallel_sweep
+
+export TSAN_OPTIONS="halt_on_error=1"
+"$TSAN_DIR/tests/test_thread_pool"
+"$TSAN_DIR/tests/test_parallel_sweep"
+
+echo "sanitize_check: OK (2 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"

@@ -4,9 +4,19 @@
 // means (and spreads) per rate. `run_sweep` does the same: per rate, run
 // `repetitions` seeds, collect each run's scalar metrics into Summaries,
 // and pool the per-flow delay samples.
+//
+// The sweep is embarrassingly parallel — every (rate, repetition) cell owns
+// an independent Simulator/Testbed and a seed derived only from the cell's
+// coordinates — so `jobs > 1` fans the cells out across a util::ThreadPool.
+// Determinism contract: workers store each cell's ExperimentResult into a
+// pre-assigned slot and the merge into RatePoints happens sequentially on
+// the calling thread, in exactly the order the jobs=1 loop uses. Results
+// are therefore bit-identical (including Summary merge order, which matters
+// in floating point) for any job count.
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -18,6 +28,11 @@ namespace sdnbuf::core {
 struct SweepConfig {
   std::vector<double> rates_mbps;  // empty -> default_rates()
   int repetitions = 20;
+  // Worker threads for the (rate, repetition) fan-out. 1 = run inline on the
+  // calling thread (the historical sequential path). Forced to 1 when the
+  // base config carries an observer or capture, since those are single
+  // shared sinks. Values above the cell count are clamped.
+  int jobs = 1;
   ExperimentConfig base;
 };
 
@@ -61,7 +76,18 @@ struct SweepResult {
 
 using ProgressFn = std::function<void(double rate_mbps, int repetition)>;
 
+// With jobs > 1 the progress callback fires from worker threads (serialized
+// by an internal mutex) in completion-start order, not sweep order.
 [[nodiscard]] SweepResult run_sweep(const SweepConfig& config, std::string label,
                                     const ProgressFn& progress = nullptr);
+
+// Exact (bitwise) equality across every Summary field of every point — the
+// parallel determinism contract checked by tests and bench_simcore.
+[[nodiscard]] bool bitwise_equal(const SweepResult& a, const SweepResult& b);
+
+// Canonical CSV serialization of a sweep (full precision, one row per
+// rate). Used to assert that parallel and sequential sweeps produce
+// byte-identical CSV output.
+void write_csv(const SweepResult& result, std::ostream& out);
 
 }  // namespace sdnbuf::core

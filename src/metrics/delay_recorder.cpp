@@ -42,6 +42,12 @@ const DelayRecorder::FlowRecord* DelayRecorder::record(std::uint64_t flow_id) co
 DelayRecorder::Result DelayRecorder::finalize() const {
   Result out;
   out.flows_seen = flows_.size();
+  // One sample per complete flow: reserving up front avoids the realloc
+  // churn profiled at 20 reps x 1000 flows in the sweep pooling paths.
+  out.setup_ms.reserve(flows_.size());
+  out.controller_ms.reserve(flows_.size());
+  out.switch_ms.reserve(flows_.size());
+  out.forwarding_ms.reserve(flows_.size());
   for (const auto& [id, r] : flows_) {
     out.packets_departed += r.packets_departed;
     out.packets_delivered += r.packets_delivered;

@@ -28,8 +28,8 @@ std::size_t Packet::header_size() const {
   return n;
 }
 
-std::vector<std::uint8_t> Packet::serialize(std::size_t max_bytes) const {
-  std::vector<std::uint8_t> out;
+void Packet::serialize_into(std::size_t max_bytes, std::vector<std::uint8_t>& out) const {
+  out.clear();
   const std::size_t want = std::min<std::size_t>(frame_size, max_bytes);
   out.reserve(want);
   eth.encode(out);
@@ -44,6 +44,11 @@ std::vector<std::uint8_t> Packet::serialize(std::size_t max_bytes) const {
   } else {
     out.insert(out.end(), want - out.size(), 0);  // zero payload
   }
+}
+
+std::vector<std::uint8_t> Packet::serialize(std::size_t max_bytes) const {
+  std::vector<std::uint8_t> out;
+  serialize_into(max_bytes, out);
   return out;
 }
 

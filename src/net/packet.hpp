@@ -43,6 +43,10 @@ struct Packet {
   // (headers, then zero payload padding).
   [[nodiscard]] std::vector<std::uint8_t> serialize(std::size_t max_bytes) const;
 
+  // Serializes into `out` (cleared first), reusing its capacity — the
+  // hot-path variant for packet_in/packet_out data fields.
+  void serialize_into(std::size_t max_bytes, std::vector<std::uint8_t>& out) const;
+
   // Parses headers back from wire bytes (e.g. a packet_in data field).
   // Frame size is taken from `total_frame_size` since the data field may be
   // a truncated prefix. Metadata fields are left default.

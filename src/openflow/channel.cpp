@@ -56,6 +56,20 @@ void Channel::set_fault_profile(FaultProfile profile, std::uint64_t seed) {
   deliver_floor_[0] = deliver_floor_[1] = sim::SimTime::zero();
 }
 
+std::vector<std::uint8_t> Channel::acquire_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buffer;
+}
+
+void Channel::release_buffer(std::vector<std::uint8_t>&& buffer) {
+  static constexpr std::size_t kMaxPooledBuffers = 64;
+  if (buffer_pool_.size() >= kMaxPooledBuffers) return;  // let it free
+  buffer.clear();
+  buffer_pool_.push_back(std::move(buffer));
+}
+
 void Channel::transmit(net::Link& link, Handler& handler, std::vector<std::uint8_t> wire,
                        std::size_t wire_bytes, const OfMessage& msg, bool to_controller) {
   const double loss_p =
@@ -67,6 +81,7 @@ void Channel::transmit(net::Link& link, Handler& handler, std::vector<std::uint8
     if (fault_tap_) fault_tap_(to_controller, msg, FaultKind::Loss, sim_.now());
     // The doomed copy still occupies the link: loss happens in transit, not
     // at the sender.
+    release_buffer(std::move(wire));
     link.send(wire_bytes, []() {});
     return;
   }
@@ -77,9 +92,11 @@ void Channel::transmit(net::Link& link, Handler& handler, std::vector<std::uint8
         static_cast<std::uint64_t>(fault_profile_.max_extra_delay.ns()) + 1)));
   }
   link.send(wire_bytes,
-            [this, &handler, wire = std::move(wire), wire_bytes, extra, jittered, to_controller]() {
+            [this, &handler, wire = std::move(wire), wire_bytes, extra, jittered,
+             to_controller]() mutable {
     auto decoded = decode_message(wire);
     SDNBUF_CHECK_MSG(decoded.has_value(), "control channel delivered an undecodable message");
+    release_buffer(std::move(wire));
     if (!jittered) {
       if (handler) handler(*decoded, wire_bytes);
       return;
@@ -104,8 +121,10 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
                           const OfMessage& msg, bool to_controller) {
   // Encode through the real codec; the decoded copy is delivered to the
   // receiver, so any asymmetry between encode and decode would surface
-  // immediately in every simulation.
-  auto wire = encode_message(msg);
+  // immediately in every simulation. The wire bytes live in a pooled
+  // scratch buffer that returns to the pool after decode.
+  auto wire = acquire_buffer();
+  encode_message_into(msg, wire);
   const std::size_t wire_bytes = wire.size() + kTransportOverhead;
   if (fault_profile_.in_outage(sim_.now())) {
     // Connection down: the message never reaches the wire, so it appears in
@@ -114,6 +133,7 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
                                   : fault_counters_.outage_dropped_to_switch;
     ++dropped;
     if (fault_tap_) fault_tap_(to_controller, msg, FaultKind::Outage, sim_.now());
+    release_buffer(std::move(wire));
     return wire_bytes;
   }
   const double dup_p =
@@ -123,7 +143,10 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
   if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
   if (verify_tap_) verify_tap_(to_controller, msg, wire_bytes, sim_.now());
   std::vector<std::uint8_t> copy;
-  if (duplicate) copy = wire;
+  if (duplicate) {
+    copy = acquire_buffer();
+    copy.assign(wire.begin(), wire.end());
+  }
   transmit(link, handler, std::move(wire), wire_bytes, msg, to_controller);
   if (duplicate) {
     auto& duped = to_controller ? fault_counters_.duplicated_to_controller

@@ -164,6 +164,13 @@ class Channel {
   void transmit(net::Link& link, Handler& handler, std::vector<std::uint8_t> wire,
                 std::size_t wire_bytes, const OfMessage& msg, bool to_controller);
 
+  // Scratch-buffer pool for wire encodings. A buffer is checked out at send
+  // time, rides inside the delivery closure while in flight, and returns to
+  // the pool (capacity intact) once decoded — so steady-state encode/deliver
+  // performs no allocation. Bounded so a burst cannot pin memory forever.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t>&& buffer);
+
   sim::Simulator& sim_;
   net::Link& to_controller_;
   net::Link& to_switch_;
@@ -181,6 +188,7 @@ class Channel {
   // extra-delay jitter must not reorder messages within a direction.
   sim::SimTime deliver_floor_[2];
   std::uint32_t next_xid_ = 1;
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
 };
 
 }  // namespace sdnbuf::of

@@ -157,8 +157,8 @@ std::optional<PortDesc> decode_port(std::span<const std::uint8_t> in) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_message(const OfMessage& msg) {
-  std::vector<std::uint8_t> out;
+void encode_message_into(const OfMessage& msg, std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(encoded_size(msg));
   const MsgType type = message_type(msg);
   const std::uint32_t xid = message_xid(msg);
@@ -295,6 +295,11 @@ std::vector<std::uint8_t> encode_message(const OfMessage& msg) {
   put_header(out, type, total, xid);
   std::visit(Visitor{out}, msg);
   SDNBUF_CHECK_MSG(out.size() == total, "encoded size mismatch");
+}
+
+std::vector<std::uint8_t> encode_message(const OfMessage& msg) {
+  std::vector<std::uint8_t> out;
+  encode_message_into(msg, out);
   return out;
 }
 

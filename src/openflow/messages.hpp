@@ -226,6 +226,11 @@ using OfMessage =
 // Encodes with a correct ofp_header (version/type/length/xid).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const OfMessage& msg);
 
+// Encodes into `out` (cleared first), reusing its capacity — the hot-path
+// variant the control channel feeds with per-channel scratch buffers so
+// steady-state encoding performs no allocation.
+void encode_message_into(const OfMessage& msg, std::vector<std::uint8_t>& out);
+
 // Full encoded size without materializing the buffer.
 [[nodiscard]] std::size_t encoded_size(const OfMessage& msg);
 

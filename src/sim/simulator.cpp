@@ -1,17 +1,18 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace sdnbuf::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_ && !*cancelled_) {
-    *cancelled_ = true;
-    if (live_ && *live_ > 0) --*live_;
-  }
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, generation_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->slot_matches(slot_, generation_);
+}
 
 EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
   SDNBUF_CHECK_MSG(delay >= SimTime::zero(), "cannot schedule into the past");
@@ -20,25 +21,84 @@ EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
 
 EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
   SDNBUF_CHECK_MSG(when >= now_, "cannot schedule into the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Scheduled{when, next_seq_++, std::move(fn), cancelled});
-  ++*live_pending_;
-  return EventHandle{std::move(cancelled), live_pending_};
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  const std::uint32_t generation = slots_[slot].generation;
+  heap_.push_back(Scheduled{when, next_seq_++, slot, generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_pending_;
+  return EventHandle{this, slot, generation};
+}
+
+std::uint32_t Simulator::acquire_slot(EventFn fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNoFree) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    SDNBUF_CHECK_MSG(slots_.size() < kNoFree, "event slab exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  slots_[slot].next_free = kNoFree;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  // The bump invalidates every outstanding handle and heap entry for the
+  // slot's previous life before the free list can hand it out again.
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+bool Simulator::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+  if (!slot_matches(slot, generation)) return false;
+  release_slot(slot);
+  SDNBUF_CHECK(live_pending_ > 0);
+  --live_pending_;
+  ++cancelled_in_heap_;
+  maybe_compact();
+  return true;
+}
+
+void Simulator::pop_front() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void Simulator::maybe_compact() {
+  // Heavy cancel traffic (echo timers, resend backoff) must not bloat the
+  // heap: once tombstones outnumber live entries, filter and re-heapify in
+  // one O(n) pass.
+  if (heap_.size() < kCompactMinEntries || cancelled_in_heap_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const Scheduled& e) { return stale(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_in_heap_ = 0;
 }
 
 bool Simulator::pop_and_run() {
-  // The queue may hold cancelled tombstones; skip them.
-  while (!queue_.empty()) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    *ev.cancelled = true;  // marks as no longer pending for its handle
-    SDNBUF_CHECK(*live_pending_ > 0);
-    --*live_pending_;
+  // The heap may hold cancelled tombstones; skip them.
+  while (!heap_.empty()) {
+    const Scheduled ev = heap_.front();
+    pop_front();
+    if (stale(ev)) {
+      SDNBUF_CHECK(cancelled_in_heap_ > 0);
+      --cancelled_in_heap_;
+      continue;
+    }
+    // Move the callback out and recycle the slot *before* running, so the
+    // callback can freely schedule into the just-freed slot.
+    EventFn fn = std::move(slots_[ev.slot].fn);
+    release_slot(ev.slot);
+    SDNBUF_CHECK(live_pending_ > 0);
+    --live_pending_;
     SDNBUF_CHECK(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;
@@ -53,13 +113,15 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(SimTime until) {
   SDNBUF_CHECK(until >= now_);
   std::size_t n = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip tombstones without advancing time.
-    if (*queue_.top().cancelled) {
-      queue_.pop();
+    if (stale(heap_.front())) {
+      pop_front();
+      SDNBUF_CHECK(cancelled_in_heap_ > 0);
+      --cancelled_in_heap_;
       continue;
     }
-    if (queue_.top().when > until) break;
+    if (heap_.front().when > until) break;
     if (pop_and_run()) ++n;
   }
   now_ = until;
@@ -67,9 +129,5 @@ std::size_t Simulator::run_until(SimTime until) {
 }
 
 bool Simulator::step() { return pop_and_run(); }
-
-bool Simulator::empty() const { return *live_pending_ == 0; }
-
-std::size_t Simulator::pending_events() const { return *live_pending_; }
 
 }  // namespace sdnbuf::sim

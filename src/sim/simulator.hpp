@@ -4,22 +4,35 @@
 // callbacks at absolute or relative times; events at equal times execute in
 // scheduling order (a monotonically increasing sequence number breaks ties),
 // which makes runs fully deterministic.
+//
+// Hot-path design: callbacks live in a slab of pooled slots (recycled via a
+// free list), so scheduling an event performs no per-event heap allocation —
+// neither for the handle (a {slot, generation} pair) nor, for typical
+// lambdas, for the callback itself (`EventFn` is small-buffer-optimized).
+// The priority queue stores only 24-byte {when, seq, slot, generation}
+// entries; cancelled entries become tombstones that are skipped on pop and
+// compacted away whenever they outnumber the live entries.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/small_function.hpp"
 
 namespace sdnbuf::sim {
 
-using EventFn = std::function<void()>;
+// Move-only, small-buffer-optimized callback: lambdas capturing up to 64
+// bytes (a handful of pointers and values) schedule without touching the
+// heap; larger captures fall back to one allocation.
+using EventFn = util::SmallFunction<void(), 64>;
+
+class Simulator;
 
 // Handle for cancelling a scheduled event. Default-constructed handles are
-// inert; cancelling an already-fired event is a no-op.
+// inert; cancelling an already-fired event is a no-op (the slot's generation
+// counter has moved on, so a stale handle can never touch a recycled slot).
+// Handles are trivially copyable but must not outlive their Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -29,10 +42,11 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<std::uint64_t> live)
-      : cancelled_(std::move(cancelled)), live_(std::move(live)) {}
-  std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<std::uint64_t> live_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
@@ -59,17 +73,33 @@ class Simulator {
   // Executes the single earliest event, if any. Returns true if one ran.
   bool step();
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] bool empty() const { return live_pending_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_pending_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  // Heap entries including cancelled tombstones not yet popped or compacted
+  // (introspection for tests and diagnostics).
+  [[nodiscard]] std::size_t queued_entries() const { return heap_.size(); }
 
  private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoFree = ~std::uint32_t{0};
+  // Below this heap size, tombstones are too cheap to be worth compacting.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFree;
+  };
   struct Scheduled {
     SimTime when;
     std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+  // std::push_heap/pop_heap keep the comparator's "largest" element first;
+  // with this ordering that is the earliest (when, seq).
   struct Later {
     bool operator()(const Scheduled& a, const Scheduled& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -78,14 +108,26 @@ class Simulator {
   };
 
   bool pop_and_run();
+  std::uint32_t acquire_slot(EventFn fn);
+  void release_slot(std::uint32_t slot);
+  bool cancel_slot(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] bool slot_matches(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  [[nodiscard]] bool stale(const Scheduled& e) const {
+    return slots_[e.slot].generation != e.generation;
+  }
+  void pop_front();
+  void maybe_compact();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  // Scheduled minus cancelled minus executed; shared with handles so
-  // cancellation can keep it accurate.
-  std::shared_ptr<std::uint64_t> live_pending_ = std::make_shared<std::uint64_t>(0);
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::size_t live_pending_ = 0;     // scheduled minus cancelled minus executed
+  std::size_t cancelled_in_heap_ = 0;  // tombstones still sitting in heap_
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
+  std::vector<Scheduled> heap_;
 };
 
 }  // namespace sdnbuf::sim

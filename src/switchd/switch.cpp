@@ -363,7 +363,7 @@ void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
   msg.total_len = static_cast<std::uint16_t>(packet.frame_size);
   msg.in_port = in_port;
   msg.reason = reason;
-  msg.data = packet.serialize(data_bytes);
+  packet.serialize_into(data_bytes, msg.data);
   pending_requests_[msg.xid] =
       PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at};
   ++counters_.pkt_ins_sent;

@@ -1,16 +1,21 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace sdnbuf::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
-}
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+// Serializes line emission so concurrent sweep workers never interleave
+// characters within a line.
+std::mutex g_log_mutex;
+}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -25,6 +30,7 @@ const char* log_level_name(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level), component.c_str(),
                message.c_str());
 }

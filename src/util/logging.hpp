@@ -1,8 +1,9 @@
 // Minimal leveled logging.
 //
-// The simulator is single-threaded per run, so no locking is needed; the
-// level is a global knob set once by examples/benches (default: Warn, so
-// tests and benches stay quiet).
+// Thread-safe: parallel sweep workers log concurrently, so the level is an
+// atomic and `log_line` serializes line emission under a mutex (whole lines
+// never interleave). The level is a global knob set once by examples/benches
+// (default: Warn, so tests and benches stay quiet).
 #pragma once
 
 #include <sstream>

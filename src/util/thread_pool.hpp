@@ -1,0 +1,57 @@
+// Fixed-size worker pool with one FIFO task queue.
+//
+// Built for embarrassingly parallel sweep fan-out: tasks are dequeued in
+// strict submission order (single queue, single mutex), `wait_idle()` blocks
+// until every submitted task has finished and rethrows the first exception a
+// task raised, and the destructor drains the queue before joining. Determinism
+// of results is the *caller's* job — workers may finish in any order, so
+// callers write into pre-assigned slots and merge sequentially afterwards
+// (see core::run_sweep).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdnbuf::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  // Drains remaining queued tasks, then joins every worker.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; workers pick tasks up in submission (FIFO) order.
+  void submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have completed, then rethrows the
+  // first exception any task threw (if one did). The pool stays usable.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // hardware_concurrency(), with the zero-means-unknown case mapped to 1.
+  [[nodiscard]] static unsigned default_parallelism();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
+  std::condition_variable idle_cv_;   // wait_idle waits for in_flight_ == 0
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sdnbuf::util

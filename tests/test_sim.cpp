@@ -223,6 +223,87 @@ TEST(SimulatorProperty, RunUntilAdvancesClockExactlyToBoundary) {
   }
 }
 
+TEST(Simulator, MassCancellationCompactsHeap) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  handles.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.schedule(SimTime::seconds(100 + i), []() {}));
+  }
+  EXPECT_EQ(sim.queued_entries(), 1000u);
+  // Cancel 900 of the 1000: tombstones now outnumber live entries, so the
+  // heap must compact rather than hold 90% dead weight.
+  for (int i = 0; i < 900; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sim.pending_events(), 100u);
+  EXPECT_LT(sim.queued_entries(), 250u);  // 100 live + bounded tombstone slack
+  // The survivors are untouched and still run.
+  for (int i = 900; i < 1000; ++i) {
+    EXPECT_TRUE(handles[static_cast<std::size_t>(i)].pending());
+  }
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 100u);
+  EXPECT_EQ(sim.queued_entries(), 0u);
+}
+
+TEST(Simulator, SmallHeapsSkipCompaction) {
+  // Below the compaction threshold tombstones are simply popped lazily.
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule(SimTime::seconds(1 + i), []() {}));
+  }
+  for (int i = 0; i < 9; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sim.queued_entries(), 10u);  // tombstones still queued
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  // After h1 fires its slot returns to the free list; h2 likely reuses it.
+  // The generation counter must keep the stale h1 from touching h2.
+  Simulator sim;
+  EventHandle h1 = sim.schedule(SimTime::milliseconds(1), []() {});
+  sim.run();
+  bool ran = false;
+  EventHandle h2 = sim.schedule(SimTime::milliseconds(1), [&]() { ran = true; });
+  h1.cancel();  // stale: must be a no-op even if h2 recycled h1's slot
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelledSlotRecycledForNewEvents) {
+  // Cancelling releases the slot immediately; heavy schedule/cancel cycles
+  // must not grow the slab without bound.
+  Simulator sim;
+  for (int i = 0; i < 10'000; ++i) {
+    EventHandle h = sim.schedule(SimTime::seconds(1), []() {});
+    h.cancel();
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 0u);
+  // Still functional.
+  bool ran = false;
+  sim.schedule(SimTime::milliseconds(1), [&]() { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CallbackMayScheduleIntoItsOwnSlot) {
+  // The running event's slot is released before the callback executes, so a
+  // self-rescheduling chain can recycle one slot forever.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 100) sim.schedule(SimTime::microseconds(1), chain);
+  };
+  sim.schedule(SimTime::zero(), chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+}
+
 TEST(CpuServer, SingleCoreSerializesJobs) {
   Simulator sim;
   CpuServer server{sim, "cpu", 1};

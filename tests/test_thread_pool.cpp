@@ -1,0 +1,105 @@
+// Unit tests for util::ThreadPool: completion, FIFO dequeue order, exception
+// propagation through wait_idle, drain-on-destruct, and reusability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sdnbuf::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count]() { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  bool ran = false;
+  pool.submit([&ran]() { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SingleWorkerDequeuesInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&order, i]() { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([]() { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool remains usable and a clean wait_idle
+  // does not re-report it.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran]() { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, LaterTasksStillRunAfterAnExceptionalOne) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([]() { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&count]() { count.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    // The first task holds the lone worker busy so the rest sit queued when
+    // the destructor starts.
+    pool.submit([]() { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count]() { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, TasksRunOffTheSubmittingThread) {
+  ThreadPool pool(2);
+  const auto submitter = std::this_thread::get_id();
+  std::mutex mu;
+  std::vector<std::thread::id> ids;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&mu, &ids]() {
+      const std::lock_guard<std::mutex> lock(mu);
+      ids.push_back(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(ids.size(), 8u);
+  for (const auto& id : ids) EXPECT_NE(id, submitter);
+}
+
+TEST(ThreadPool, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace sdnbuf::util

@@ -2,13 +2,17 @@
 // distribution sanity, statistics, CSV/table output, CLI parsing, strings.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "util/byte_order.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/small_function.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -262,6 +266,74 @@ TEST(Strings, HexDumpTruncates) {
   const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef};
   EXPECT_EQ(hex_dump(data, 4), "de ad be ef");
   EXPECT_EQ(hex_dump(data, 4, 2), "de ad ...");
+}
+
+TEST(SmallFunction, InvokesAndReturnsValue) {
+  SmallFunction<int(int)> f([](int x) { return x * 2; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(SmallFunction, DefaultConstructedIsEmpty) {
+  SmallFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, SmallCapturesStayInline) {
+  int a = 1, b = 2, c = 3;
+  SmallFunction<int(), 64> f([a, b, c]() { return a + b + c; });
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 6);
+}
+
+TEST(SmallFunction, OversizedCapturesFallBackToHeap) {
+  std::array<char, 128> big{};
+  big[0] = 'x';
+  SmallFunction<char(), 64> f([big]() { return big[0]; });
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 'x');
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFunction<void()> f([&hits]() { ++hits; });
+  SmallFunction<void()> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+
+  SmallFunction<void()> h;
+  h = std::move(g);
+  h();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, HoldsMoveOnlyCallable) {
+  auto p = std::make_unique<int>(7);
+  SmallFunction<int()> f([p = std::move(p)]() { return *p; });
+  EXPECT_EQ(f(), 7);
+  SmallFunction<int()> g(std::move(f));
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(SmallFunction, ResetReleasesTheCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  SmallFunction<void()> f([token = std::move(token)]() {});
+  EXPECT_FALSE(alive.expired());
+  f = nullptr;
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, AssignmentDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  SmallFunction<int()> f([token = std::move(token)]() { return 1; });
+  f = SmallFunction<int()>([]() { return 2; });
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(f(), 2);
 }
 
 }  // namespace
