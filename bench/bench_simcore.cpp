@@ -1,22 +1,31 @@
 // Simulation-core performance benchmark — the repo's perf trajectory.
 //
-// Three layers, mirroring the performance engine (DESIGN.md §9):
+// Five stages, mirroring the performance engine (DESIGN.md §9) and the
+// observability overhead contract (DESIGN.md §10.5):
 //
 //   scheduler   events/sec on a scheduler-only workload (self-rescheduling
 //               timer chain plus a cancelled victim per tick, so slot reuse
 //               and tombstone handling are both on the clock)
 //   e1_run      packets/sec through the full reactive path on a standard E1
 //               run (1000 single-packet UDP flows at 50 Mbps, buffer-256)
+//   e1_obs      the obs overhead gate: interleaved obs-off / obs-on E1 runs
+//               (metrics + tracing at default 1-in-16 sampling), comparing
+//               minimum per-run wall times — must stay ≤5%
+//   e1_prof     same, with the event-loop profiler added (opt-in layer,
+//               ~20% by design: two steady_clock reads per event)
 //   sweep       wall-clock of a repeated E1 sweep at --jobs 1 vs --jobs N,
 //               with the bitwise determinism contract checked on the spot
+//               (skipped under --no-sweep, e.g. in the sanitizer pass)
 //
 // Results go to stdout and to a JSON file (default BENCH_simcore.json in
 // the current directory — run from the repo root to seed the trajectory).
 // CI runs `--quick` and uploads the JSON as an artifact so regressions in
 // events/sec, packets/sec, or parallel speedup are visible per commit.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -112,6 +121,69 @@ E1Score bench_e1(int runs) {
   return score;
 }
 
+// Obs-overhead stage (ISSUE 4 acceptance): the same E1 workload with the
+// observability layers attached — metrics registry with instruments and
+// polls plus the flow tracer at the default sampling period (and, for the
+// e1_prof variant, the event-loop profiler too). Obs-off and obs-on runs
+// interleave, and the overhead compares the MINIMUM per-run wall time of
+// each side: the minimum is what the code costs when the machine does not
+// preempt it, so the number is stable where a mean would inherit scheduler
+// noise. The contract is <= 5% for metrics+tracing at default sampling.
+// (The obs-off run IS the disabled-cost measurement: every null-sink
+// pointer check is on its path.)
+struct ObsScore {
+  std::uint64_t runs = 0;
+  std::uint64_t packets = 0;
+  double min_off_s = 0.0;   // best obs-off run
+  double min_on_s = 0.0;    // best obs-on run
+  double packets_per_sec = 0.0;  // obs-on, from the best run
+  double overhead_pct = 0.0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t snapshots = 0;
+};
+
+ObsScore bench_e1_obs(int runs, bool with_profiler) {
+  namespace obs = sdnbuf::obs;
+  if (runs < 10) runs = 10;  // a single-run minimum is still noise
+  ObsScore score;
+  score.runs = static_cast<std::uint64_t>(runs);
+  double min_off = 1e300;
+  double min_on = 1e300;
+  std::uint64_t best_on_packets = 0;
+  for (int i = 0; i < runs; ++i) {
+    core::ExperimentConfig config = e1_config();
+    config.seed = static_cast<std::uint64_t>(i + 1);
+    auto t0 = std::chrono::steady_clock::now();
+    (void)core::run_experiment(config);
+    min_off = std::min(min_off, seconds_since(t0));
+
+    obs::MetricsRegistry registry;
+    obs::TraceWriter writer;
+    obs::FlowTracer tracer{writer, static_cast<std::uint64_t>(i + 1), 16};
+    obs::EventLoopProfiler profiler;
+    // Decomposition knobs: OBS_NO_METRICS / OBS_NO_TRACER in the environment
+    // drop one layer so a regression can be attributed without a rebuild.
+    if (std::getenv("OBS_NO_METRICS") == nullptr) config.metrics = &registry;
+    if (std::getenv("OBS_NO_TRACER") == nullptr) config.tracer = &tracer;
+    if (with_profiler) config.profiler = &profiler;
+    t0 = std::chrono::steady_clock::now();
+    const core::ExperimentResult r = core::run_experiment(config);
+    const double on_s = seconds_since(t0);
+    if (on_s < min_on) {
+      min_on = on_s;
+      best_on_packets = r.packets_delivered;
+    }
+    score.packets += r.packets_delivered;
+    score.trace_events += writer.event_count();
+    score.snapshots += registry.snapshot_count();
+  }
+  score.min_off_s = min_off;
+  score.min_on_s = min_on;
+  if (min_on > 0.0) score.packets_per_sec = static_cast<double>(best_on_packets) / min_on;
+  if (min_off > 0.0) score.overhead_pct = (min_on / min_off - 1.0) * 100.0;
+  return score;
+}
+
 struct SweepScore {
   std::size_t rates = 0;
   int reps = 0;
@@ -155,13 +227,15 @@ SweepScore bench_sweep(bool quick, unsigned jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const sdnbuf::util::CliFlags flags(argc, argv, {"quick", "jobs", "out", "e1-runs", "ticks"});
+  const sdnbuf::util::CliFlags flags(argc, argv,
+                                     {"quick", "jobs", "out", "e1-runs", "ticks", "no-sweep"});
   if (!flags.ok()) {
     std::cerr << flags.error() << "\n"
-              << "usage: " << argv[0] << " [--quick] [--jobs N] [--out PATH]\n";
+              << "usage: " << argv[0] << " [--quick] [--jobs N] [--out PATH] [--no-sweep]\n";
     return 1;
   }
   const bool quick = flags.get_bool("quick", false);
+  const bool no_sweep = flags.get_bool("no-sweep", false);
   const unsigned jobs = static_cast<unsigned>(flags.get_int(
       "jobs", static_cast<long long>(sdnbuf::util::ThreadPool::default_parallelism())));
   const std::string out_path = flags.get_string("out", "BENCH_simcore.json");
@@ -182,11 +256,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(e1.packets),
               static_cast<unsigned long long>(e1.runs), e1.wall_s, e1.packets_per_sec);
 
-  const SweepScore sweep = bench_sweep(quick, jobs);
+  const ObsScore obs = bench_e1_obs(e1_runs, /*with_profiler=*/false);
   std::printf(
-      "sweep     : %zu rates x %d reps  jobs=1 %.3f s  jobs=%u %.3f s  speedup %.2fx  %s\n",
-      sweep.rates, sweep.reps, sweep.sequential_s, sweep.jobs, sweep.parallel_s, sweep.speedup,
-      sweep.identical ? "bit-identical" : "DIVERGED");
+      "e1_obs    : min run off %.4f s / on %.4f s -> %.0f packets/sec  overhead %.1f%%  "
+      "(%llu trace events, %llu snapshots)\n",
+      obs.min_off_s, obs.min_on_s, obs.packets_per_sec, obs.overhead_pct,
+      static_cast<unsigned long long>(obs.trace_events),
+      static_cast<unsigned long long>(obs.snapshots));
+
+  const ObsScore prof = bench_e1_obs(e1_runs, /*with_profiler=*/true);
+  std::printf("e1_prof   : min run off %.4f s / on %.4f s -> %.0f packets/sec  overhead %.1f%%\n",
+              prof.min_off_s, prof.min_on_s, prof.packets_per_sec, prof.overhead_pct);
+
+  SweepScore sweep;
+  if (!no_sweep) {
+    sweep = bench_sweep(quick, jobs);
+    std::printf(
+        "sweep     : %zu rates x %d reps  jobs=1 %.3f s  jobs=%u %.3f s  speedup %.2fx  %s\n",
+        sweep.rates, sweep.reps, sweep.sequential_s, sweep.jobs, sweep.parallel_s, sweep.speedup,
+        sweep.identical ? "bit-identical" : "DIVERGED");
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -209,16 +298,37 @@ int main(int argc, char** argv) {
       << "    \"wall_s\": " << e1.wall_s << ",\n"
       << "    \"packets_per_sec\": " << e1.packets_per_sec << "\n"
       << "  },\n"
-      << "  \"sweep\": {\n"
-      << "    \"rates\": " << sweep.rates << ",\n"
-      << "    \"repetitions\": " << sweep.reps << ",\n"
-      << "    \"jobs\": " << sweep.jobs << ",\n"
-      << "    \"sequential_s\": " << sweep.sequential_s << ",\n"
-      << "    \"parallel_s\": " << sweep.parallel_s << ",\n"
-      << "    \"speedup\": " << sweep.speedup << ",\n"
-      << "    \"identical\": " << (sweep.identical ? "true" : "false") << "\n"
-      << "  }\n"
-      << "}\n";
+      << "  \"obs_overhead\": {\n"
+      << "    \"runs\": " << obs.runs << ",\n"
+      << "    \"packets\": " << obs.packets << ",\n"
+      << "    \"min_run_off_s\": " << obs.min_off_s << ",\n"
+      << "    \"min_run_on_s\": " << obs.min_on_s << ",\n"
+      << "    \"packets_per_sec\": " << obs.packets_per_sec << ",\n"
+      << "    \"overhead_pct\": " << obs.overhead_pct << ",\n"
+      << "    \"trace_events\": " << obs.trace_events << ",\n"
+      << "    \"snapshots\": " << obs.snapshots << "\n"
+      << "  },\n"
+      << "  \"obs_profile\": {\n"
+      << "    \"runs\": " << prof.runs << ",\n"
+      << "    \"min_run_off_s\": " << prof.min_off_s << ",\n"
+      << "    \"min_run_on_s\": " << prof.min_on_s << ",\n"
+      << "    \"packets_per_sec\": " << prof.packets_per_sec << ",\n"
+      << "    \"overhead_pct\": " << prof.overhead_pct << "\n"
+      << "  },\n";
+  if (no_sweep) {
+    out << "  \"sweep\": null\n";
+  } else {
+    out << "  \"sweep\": {\n"
+        << "    \"rates\": " << sweep.rates << ",\n"
+        << "    \"repetitions\": " << sweep.reps << ",\n"
+        << "    \"jobs\": " << sweep.jobs << ",\n"
+        << "    \"sequential_s\": " << sweep.sequential_s << ",\n"
+        << "    \"parallel_s\": " << sweep.parallel_s << ",\n"
+        << "    \"speedup\": " << sweep.speedup << ",\n"
+        << "    \"identical\": " << (sweep.identical ? "true" : "false") << "\n"
+        << "  }\n";
+  }
+  out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return sweep.identical ? 0 : 1;
+  return no_sweep || sweep.identical ? 0 : 1;
 }

@@ -6,17 +6,22 @@
 #include <iostream>
 
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sdnbuf::bench {
 
 Options parse_options(int argc, char** argv) {
   const util::CliFlags flags(
-      argc, argv, {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet", "jobs"});
+      argc, argv,
+      {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet", "jobs", "metrics-out",
+       "trace-out", "trace-sample", "profile", "log-level"});
   if (!flags.ok()) {
     std::cerr << flags.error() << "\n"
               << "usage: " << argv[0]
-              << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S] [--jobs N]\n";
+              << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S] [--jobs N]\n"
+              << "       [--metrics-out F.json] [--trace-out F.json] [--trace-sample N]\n"
+              << "       [--profile] [--log-level trace|debug|info|warn|error|off]\n";
     std::exit(1);
   }
   Options options;
@@ -31,7 +36,31 @@ Options parse_options(int argc, char** argv) {
   options.jobs = static_cast<int>(flags.get_int(
       "jobs", static_cast<long long>(util::ThreadPool::default_parallelism())));
   if (options.jobs < 1) options.jobs = 1;
+  options.metrics_out = flags.get_string("metrics-out", "");
+  options.trace_out = flags.get_string("trace-out", "");
+  options.trace_sample = static_cast<std::uint32_t>(flags.get_int("trace-sample", 16));
+  if (options.trace_sample < 1) options.trace_sample = 1;
+  options.profile = flags.get_bool("profile", false);
+  if (flags.has("log-level")) {
+    const std::string name = flags.get_string("log-level", "warn");
+    const auto level = util::log_level_from_name(name);
+    if (!level) {
+      std::cerr << "error: unknown log level '" << name
+                << "' (use trace|debug|info|warn|error|off)\n";
+      std::exit(1);
+    }
+    util::set_log_level(*level);
+  }
   return options;
+}
+
+std::string suffixed_path(const std::string& path, const std::string& label) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of("/\\");
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "-" + label;
+  }
+  return path.substr(0, dot) + "-" + label + path.substr(dot);
 }
 
 std::vector<MechanismSpec> e1_mechanisms() {
@@ -51,6 +80,11 @@ std::vector<MechanismSpec> e2_mechanisms() {
 
 namespace {
 
+// The representative rate for the per-mechanism instrumented runs; the
+// middle of the paper's 5..100 Mbps range, where buffering effects are
+// visible but nothing saturates.
+constexpr double kObservedRateMbps = 50.0;
+
 core::SweepResult run_sweep_for(const Options& options, const MechanismSpec& mechanism,
                                 core::ExperimentConfig base) {
   base.mode = mechanism.mode;
@@ -61,10 +95,69 @@ core::SweepResult run_sweep_for(const Options& options, const MechanismSpec& mec
   sweep.repetitions = options.repetitions;
   sweep.jobs = options.jobs;
   sweep.base = base;
-  return core::run_sweep(sweep, mechanism.label);
+  core::SweepResult result = core::run_sweep(sweep, mechanism.label);
+  run_observed(options, mechanism, base, kObservedRateMbps);
+  return result;
 }
 
 }  // namespace
+
+void run_observed(const Options& options, const MechanismSpec& mechanism,
+                  core::ExperimentConfig base, double rate_mbps) {
+  if (!options.observability_enabled()) return;
+
+  core::ExperimentConfig config = base;
+  config.mode = mechanism.mode;
+  config.buffer_capacity = mechanism.buffer_capacity == 0 ? 256 : mechanism.buffer_capacity;
+  config.seed = options.seed;
+  config.rate_mbps = rate_mbps;
+
+  obs::MetricsRegistry registry;
+  obs::TraceWriter writer;
+  obs::FlowTracer tracer{writer, options.seed, options.trace_sample};
+  obs::EventLoopProfiler profiler;
+  if (!options.metrics_out.empty()) config.metrics = &registry;
+  if (!options.trace_out.empty()) config.tracer = &tracer;
+  if (options.profile) config.profiler = &profiler;
+
+  const core::ExperimentResult result = core::run_experiment(config);
+  if (!options.quiet) {
+    std::cout << "observed [" << mechanism.label << "] @ "
+              << util::format_double(rate_mbps, 0) << " Mbps: " << core::summarize(result)
+              << '\n';
+  }
+
+  if (!options.metrics_out.empty()) {
+    registry.set_meta("label", mechanism.label);
+    const std::string path = suffixed_path(options.metrics_out, mechanism.label);
+    std::ofstream file(path);
+    if (file) {
+      registry.write_json(file);
+      if (!options.quiet) std::cout << "wrote " << path << '\n';
+    } else {
+      std::cerr << "warning: could not write " << path << '\n';
+    }
+  }
+  if (!options.trace_out.empty()) {
+    writer.set_meta("label", mechanism.label);
+    writer.set_meta("seed", std::to_string(options.seed));
+    writer.set_meta("sample_period", std::to_string(options.trace_sample));
+    const std::string path = suffixed_path(options.trace_out, mechanism.label);
+    std::ofstream file(path);
+    if (file) {
+      writer.write_json(file);
+      if (!options.quiet) {
+        std::cout << "wrote " << path << " (" << writer.event_count() << " events)\n";
+      }
+    } else {
+      std::cerr << "warning: could not write " << path << '\n';
+    }
+  }
+  if (options.profile) {
+    std::cout << "event-loop profile [" << mechanism.label << "]:\n";
+    profiler.write_report(std::cout);
+  }
+}
 
 core::SweepResult run_e1(const Options& options, const MechanismSpec& mechanism) {
   core::ExperimentConfig base;

@@ -31,11 +31,30 @@ struct Options {
   // hardware_concurrency; results are bit-identical for any value, and
   // --jobs 1 runs the historical sequential path.
   int jobs = 0;  // 0 -> ThreadPool::default_parallelism(), set by parse_options
+
+  // Observability (DESIGN.md §10). When any of these is requested, each
+  // mechanism additionally gets ONE fully-instrumented single run at a
+  // representative rate (the sweeps themselves stay obs-free, so the
+  // figures and their parallel determinism contract are untouched).
+  // Artifact paths are suffixed with the mechanism label: passing
+  // --metrics-out m.json writes m-no-buffer.json, m-buffer-256.json, ...
+  std::string metrics_out;        // "" = no metrics export
+  std::string trace_out;          // "" = no trace export
+  std::uint32_t trace_sample = 16;  // 1 = trace every flow
+  bool profile = false;           // print per-component event-loop profile
+
+  [[nodiscard]] bool observability_enabled() const {
+    return !metrics_out.empty() || !trace_out.empty() || profile;
+  }
 };
 
-// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed/--jobs; exits on bad
-// flags.
+// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed/--jobs plus the
+// observability flags --metrics-out/--trace-out/--trace-sample/--profile and
+// --log-level; exits on bad flags.
 [[nodiscard]] Options parse_options(int argc, char** argv);
+
+// Inserts "-<label>" before the path's extension ("m.json" -> "m-x.json").
+[[nodiscard]] std::string suffixed_path(const std::string& path, const std::string& label);
 
 // The three E1 mechanism variants of §IV.
 struct MechanismSpec {
@@ -53,6 +72,12 @@ struct MechanismSpec {
 // Runs the E2 sweep (50 flows x 20 packets, cross-sequence) for one
 // mechanism.
 [[nodiscard]] core::SweepResult run_e2(const Options& options, const MechanismSpec& mechanism);
+
+// One fully-instrumented single run of `base` under `mechanism` at
+// `rate_mbps`, writing whichever obs artifacts the options request. No-op
+// when no obs flag was given; run_e1/run_e2 call it after their sweeps.
+void run_observed(const Options& options, const MechanismSpec& mechanism,
+                  core::ExperimentConfig base, double rate_mbps);
 
 // Extracts one (mean, std) series per sweep and prints the figure table +
 // CSV. `metric` pulls the per-rate Summary to report.

@@ -26,6 +26,14 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Observability pass: the obs-overhead stage of bench_simcore runs E1 with
+# metrics + tracing + profiler attached, so the whole instrumentation hot
+# path (histogram record, span open/close, JSON render, profiler rows) gets
+# an ASan/UBSan run. Timings are meaningless under sanitizers; only the
+# clean exit matters, hence --no-sweep.
+"$BUILD_DIR/bench/bench_simcore" --quick --no-sweep --out /dev/null
+
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED"
 # Second pass with channel faults forced on: every scenario exercises the
 # loss/duplication/outage code paths under the sanitizers.

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs::TraceWriter.
+
+Checks (stdlib only, loadable into Perfetto / chrome://tracing unchanged):
+  - the file is well-formed JSON with the expected top-level shape
+    ({"displayTimeUnit": ..., "meta": {...}, "traceEvents": [...]});
+  - every event has the required fields for its phase ("b"/"e" async span
+    begin/end, "i" instant);
+  - async spans balance: every begin has exactly one end with the same
+    (cat, id, name) key, and no end arrives before its begin;
+  - span durations are non-negative and timestamps are non-negative;
+  - optionally (--metrics FILE) a metrics JSON snapshot file is well-formed,
+    its rows match the declared columns, and snapshot times are monotonic;
+  - optionally (--min-spans N) at least N completed spans exist, so a CI run
+    can assert the trace is not trivially empty.
+
+Exit code 0 on success, 1 on any violation (violations are printed).
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(errors, msg, limit=20):
+    errors.append(msg)
+    return len(errors) < limit  # stop accumulating after `limit` messages
+
+
+def validate_trace(path, min_spans):
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)  # raises on malformed JSON -> caught by main
+
+    if not isinstance(doc, dict):
+        fail(errors, "top level is not a JSON object")
+        return errors, {}
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, 'missing or non-list "traceEvents"')
+        return errors, {}
+    if not isinstance(doc.get("meta", {}), dict):
+        fail(errors, '"meta" is not an object')
+
+    open_spans = {}  # (cat, id, name) -> begin ts
+    spans_closed = 0
+    durations_by_cat = collections.Counter()
+    instants = 0
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            if not fail(errors, f"{where}: not an object"):
+                break
+            continue
+        ph = ev.get("ph")
+        if ph not in ("b", "e", "i"):
+            if not fail(errors, f"{where}: unexpected phase {ph!r}"):
+                break
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            if not fail(errors, f"{where}: bad ts {ts!r}"):
+                break
+            continue
+        name = ev.get("name")
+        cat = ev.get("cat")
+        if not isinstance(name, str) or not isinstance(cat, str):
+            if not fail(errors, f"{where}: missing name/cat"):
+                break
+            continue
+
+        if ph == "i":
+            instants += 1
+            continue
+
+        span_id = ev.get("id")
+        if not isinstance(span_id, str):
+            if not fail(errors, f"{where}: async event without string id"):
+                break
+            continue
+        key = (cat, span_id, name)
+        if ph == "b":
+            if key in open_spans:
+                if not fail(errors, f"{where}: duplicate begin for {key}"):
+                    break
+                continue
+            open_spans[key] = ts
+        else:  # "e"
+            begin_ts = open_spans.pop(key, None)
+            if begin_ts is None:
+                if not fail(errors, f"{where}: end without begin for {key}"):
+                    break
+                continue
+            if ts < begin_ts:
+                if not fail(errors, f"{where}: negative duration for {key} "
+                                    f"({begin_ts} -> {ts})"):
+                    break
+                continue
+            spans_closed += 1
+            durations_by_cat[cat] += 1
+
+    for key in sorted(open_spans):
+        if not fail(errors, f"unclosed span {key}"):
+            break
+    if spans_closed < min_spans:
+        fail(errors, f"only {spans_closed} completed spans, need >= {min_spans}")
+
+    stats = {
+        "events": len(events),
+        "spans": spans_closed,
+        "instants": instants,
+        "by_cat": dict(durations_by_cat),
+    }
+    return errors, stats
+
+
+def validate_metrics(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    columns = doc.get("columns")
+    snapshots = doc.get("snapshots")
+    if not isinstance(columns, list) or not columns or columns[0] != "t_ms":
+        fail(errors, 'metrics: "columns" must be a list starting with "t_ms"')
+        return errors, {}
+    if not isinstance(snapshots, list):
+        fail(errors, 'metrics: missing "snapshots" list')
+        return errors, {}
+
+    prev_t = -1.0
+    for i, row in enumerate(snapshots):
+        if not isinstance(row, list) or len(row) != len(columns):
+            if not fail(errors, f"metrics: snapshots[{i}] has {len(row)} values, "
+                                f"expected {len(columns)}"):
+                break
+            continue
+        t = row[0]
+        if not isinstance(t, (int, float)) or t < prev_t:
+            if not fail(errors, f"metrics: snapshots[{i}] time {t!r} not monotonic"):
+                break
+            continue
+        prev_t = t
+
+    histograms = doc.get("histograms", {})
+    if not isinstance(histograms, dict):
+        fail(errors, 'metrics: "histograms" is not an object')
+    return errors, {"snapshots": len(snapshots), "columns": len(columns),
+                    "histograms": len(histograms)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON file (obs::TraceWriter output)")
+    ap.add_argument("--metrics", help="also validate a metrics JSON file")
+    ap.add_argument("--min-spans", type=int, default=0,
+                    help="require at least N completed spans (default 0)")
+    args = ap.parse_args()
+
+    try:
+        errors, stats = validate_trace(args.trace, args.min_spans)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"validate_trace: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    for msg in errors:
+        print(f"validate_trace: {args.trace}: {msg}", file=sys.stderr)
+    ok = not errors
+    if ok:
+        cats = ", ".join(f"{c}={n}" for c, n in sorted(stats["by_cat"].items()))
+        print(f"validate_trace: {args.trace}: OK "
+              f"({stats['events']} events, {stats['spans']} spans"
+              f"{', ' + cats if cats else ''}, {stats['instants']} instants)")
+
+    if args.metrics:
+        try:
+            merrors, mstats = validate_metrics(args.metrics)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"validate_trace: {args.metrics}: {exc}", file=sys.stderr)
+            return 1
+        for msg in merrors:
+            print(f"validate_trace: {args.metrics}: {msg}", file=sys.stderr)
+        if merrors:
+            ok = False
+        else:
+            print(f"validate_trace: {args.metrics}: OK "
+                  f"({mstats['snapshots']} snapshots x {mstats['columns']} columns, "
+                  f"{mstats['histograms']} histograms)")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,10 @@ void Controller::learn(const net::MacAddress& mac, std::uint16_t port,
 void Controller::start() {
   if (config_.stats_poll_interval <= sim::SimTime::zero()) return;
   polling_ = true;
-  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() { poll_stats(); });
+  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
+    poll_stats();
+  });
 }
 
 void Controller::stop() {
@@ -70,7 +73,10 @@ void Controller::poll_stats() {
   if (!polling_) return;
   request_aggregate_stats(of::Match::wildcard_all());
   request_port_stats();
-  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() { poll_stats(); });
+  poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
+    poll_stats();
+  });
 }
 
 void Controller::request_flow_stats(const of::Match& match) {
@@ -139,6 +145,9 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
 
 void Controller::handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg) {
   ++counters_.pkt_ins_handled;
+  if (instr_.pkt_in_bytes != nullptr) {
+    instr_.pkt_in_bytes->record(static_cast<double>(msg.data.size()));
+  }
   if (msg.buffer_id == of::kNoBuffer) ++counters_.full_frame_pkt_ins;
   if (msg.reason == of::PacketInReason::FlowResend) ++counters_.resend_pkt_ins;
 

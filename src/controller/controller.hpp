@@ -19,6 +19,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/instruments.hpp"
 #include "openflow/channel.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
@@ -147,6 +148,9 @@ class Controller {
   // fault-injected packet_in drops so conservation accounting stays closed.
   void set_invariant_observer(verify::InvariantObserver* observer) { observer_ = observer; }
 
+  // Metrics instruments (default-null bundle = disabled).
+  void set_instruments(const obs::ControllerInstruments& instruments) { instr_ = instruments; }
+
  private:
   [[nodiscard]] sim::SimTime cost_us(double nominal_us);
 
@@ -170,6 +174,7 @@ class Controller {
   std::map<std::uint64_t, SwitchBinding> switches_;
   ControllerCounters counters_;
   verify::InvariantObserver* observer_ = nullptr;
+  obs::ControllerInstruments instr_;
   bool polling_ = false;
   sim::EventHandle poll_event_;
   std::optional<of::AggregateStatsReply> last_aggregate_stats_;

@@ -1,12 +1,77 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace sdnbuf::core {
+
+namespace {
+
+// Registers the per-component instruments and poll gauges into `registry`
+// and installs the instrument bundles. Called after warm-up so histograms
+// record only the measurement window. Poll callbacks reference the testbed;
+// the caller clears them (clear_polls) before the testbed dies.
+void install_metrics(obs::MetricsRegistry& registry, Testbed& bed,
+                     const ExperimentConfig& config) {
+  registry.set_meta("mechanism", sw::buffer_mode_name(config.mode));
+  registry.set_meta("rate_mbps", util::format_double(config.rate_mbps, 6));
+  registry.set_meta("seed", std::to_string(config.seed));
+  registry.set_meta("snapshot_interval_ms",
+                    util::format_double(config.metrics_interval.ms(), 6));
+
+  obs::SwitchInstruments si;
+  si.pkt_in_bytes = &registry.histogram("switch.pkt_in_bytes", 16.0);
+  bed.ovs().set_instruments(si);
+
+  obs::BufferInstruments bi;
+  bi.residency_ms = &registry.histogram("buffer.residency_ms", 0.125);
+  bed.ovs().set_buffer_instruments(bi);
+
+  obs::ChannelInstruments chi;
+  chi.wire_bytes_to_controller = &registry.histogram("channel.wire_bytes_to_controller", 16.0);
+  chi.wire_bytes_to_switch = &registry.histogram("channel.wire_bytes_to_switch", 16.0);
+  bed.channel().set_instruments(chi);
+
+  obs::ControllerInstruments ci;
+  ci.pkt_in_bytes = &registry.histogram("controller.pkt_in_bytes", 16.0);
+  bed.controller().set_instruments(ci);
+
+  obs::EgressInstruments ei;
+  ei.queue_depth = &registry.histogram("egress.queue_depth", 1.0);
+  bed.ovs().port_scheduler(Testbed::kHost1Port).set_instruments(ei);
+  bed.ovs().port_scheduler(Testbed::kHost2Port).set_instruments(ei);
+
+  // Poll gauges: sampled only at snapshot instants, so the repo's existing
+  // statistics become time series at zero hot-path cost. The occupancy
+  // columns are Fig. 8 / Fig. 13 over time instead of end-of-run scalars.
+  registry.register_poll("buffer.units_in_use", [&bed]() {
+    const auto* occ = bed.ovs().buffer_occupancy();
+    return occ == nullptr ? 0.0 : static_cast<double>(occ->current());
+  });
+  registry.register_poll("buffer.occupancy_twa", [&bed]() {
+    const auto* occ = bed.ovs().buffer_occupancy();
+    return occ == nullptr ? 0.0 : occ->time_weighted_mean(bed.sim().now());
+  });
+  registry.register_poll("buffer.occupancy_max", [&bed]() {
+    const auto* occ = bed.ovs().buffer_occupancy();
+    return occ == nullptr ? 0.0 : static_cast<double>(occ->max());
+  });
+  registry.register_poll("switch.pkt_ins_sent", [&bed]() {
+    return static_cast<double>(bed.ovs().counters().pkt_ins_sent);
+  });
+  registry.register_poll("channel.to_controller_msgs", [&bed]() {
+    return static_cast<double>(bed.channel().to_controller_counters().total_count());
+  });
+  registry.register_poll("sink.packets_delivered", [&bed]() {
+    return static_cast<double>(bed.sink2().packets_received());
+  });
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   TestbedConfig tb = config.testbed;
@@ -15,9 +80,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   tb.switch_config.buffer_capacity = config.buffer_capacity;
   tb.observer = config.observer;
 
+  // The tracer rides the same observation points as the invariant checker;
+  // tee only when both are wanted (the tee lives on this frame, outliving
+  // the bed) — a lone tracer is wired directly, skipping a dispatch hop.
+  obs::TeeObserver tee{config.observer, config.tracer};
+  if (config.tracer != nullptr) {
+    tb.observer = config.observer != nullptr ? static_cast<verify::InvariantObserver*>(&tee)
+                                             : config.tracer;
+  }
+
   Testbed bed{tb};
   if (config.capture != nullptr) config.capture->attach(bed.channel());
+  if (config.profiler != nullptr) bed.sim().set_profile_sink(config.profiler);
   bed.warm_up();
+
+  std::optional<obs::MetricsSnapshotter> snapshotter;
+  if (config.metrics != nullptr) {
+    install_metrics(*config.metrics, bed, config);
+    snapshotter.emplace(bed.sim(), *config.metrics, config.metrics_interval);
+    snapshotter->start();
+  }
 
   host::TrafficConfig traffic;
   traffic.rate_mbps = config.rate_mbps;
@@ -47,10 +129,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     bed.sim().run_until(std::min(bed.sim().now() + slice, deadline));
   }
   // Let in-flight control traffic settle, then stop housekeeping and drain.
+  // The snapshotter's recurring tick must stop too, or the drain never runs
+  // out of events.
   bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(50));
+  if (snapshotter) snapshotter->stop();
   bed.ovs().stop();
   bed.controller().stop();
   bed.sim().run();
+  if (config.tracer != nullptr) config.tracer->finalize(bed.sim().now());
+  if (config.metrics != nullptr) {
+    config.metrics->take_snapshot(bed.sim().now());  // final row, post-drain
+    config.metrics->clear_polls();                   // testbed dies with this frame
+  }
 
   const sim::SimTime t0 = bed.measurement_start();
   const sim::SimTime t1 =

@@ -7,6 +7,9 @@
 
 #include "core/testbed.hpp"
 #include "host/traffic_gen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "openflow/capture.hpp"
 #include "util/stats.hpp"
 
@@ -43,6 +46,23 @@ struct ExperimentConfig {
   // Optional control-channel capture, attached before warm-up so two
   // same-seed runs produce byte-identical traces end to end.
   of::ChannelCapture* capture = nullptr;
+
+  // Optional observability sinks (DESIGN.md §10). All null by default; a
+  // null sink costs the datapath exactly one pointer comparison per
+  // potential observation and perturbs no simulated state, so obs-off and
+  // obs-on runs of the same seed produce bit-identical results.
+  //
+  // Metrics: instruments are registered into `metrics` at wiring time and
+  // snapshotted every `metrics_interval` of sim time during the measurement
+  // window (plus one final row after the drain). Polls registered here are
+  // cleared before run_experiment returns (they reference the testbed).
+  obs::MetricsRegistry* metrics = nullptr;
+  sim::SimTime metrics_interval = sim::SimTime::milliseconds(10);
+  // Flow-lifecycle tracer, teed with `observer` when both are present.
+  // run_experiment calls finalize() on it after the drain.
+  obs::FlowTracer* tracer = nullptr;
+  // Event-loop profiler (wall-clock callback attribution).
+  obs::EventLoopProfiler* profiler = nullptr;
 };
 
 struct ExperimentResult {

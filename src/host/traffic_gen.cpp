@@ -64,7 +64,10 @@ std::pair<std::uint64_t, std::uint32_t> TrafficGenerator::schedule_slot(
 
 void TrafficGenerator::start(sim::SimTime start_delay, std::function<void()> on_done) {
   on_done_ = std::move(on_done);
-  sim_.schedule(start_delay, [this]() { emit_next(); });
+  sim_.schedule(start_delay, [this]() {
+    sim::ScopedProfileTag tag{"traffic_gen"};
+    emit_next();
+  });
 }
 
 void TrafficGenerator::emit_next() {
@@ -81,7 +84,10 @@ void TrafficGenerator::emit_next() {
   if (config_.spacing_jitter > 0) {
     gap = gap.scaled(rng_.uniform(1.0 - config_.spacing_jitter, 1.0 + config_.spacing_jitter));
   }
-  sim_.schedule(gap, [this]() { emit_next(); });
+  sim_.schedule(gap, [this]() {
+    sim::ScopedProfileTag tag{"traffic_gen"};
+    emit_next();
+  });
 }
 
 }  // namespace sdnbuf::host

@@ -38,7 +38,8 @@ bool Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
     SDNBUF_CHECK(backlog_bytes_ >= bytes);
     backlog_bytes_ -= bytes;
   });
-  sim_.schedule_at(arrival, [on_delivered = std::move(on_delivered)]() {
+  sim_.schedule_at(arrival, [this, on_delivered = std::move(on_delivered)]() {
+    sim::ScopedProfileTag tag{name_.c_str()};
     if (on_delivered) on_delivered();
   });
   return true;

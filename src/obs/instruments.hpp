@@ -1,0 +1,48 @@
+// Per-component instrument bundles.
+//
+// Each struct is a handful of nullable instrument pointers a component holds
+// by value. Registration happens once, at experiment wiring time (the core
+// layer resolves names against a MetricsRegistry and installs the bundle);
+// the hot path then pays one pointer check per potential observation — the
+// same cost profile as the verify::Observer hooks. A default-constructed
+// bundle (all null) is the disabled state and is what every component starts
+// with, so unobserved runs execute exactly the pre-obs instruction stream.
+//
+// This header only speaks obs/sim vocabulary, so any layer (openflow,
+// switchd, controller) can include it without dependency cycles.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace sdnbuf::obs {
+
+struct SwitchInstruments {
+  // Data-field bytes of every packet_in emitted (full frames in no-buffer
+  // mode vs header-only punts with buffering — the Fig. 5-7 contrast).
+  Histogram* pkt_in_bytes = nullptr;
+};
+
+struct ChannelInstruments {
+  // Wire bytes (OpenFlow + framing) per message, by direction.
+  Histogram* wire_bytes_to_controller = nullptr;
+  Histogram* wire_bytes_to_switch = nullptr;
+};
+
+struct ControllerInstruments {
+  // Data-field bytes of every packet_in processed.
+  Histogram* pkt_in_bytes = nullptr;
+};
+
+struct BufferInstruments {
+  // Milliseconds a unit's content waited between store and release/expiry
+  // (packet granularity: per packet; flow granularity: first-store to
+  // release_all/expiry of the whole unit).
+  Histogram* residency_ms = nullptr;
+};
+
+struct EgressInstruments {
+  // Queue depth (packets across classes) observed at each enqueue.
+  Histogram* queue_depth = nullptr;
+};
+
+}  // namespace sdnbuf::obs

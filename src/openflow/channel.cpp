@@ -111,6 +111,7 @@ void Channel::transmit(net::Link& link, Handler& handler, std::vector<std::uint8
       if (handler) handler(*decoded, wire_bytes);
     } else {
       sim_.schedule(when - sim_.now(), [&handler, delivered = *decoded, wire_bytes]() {
+        sim::ScopedProfileTag tag{"channel"};
         if (handler) handler(delivered, wire_bytes);
       });
     }
@@ -140,6 +141,11 @@ std::size_t Channel::send(net::Link& link, MessageCounters& counters, Handler& h
       to_controller ? fault_profile_.duplicate_to_controller : fault_profile_.duplicate_to_switch;
   const bool duplicate = fault_rng_ && dup_p > 0.0 && fault_rng_->next_double() < dup_p;
   counters.record(message_type(msg), wire_bytes);
+  if (obs::Histogram* h =
+          to_controller ? instr_.wire_bytes_to_controller : instr_.wire_bytes_to_switch;
+      h != nullptr) {
+    h->record(static_cast<double>(wire_bytes));
+  }
   if (tap_) tap_(to_controller, msg, wire_bytes, sim_.now());
   if (verify_tap_) verify_tap_(to_controller, msg, wire_bytes, sim_.now());
   std::vector<std::uint8_t> copy;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "obs/instruments.hpp"
 #include "openflow/messages.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -146,6 +147,9 @@ class Channel {
                                         sim::SimTime when)>;
   void set_fault_tap(FaultTapFn tap) { fault_tap_ = std::move(tap); }
 
+  // Metrics instruments (default-null bundle = disabled).
+  void set_instruments(const obs::ChannelInstruments& instruments) { instr_ = instruments; }
+
   void reset_counters() {
     to_controller_counters_.reset();
     to_switch_counters_.reset();
@@ -181,6 +185,7 @@ class Channel {
   TapFn tap_;
   TapFn verify_tap_;
   FaultTapFn fault_tap_;
+  obs::ChannelInstruments instr_;
   FaultProfile fault_profile_;
   ChannelFaultCounters fault_counters_;
   std::optional<util::Rng> fault_rng_;

@@ -28,6 +28,7 @@ void CpuServer::start(Job job) {
   const SimTime service = job.service;
   auto on_done = std::move(job.on_done);
   sim_.schedule(service, [this, service, on_done = std::move(on_done)]() mutable {
+    ScopedProfileTag tag{name_.c_str()};
     on_complete(service, std::move(on_done));
   });
 }

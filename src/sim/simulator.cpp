@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 
@@ -98,7 +99,16 @@ bool Simulator::pop_and_run() {
     SDNBUF_CHECK(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
-    fn();
+    if (profile_sink_ == nullptr) {
+      fn();
+    } else {
+      ScopedProfileTag::begin_event();
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      profile_sink_->on_event(ScopedProfileTag::event_tag(), wall_s);
+    }
     return true;
   }
   return false;

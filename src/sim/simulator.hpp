@@ -29,6 +29,50 @@ using EventFn = util::SmallFunction<void(), 64>;
 
 class Simulator;
 
+// Wall-time attribution sink for the event loop (implemented by
+// obs::EventLoopProfiler). When installed via Simulator::set_profile_sink,
+// every executed callback is timed with steady_clock and reported together
+// with the component tag active while it ran. When absent — the default —
+// the dispatch loop pays a single pointer comparison per event.
+class ProfileSink {
+ public:
+  virtual ~ProfileSink() = default;
+  virtual void on_event(const char* tag, double wall_seconds) = 0;
+};
+
+// Component attribution for the profiler: a callback that opens a
+// `ScopedProfileTag` at its top is attributed to that tag. The *outermost*
+// tag of an event wins (the component whose callback ran), even though the
+// scope itself has unwound by the time the dispatch loop reads it — the
+// first tag opened per event is latched until the loop collects it.
+// Untagged callbacks land under "(untagged)". The tag is a thread-local raw
+// pointer, so the string must outlive the event — components use string
+// literals or their own stable name storage.
+class ScopedProfileTag {
+ public:
+  explicit ScopedProfileTag(const char* tag) noexcept : previous_(current_) {
+    current_ = tag;
+    if (event_first_ == nullptr) event_first_ = tag;
+  }
+  ~ScopedProfileTag() { current_ = previous_; }
+  ScopedProfileTag(const ScopedProfileTag&) = delete;
+  ScopedProfileTag& operator=(const ScopedProfileTag&) = delete;
+
+  [[nodiscard]] static const char* current() noexcept { return current_; }
+
+ private:
+  friend class Simulator;
+  // Dispatch-loop protocol: clear before the callback, read after.
+  static void begin_event() noexcept { event_first_ = nullptr; }
+  [[nodiscard]] static const char* event_tag() noexcept { return event_first_; }
+
+  // Constant-initialized inline thread_locals: no TLS init wrapper, so the
+  // inline ctor/dtor compile to plain TP-relative loads and stores.
+  inline static thread_local const char* current_ = nullptr;
+  inline static thread_local const char* event_first_ = nullptr;
+  const char* previous_;
+};
+
 // Handle for cancelling a scheduled event. Default-constructed handles are
 // inert; cancelling an already-fired event is a no-op (the slot's generation
 // counter has moved on, so a stale handle can never touch a recycled slot).
@@ -80,6 +124,11 @@ class Simulator {
   // (introspection for tests and diagnostics).
   [[nodiscard]] std::size_t queued_entries() const { return heap_.size(); }
 
+  // Installs (or with nullptr removes) the wall-time profiler sink. Profiling
+  // never touches sim time or event order — results stay bit-identical.
+  void set_profile_sink(ProfileSink* sink) { profile_sink_ = sink; }
+  [[nodiscard]] ProfileSink* profile_sink() const { return profile_sink_; }
+
  private:
   friend class EventHandle;
 
@@ -128,6 +177,7 @@ class Simulator {
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFree;
   std::vector<Scheduled> heap_;
+  ProfileSink* profile_sink_ = nullptr;
 };
 
 }  // namespace sdnbuf::sim

@@ -45,6 +45,9 @@ bool EgressScheduler::enqueue(const net::Packet& packet) {
   queue.packets.push_back(Queued{packet, sim_.now()});
   queue.backlog_bytes += packet.frame_size;
   ++queue.stats.enqueued;
+  if (instr_.queue_depth != nullptr) {
+    instr_.queue_depth->record(static_cast<double>(total_backlog_packets()));
+  }
   maybe_start();
   return true;
 }
@@ -123,6 +126,7 @@ void EgressScheduler::transmit(unsigned service_class) {
   // happens here per class, not invisibly inside the link.
   const sim::SimTime tx = sim::transmission_time(item.packet.frame_size, link_.bandwidth_bps());
   sim_.schedule(tx, [this]() {
+    sim::ScopedProfileTag tag{"egress_scheduler"};
     busy_ = false;
     maybe_start();
   });

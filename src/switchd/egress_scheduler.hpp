@@ -25,6 +25,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -72,6 +73,9 @@ class EgressScheduler {
     util::Summary queue_delay_ms;  // enqueue -> start of transmission
   };
 
+  // Metrics instruments (default-null bundle = disabled).
+  void set_instruments(const obs::EgressInstruments& instruments) { instr_ = instruments; }
+
   [[nodiscard]] const ClassStats& class_stats(unsigned service_class) const;
   [[nodiscard]] std::uint64_t backlog_bytes(unsigned service_class) const;
   [[nodiscard]] std::uint64_t total_backlog_packets() const;
@@ -98,6 +102,7 @@ class EgressScheduler {
   EgressSchedulerConfig config_;
   net::Link& link_;
   DeliverFn deliver_;
+  obs::EgressInstruments instr_;
   std::vector<ClassQueue> queues_;
   unsigned drr_cursor_ = 0;
   // Whether the queue under the cursor already received its quantum during

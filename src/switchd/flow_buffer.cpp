@@ -64,6 +64,7 @@ std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net
 void FlowBufferManager::free_unit() {
   // One buffer_id slot returns to the pool after deferred reclamation.
   sim_.schedule(reclaim_delay_, [this]() {
+    sim::ScopedProfileTag tag{"buffer_reclaim"};
     SDNBUF_CHECK(units_in_use_ > 0);
     --units_in_use_;
     occupancy_.set(units_in_use_, sim_.now());
@@ -76,6 +77,9 @@ std::vector<net::Packet> FlowBufferManager::release_all(std::uint32_t buffer_id)
   const auto it = flows_.find(idit->second);
   SDNBUF_CHECK(it != flows_.end());
   std::vector<net::Packet> out(it->second.packets.begin(), it->second.packets.end());
+  if (instr_.residency_ms != nullptr) {
+    instr_.residency_ms->record((sim_.now() - it->second.first_stored_at).ms());
+  }
   total_released_ += out.size();
   SDNBUF_CHECK(packets_buffered_ >= out.size());
   packets_buffered_ -= out.size();
@@ -170,6 +174,9 @@ std::size_t FlowBufferManager::expire_unit(std::uint32_t buffer_id) {
     }
   }
   const std::size_t dropped = it->second.packets.size();
+  if (instr_.residency_ms != nullptr) {
+    instr_.residency_ms->record((sim_.now() - it->second.first_stored_at).ms());
+  }
   total_expired_ += dropped;
   SDNBUF_CHECK(packets_buffered_ >= dropped);
   packets_buffered_ -= dropped;

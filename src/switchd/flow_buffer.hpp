@@ -26,6 +26,7 @@
 #include "metrics/occupancy.hpp"
 #include "net/flow_key.hpp"
 #include "net/packet.hpp"
+#include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
 #include "verify/observer.hpp"
 
@@ -37,6 +38,9 @@ class FlowBufferManager {
 
   // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
   void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
+  // Metrics instruments (default-null bundle = disabled).
+  void set_instruments(const obs::BufferInstruments& instruments) { instr_ = instruments; }
 
   struct StoreResult {
     std::uint32_t buffer_id = 0;
@@ -126,6 +130,7 @@ class FlowBufferManager {
   std::size_t capacity_;
   sim::SimTime reclaim_delay_;
   verify::InvariantObserver* observer_ = nullptr;
+  obs::BufferInstruments instr_;
   std::size_t units_in_use_ = 0;     // buffer_id slots incl. pending reclaim
   std::size_t packets_buffered_ = 0;
   std::unordered_map<net::FlowKey, FlowState> flows_;

@@ -43,6 +43,7 @@ std::optional<std::uint32_t> PacketBufferManager::store(const net::Packet& packe
 void PacketBufferManager::free_unit() {
   // The unit stays charged against capacity until deferred reclamation runs.
   sim_.schedule(reclaim_delay_, [this]() {
+    sim::ScopedProfileTag tag{"buffer_reclaim"};
     SDNBUF_CHECK(units_in_use_ > 0);
     --units_in_use_;
     occupancy_.set(units_in_use_, sim_.now());
@@ -53,6 +54,9 @@ std::optional<net::Packet> PacketBufferManager::release(std::uint32_t buffer_id)
   const auto it = packets_.find(buffer_id);
   if (it == packets_.end()) return std::nullopt;
   net::Packet packet = std::move(it->second.packet);
+  if (instr_.residency_ms != nullptr) {
+    instr_.residency_ms->record((sim_.now() - it->second.stored_at).ms());
+  }
   packets_.erase(it);
   ++total_released_;
   free_unit();
@@ -79,6 +83,9 @@ std::size_t PacketBufferManager::expire_older_than(sim::SimTime cutoff) {
     if (observer_ != nullptr) {
       observer_->on_buffer_expire(id, it->second.packet, sim_.now());
       observer_->on_buffer_unit_retired(id, sim_.now());
+    }
+    if (instr_.residency_ms != nullptr) {
+      instr_.residency_ms->record((sim_.now() - it->second.stored_at).ms());
     }
     packets_.erase(it);
     ++total_expired_;

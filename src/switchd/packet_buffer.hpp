@@ -21,6 +21,7 @@
 
 #include "metrics/occupancy.hpp"
 #include "net/packet.hpp"
+#include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
 #include "verify/observer.hpp"
 
@@ -32,6 +33,9 @@ class PacketBufferManager {
 
   // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
   void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
+  // Metrics instruments (default-null bundle = disabled).
+  void set_instruments(const obs::BufferInstruments& instruments) { instr_ = instruments; }
 
   // Stores a miss-match packet; returns its buffer_id, or nullopt when the
   // buffer is exhausted.
@@ -76,6 +80,7 @@ class PacketBufferManager {
   std::size_t capacity_;
   sim::SimTime reclaim_delay_;
   verify::InvariantObserver* observer_ = nullptr;
+  obs::BufferInstruments instr_;
   std::size_t units_in_use_ = 0;
   std::uint32_t next_id_ = 1;
   std::unordered_map<std::uint32_t, Stored> packets_;

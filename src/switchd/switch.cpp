@@ -63,6 +63,11 @@ void Switch::set_invariant_observer(verify::InvariantObserver* observer) {
   if (flow_buffer_ != nullptr) flow_buffer_->set_observer(observer);
 }
 
+void Switch::set_buffer_instruments(const obs::BufferInstruments& instruments) {
+  if (packet_buffer_ != nullptr) packet_buffer_->set_instruments(instruments);
+  if (flow_buffer_ != nullptr) flow_buffer_->set_instruments(instruments);
+}
+
 void Switch::connect(of::Channel& channel) {
   channel_ = &channel;
   channel.set_switch_handler(
@@ -70,9 +75,15 @@ void Switch::connect(of::Channel& channel) {
 }
 
 void Switch::start() {
-  sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() { sweep(); });
+  sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
+    sweep();
+  });
   if (config_.echo_interval > sim::SimTime::zero()) {
-    echo_event_ = sim_.schedule(config_.echo_interval, [this]() { echo_tick(); });
+    echo_event_ = sim_.schedule(config_.echo_interval, [this]() {
+      sim::ScopedProfileTag tag{config_.name.c_str()};
+      echo_tick();
+    });
   }
 }
 
@@ -103,6 +114,7 @@ void Switch::receive(std::uint16_t in_port, net::Packet packet) {
   // simultaneously arriving packets keep their arrival order.
   sim_.schedule(sim::SimTime::from_microseconds(config_.costs.asic_match_us),
                 [this, in_port, packet]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
     FlowEntry* entry = table_.lookup(packet, in_port, sim_.now());
     if (entry != nullptr) {
       ++counters_.table_hits;
@@ -230,6 +242,7 @@ sim::SimTime Switch::resend_timeout_for(unsigned resends) const {
 void Switch::schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t in_port) {
   sim_.schedule(resend_timeout_for(flow_buffer_->resend_count(buffer_id)),
                 [this, buffer_id, in_port]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
     if (!running_) return;
     // While degraded the re-request protocol pauses; complete_reconnect()
     // restarts it for every still-live unit.
@@ -282,7 +295,10 @@ void Switch::echo_tick() {
   outstanding_echo_xid_ = probe.xid;
   ++counters_.echo_requests_sent;
   channel_->send_from_switch(probe);
-  echo_event_ = sim_.schedule(config_.echo_interval, [this]() { echo_tick(); });
+  echo_event_ = sim_.schedule(config_.echo_interval, [this]() {
+    sim::ScopedProfileTag tag{config_.name.c_str()};
+    echo_tick();
+  });
 }
 
 void Switch::enter_degraded() {
@@ -364,6 +380,9 @@ void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
   msg.in_port = in_port;
   msg.reason = reason;
   packet.serialize_into(data_bytes, msg.data);
+  if (instr_.pkt_in_bytes != nullptr) {
+    instr_.pkt_in_bytes->record(static_cast<double>(data_bytes));
+  }
   pending_requests_[msg.xid] =
       PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at};
   ++counters_.pkt_ins_sent;
@@ -521,6 +540,7 @@ void Switch::handle_packet_out(const of::PacketOut& msg) {
         return;
       }
       sim_.schedule(cost_us(config_.costs.buffer_release_us), [this, packet = *packet, msg]() {
+        sim::ScopedProfileTag tag{config_.name.c_str()};
         execute_actions(packet, msg.actions, msg.in_port);
       });
     } else if (config_.buffer_mode == BufferMode::FlowGranularity) {
@@ -536,6 +556,7 @@ void Switch::handle_packet_out(const of::PacketOut& msg) {
       for (const auto& packet : packets) {
         offset += cost_us(config_.costs.buffer_release_us);
         sim_.schedule(offset, [this, packet, msg]() {
+          sim::ScopedProfileTag tag{config_.name.c_str()};
           execute_actions(packet, msg.actions, msg.in_port);
         });
       }
@@ -710,7 +731,10 @@ void Switch::sweep() {
     }
   }
   if (running_) {
-    sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() { sweep(); });
+    sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() {
+      sim::ScopedProfileTag tag{config_.name.c_str()};
+      sweep();
+    });
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include "metrics/delay_recorder.hpp"
 #include "net/link.hpp"
+#include "obs/instruments.hpp"
 #include "net/packet.hpp"
 #include "openflow/channel.hpp"
 #include "sim/server.hpp"
@@ -161,6 +162,12 @@ class Switch {
   // propagated to the buffer managers; install before traffic starts.
   void set_invariant_observer(verify::InvariantObserver* observer);
 
+  // Metrics instruments (pointers owned by a MetricsRegistry; default-null
+  // bundle = disabled). The buffer bundle is forwarded to whichever buffer
+  // manager the mode instantiated.
+  void set_instruments(const obs::SwitchInstruments& instruments) { instr_ = instruments; }
+  void set_buffer_instruments(const obs::BufferInstruments& instruments);
+
   [[nodiscard]] sim::CpuServer& cpu() { return cpu_; }
   [[nodiscard]] sim::CpuServer& bus() { return bus_; }
   [[nodiscard]] FlowTable& flow_table() { return table_; }
@@ -246,6 +253,7 @@ class Switch {
   of::Channel* channel_ = nullptr;
   metrics::DelayRecorder* recorder_ = nullptr;
   verify::InvariantObserver* observer_ = nullptr;
+  obs::SwitchInstruments instr_;
   SwitchCounters counters_;
   // packet_in xid -> original packet metadata, for attributing responses and
   // restoring simulator metadata on no-buffer packet_out frames.

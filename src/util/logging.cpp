@@ -29,6 +29,21 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> log_level_from_name(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  for (const LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                               LogLevel::Error, LogLevel::Off}) {
+    std::string candidate = log_level_name(level);
+    for (char& c : candidate) c = static_cast<char>(c - 'A' + 'a');
+    if (lower == candidate) return level;
+  }
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level), component.c_str(),

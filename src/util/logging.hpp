@@ -6,6 +6,7 @@
 // (default: Warn, so tests and benches stay quiet).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,9 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 [[nodiscard]] const char* log_level_name(LogLevel level);
+// Inverse of log_level_name, case-insensitive ("trace".."error", "off");
+// nullopt for anything else (the CLI layer reports the bad value).
+[[nodiscard]] std::optional<LogLevel> log_level_from_name(const std::string& name);
 
 // Emits one line to stderr: "[LEVEL] component: message".
 void log_line(LogLevel level, const std::string& component, const std::string& message);

@@ -11,6 +11,7 @@
 #include "util/byte_order.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/small_function.hpp"
 #include "util/stats.hpp"
@@ -334,6 +335,18 @@ TEST(SmallFunction, AssignmentDestroysPreviousCallable) {
   f = SmallFunction<int()>([]() { return 2; });
   EXPECT_TRUE(alive.expired());
   EXPECT_EQ(f(), 2);
+}
+
+TEST(Logging, LogLevelFromNameParsesAllLevels) {
+  EXPECT_EQ(log_level_from_name("trace"), LogLevel::Trace);
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::Debug);
+  EXPECT_EQ(log_level_from_name("info"), LogLevel::Info);
+  EXPECT_EQ(log_level_from_name("warn"), LogLevel::Warn);
+  EXPECT_EQ(log_level_from_name("error"), LogLevel::Error);
+  EXPECT_EQ(log_level_from_name("off"), LogLevel::Off);
+  EXPECT_EQ(log_level_from_name("INFO"), LogLevel::Info);  // case-insensitive
+  EXPECT_FALSE(log_level_from_name("verbose").has_value());
+  EXPECT_FALSE(log_level_from_name("").has_value());
 }
 
 }  // namespace
