@@ -38,6 +38,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # Second pass with channel faults forced on: every scenario exercises the
 # loss/duplication/outage code paths under the sanitizers.
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-faults
+# Third pass with the fabric cross-check forced on: every scenario also runs
+# a small multi-switch fabric (topology routing, ECMP, per-switch invariant
+# registries) under the sanitizers.
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-fabric
 
 # ThreadSanitizer pass over the concurrent pieces. TSan cannot be combined
 # with ASan, hence the separate build tree.
@@ -51,4 +55,4 @@ export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/test_thread_pool"
 "$TSAN_DIR/tests/test_parallel_sweep"
 
-echo "sanitize_check: OK (2 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"
+echo "sanitize_check: OK (3 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"

@@ -5,6 +5,14 @@
 
 namespace sdnbuf::ctrl {
 
+const char* route_install_mode_name(RouteInstallMode mode) {
+  switch (mode) {
+    case RouteInstallMode::PerHopReactive: return "per-hop";
+    case RouteInstallMode::FullPathInstall: return "full-path";
+  }
+  return "unknown";
+}
+
 Controller::Controller(sim::Simulator& sim, ControllerConfig config, std::uint64_t rng_seed)
     : sim_(sim),
       config_(std::move(config)),
@@ -53,6 +61,22 @@ std::optional<std::uint16_t> Controller::lookup_mac(const net::MacAddress& mac,
 void Controller::learn(const net::MacAddress& mac, std::uint16_t port,
                        std::uint64_t datapath_id) {
   binding(datapath_id).mac_table[mac] = port;
+}
+
+void Controller::enable_topology_routing(const topo::Router& router, RouteInstallMode mode) {
+  router_ = &router;
+  route_mode_ = mode;
+}
+
+void Controller::set_invariant_observer_for(std::uint64_t datapath_id,
+                                            verify::InvariantObserver* observer) {
+  binding(datapath_id).observer = observer;
+}
+
+verify::InvariantObserver* Controller::observer_for(std::uint64_t datapath_id) {
+  const auto it = switches_.find(datapath_id);
+  if (it != switches_.end() && it->second.observer != nullptr) return it->second.observer;
+  return observer_;
 }
 
 void Controller::start() {
@@ -114,7 +138,9 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
     if (config_.drop_pkt_in_probability > 0.0 &&
         rng_.next_double() < config_.drop_pkt_in_probability) {
       ++counters_.pkt_ins_dropped;
-      if (observer_ != nullptr) observer_->on_pkt_in_dropped(pi->xid, pi->buffer_id, sim_.now());
+      if (auto* obs = observer_for(datapath_id)) {
+        obs->on_pkt_in_dropped(pi->xid, pi->buffer_id, sim_.now());
+      }
       return;
     }
     handle_packet_in(datapath_id, *pi);
@@ -160,21 +186,29 @@ void Controller::handle_packet_in(std::uint64_t datapath_id, const of::PacketIn&
     auto packet = net::Packet::parse(msg.data, msg.total_len);
     if (!packet) {
       ++counters_.parse_failures;
-      if (observer_ != nullptr) observer_->on_pkt_in_dropped(msg.xid, msg.buffer_id, sim_.now());
+      if (auto* obs = observer_for(datapath_id)) {
+        obs->on_pkt_in_dropped(msg.xid, msg.buffer_id, sim_.now());
+      }
       SDNBUF_WARN("controller", "undecodable packet_in data");
       return;
     }
-    decide_and_respond(binding(datapath_id), msg, *packet);
+    decide_and_respond(datapath_id, binding(datapath_id), msg, *packet);
   });
 }
 
-void Controller::decide_and_respond(SwitchBinding& binding, const of::PacketIn& msg,
-                                    const net::Packet& packet) {
+void Controller::decide_and_respond(std::uint64_t datapath_id, SwitchBinding& binding,
+                                    const of::PacketIn& msg, const net::Packet& packet) {
   of::Channel* channel = binding.channel;
   SDNBUF_CHECK(channel != nullptr);
 
-  // Learn the sender's location at this switch.
+  // Learn the sender's location at this switch (kept in topology mode too:
+  // tests and warm-up probes read the tables).
   if (!packet.eth.src.is_multicast()) binding.mac_table[packet.eth.src] = msg.in_port;
+
+  if (router_ != nullptr) {
+    route_and_respond(datapath_id, binding, msg, packet);
+    return;
+  }
 
   const auto it = binding.mac_table.find(packet.eth.dst);
   const bool known = it != binding.mac_table.end();
@@ -198,7 +232,13 @@ void Controller::decide_and_respond(SwitchBinding& binding, const of::PacketIn& 
     return;
   }
 
-  const of::ActionList actions = of::output_to(it->second);
+  respond_with_actions(binding, msg, packet, of::output_to(it->second));
+}
+
+void Controller::respond_with_actions(SwitchBinding& binding, const of::PacketIn& msg,
+                                      const net::Packet& packet, const of::ActionList& actions) {
+  of::Channel* channel = binding.channel;
+  SDNBUF_CHECK(channel != nullptr);
 
   // Floodlight sends the flow_mod first and the packet_out second; chaining
   // the encode jobs preserves that order on the FIFO channel.
@@ -249,6 +289,112 @@ void Controller::decide_and_respond(SwitchBinding& binding, const of::PacketIn& 
     ++counters_.flow_mods_sent;
     channel->send_from_controller(fm);
     if (!piggyback) send_pkt_out();
+  });
+}
+
+void Controller::route_and_respond(std::uint64_t datapath_id, SwitchBinding& binding,
+                                   const of::PacketIn& msg, const net::Packet& packet) {
+  const topo::Topology& topology = router_->topology();
+
+  // A drop packet_out (empty action list): releases any buffered copy and
+  // keeps the switch-side accounting closed.
+  auto drop_packet = [this, channel = binding.channel, msg]() {
+    ++counters_.unroutable_drops;
+    const std::size_t data_bytes = msg.buffer_id == of::kNoBuffer ? msg.data.size() : 0;
+    const double encode_us =
+        config_.costs.encode_pkt_out_base_us +
+        config_.costs.encode_pkt_out_per_byte_us * static_cast<double>(data_bytes);
+    cpu_.submit(cost_us(encode_us), [this, channel, msg]() {
+      of::PacketOut out;
+      out.xid = msg.xid;
+      out.buffer_id = msg.buffer_id;
+      out.in_port = msg.in_port;
+      if (msg.buffer_id == of::kNoBuffer) out.data = msg.data;
+      ++counters_.pkt_outs_sent;
+      channel->send_from_controller(out);
+    });
+  };
+
+  const auto dst = topology.host_by_mac(packet.eth.dst);
+  if (!dst) {
+    // Foreign or multicast destination: fabrics have loops, so flooding is
+    // never safe — drop instead of installing anything.
+    drop_packet();
+    return;
+  }
+  SDNBUF_CHECK_MSG(datapath_id >= 1 && datapath_id <= topology.n_switches(),
+                   "fabric dpids are 1-based switch indices");
+  const topo::NodeId sw = topology.switch_id(static_cast<unsigned>(datapath_id - 1));
+  const net::FlowKey flow = packet.flow_key();
+
+  if (route_mode_ == RouteInstallMode::PerHopReactive) {
+    const auto port = router_->next_hop_port(sw, *dst, flow);
+    if (!port) {
+      drop_packet();
+      return;
+    }
+    respond_with_actions(binding, msg, packet, of::output_to(*port));
+    return;
+  }
+
+  // Full-path install: walk the ECMP path once, pre-install the rule on
+  // every downstream switch, then answer the originating switch last so the
+  // released packet finds the downstream rules already present.
+  const std::vector<topo::NodeId> path = router_->path(sw, *dst, flow);
+  if (path.size() < 2) {
+    drop_packet();
+    return;
+  }
+  auto hops = std::make_shared<std::vector<PathHop>>();
+  hops->reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    PathHop hop;
+    hop.datapath_id = static_cast<std::uint64_t>(topology.index_of(path[i])) + 1;
+    if (i == 0) {
+      hop.in_port = msg.in_port;
+    } else {
+      const auto in = topology.port_to(path[i], path[i - 1]);
+      SDNBUF_CHECK(in.has_value());
+      hop.in_port = *in;
+    }
+    const auto out = topology.port_to(path[i], path[i + 1]);
+    SDNBUF_CHECK(out.has_value());
+    hop.out_port = *out;
+    hops->push_back(hop);
+  }
+  install_remaining_hops(std::move(hops), 1, datapath_id, msg, packet);
+}
+
+void Controller::install_remaining_hops(std::shared_ptr<const std::vector<PathHop>> hops,
+                                        std::size_t idx, std::uint64_t origin_dpid,
+                                        of::PacketIn msg, net::Packet packet) {
+  if (idx >= hops->size()) {
+    respond_with_actions(binding(origin_dpid), msg, packet,
+                         of::output_to(hops->front().out_port));
+    return;
+  }
+  const PathHop hop = (*hops)[idx];
+  cpu_.submit(cost_us(config_.costs.encode_flow_mod_us),
+              [this, hops = std::move(hops), idx, origin_dpid, msg = std::move(msg),
+               packet = std::move(packet), hop]() mutable {
+    SwitchBinding& b = binding(hop.datapath_id);
+    of::FlowMod fm;
+    // Proactive installs are not answering any packet_in on this channel, so
+    // they carry a fresh xid (the per-switch invariant registries are told
+    // to expect unpaired flow_mods in this mode).
+    fm.xid = b.channel->next_xid();
+    fm.match = of::Match::exact_from(packet, hop.in_port);
+    fm.command = of::FlowModCommand::Add;
+    fm.idle_timeout_s = config_.rule_idle_timeout_s;
+    fm.hard_timeout_s = config_.rule_hard_timeout_s;
+    fm.priority = config_.rule_priority;
+    if (config_.request_flow_removed) fm.flags |= of::kFlowModSendFlowRem;
+    fm.actions = of::output_to(hop.out_port);
+    ++counters_.flow_mods_sent;
+    ++counters_.path_preinstalls;
+    b.channel->send_from_controller(fm);
+    install_remaining_hops(std::move(hops), idx + 1, origin_dpid, std::move(msg),
+                           std::move(packet));
   });
 }
 

@@ -15,18 +15,35 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "obs/instruments.hpp"
 #include "openflow/channel.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
+#include "topo/routing.hpp"
 #include "util/rng.hpp"
 #include "verify/observer.hpp"
 
 namespace sdnbuf::ctrl {
+
+// How the controller turns a routing decision into installed state on a
+// multi-switch fabric.
+enum class RouteInstallMode {
+  // Answer only the requesting switch: every switch on the path raises its
+  // own packet_in (the paper's reactive model, multiplied per hop).
+  PerHopReactive,
+  // On the first packet_in of a flow, proactively install the rule on every
+  // downstream switch of the ECMP path before releasing the packet — one
+  // packet_in per flow per path instead of per hop.
+  FullPathInstall,
+};
+
+[[nodiscard]] const char* route_install_mode_name(RouteInstallMode mode);
 
 struct CostModel {
   // packet_in parsing: fixed + per byte of the data field.
@@ -85,6 +102,8 @@ struct ControllerCounters {
   std::uint64_t parse_failures = 0;
   std::uint64_t flow_removed_seen = 0;
   std::uint64_t pkt_ins_dropped = 0;      // fault injection
+  std::uint64_t path_preinstalls = 0;     // proactive downstream flow_mods
+  std::uint64_t unroutable_drops = 0;     // topology mode: no route / foreign MAC
   std::uint64_t stats_requests_sent = 0;
   std::uint64_t stats_replies_seen = 0;
   std::uint64_t errors_seen = 0;
@@ -142,11 +161,25 @@ class Controller {
   // traffic instead).
   void learn(const net::MacAddress& mac, std::uint16_t port, std::uint64_t datapath_id = 1);
 
+  // Switches the forwarding application from L2 learning to topology-aware
+  // routing: packet_in destinations resolve through the router's host
+  // addressing scheme and the seeded ECMP tables instead of learned MAC
+  // locations (no flooding — fabrics have loops). `router` is owned by the
+  // caller (the FabricTestbed) and must outlive the controller. Requires the
+  // fabric dpid convention: switch index i <-> datapath_id i + 1.
+  void enable_topology_routing(const topo::Router& router, RouteInstallMode mode);
+  [[nodiscard]] bool topology_routing() const { return router_ != nullptr; }
+
   void reset_counters() { counters_ = ControllerCounters{}; }
 
   // Invariant-checking observer (owned by the caller; may be null). Reports
   // fault-injected packet_in drops so conservation accounting stays closed.
   void set_invariant_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
+  // Per-switch observer override for fabrics running one registry per
+  // switch: events for `datapath_id` route here, others fall back to the
+  // global observer.
+  void set_invariant_observer_for(std::uint64_t datapath_id, verify::InvariantObserver* observer);
 
   // Metrics instruments (default-null bundle = disabled).
   void set_instruments(const obs::ControllerInstruments& instruments) { instr_ = instruments; }
@@ -157,12 +190,33 @@ class Controller {
   struct SwitchBinding {
     of::Channel* channel = nullptr;
     std::map<net::MacAddress, std::uint16_t> mac_table;
+    verify::InvariantObserver* observer = nullptr;  // per-switch override
+  };
+
+  // One step of a full-path install: which switch gets the rule, and the
+  // (in_port, out_port) pair its exact-match should carry.
+  struct PathHop {
+    std::uint64_t datapath_id = 0;
+    std::uint16_t in_port = 0;
+    std::uint16_t out_port = 0;
   };
 
   void on_message(std::uint64_t datapath_id, const of::OfMessage& msg);
   void handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg);
-  void decide_and_respond(SwitchBinding& binding, const of::PacketIn& msg,
-                          const net::Packet& packet);
+  void decide_and_respond(std::uint64_t datapath_id, SwitchBinding& binding,
+                          const of::PacketIn& msg, const net::Packet& packet);
+  // Topology-routing counterpart of decide_and_respond.
+  void route_and_respond(std::uint64_t datapath_id, SwitchBinding& binding,
+                         const of::PacketIn& msg, const net::Packet& packet);
+  // The flow_mod + packet_out answer toward the switch that raised the
+  // packet_in (shared by the learning and routing applications).
+  void respond_with_actions(SwitchBinding& binding, const of::PacketIn& msg,
+                            const net::Packet& packet, const of::ActionList& actions);
+  // Installs rules on hops[idx..] one CPU job at a time, then answers the
+  // originating switch (hops[0]) with respond_with_actions.
+  void install_remaining_hops(std::shared_ptr<const std::vector<PathHop>> hops, std::size_t idx,
+                              std::uint64_t origin_dpid, of::PacketIn msg, net::Packet packet);
+  [[nodiscard]] verify::InvariantObserver* observer_for(std::uint64_t datapath_id);
   void poll_stats();
   [[nodiscard]] SwitchBinding& binding(std::uint64_t datapath_id);
   [[nodiscard]] const SwitchBinding* find_binding(std::uint64_t datapath_id) const;
@@ -172,6 +226,8 @@ class Controller {
   util::Rng rng_;
   sim::CpuServer cpu_;
   std::map<std::uint64_t, SwitchBinding> switches_;
+  const topo::Router* router_ = nullptr;
+  RouteInstallMode route_mode_ = RouteInstallMode::PerHopReactive;
   ControllerCounters counters_;
   verify::InvariantObserver* observer_ = nullptr;
   obs::ControllerInstruments instr_;

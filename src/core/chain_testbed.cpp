@@ -1,90 +1,38 @@
 #include "core/chain_testbed.hpp"
 
+#include "metrics/delay_recorder.hpp"
 #include "util/check.hpp"
 
 namespace sdnbuf::core {
 
-ChainTestbed::ChainTestbed(const ChainConfig& config) : sink1_(sim_), sink2_(sim_) {
+FabricConfig ChainTestbed::to_fabric_config(const ChainConfig& config) {
   SDNBUF_CHECK_MSG(config.n_switches >= 1, "a chain needs at least one switch");
-
-  controller_ = std::make_unique<ctrl::Controller>(sim_, config.controller_config,
-                                                   config.seed * 40503u + 1);
-
-  // Data links: host1 <-> sw0, sw(i-1) <-> sw(i), sw(n-1) <-> host2.
-  for (unsigned i = 0; i <= config.n_switches; ++i) {
-    const bool edge = i == 0 || i == config.n_switches;
-    const double mbps = edge ? config.host_link_mbps : config.inter_switch_mbps;
-    data_links_.push_back(std::make_unique<net::DuplexLink>(
-        sim_, "data" + std::to_string(i), mbps * 1e6, config.link_delay));
-  }
-
-  for (unsigned i = 0; i < config.n_switches; ++i) {
-    sw::SwitchConfig sw_config = config.switch_config;
-    sw_config.name = "sw" + std::to_string(i + 1);
-    sw_config.datapath_id = i + 1;
-    switches_.push_back(
-        std::make_unique<sw::Switch>(sim_, sw_config, config.seed * 2654435761u + i));
-    control_links_.push_back(std::make_unique<net::DuplexLink>(
-        sim_, "ctl" + std::to_string(i + 1), config.control_link_mbps * 1e6,
-        config.control_link_delay));
-    channels_.push_back(std::make_unique<of::Channel>(sim_, control_links_[i]->forward(),
-                                                      control_links_[i]->reverse()));
-    switches_[i]->connect(*channels_[i]);
-    controller_->connect(*channels_[i], i + 1);
-  }
-
-  // Egress wiring. Leftward out of switch i: data_links_[i].reverse()
-  // delivers to switch i-1 (right port) or to Host1's sink. Rightward out of
-  // switch i: data_links_[i+1].forward() delivers to switch i+1 (left port)
-  // or to Host2's sink.
-  for (unsigned i = 0; i < config.n_switches; ++i) {
-    sw::Switch* left_neighbour = i > 0 ? switches_[i - 1].get() : nullptr;
-    switches_[i]->attach_port(kLeftPort, data_links_[i]->reverse(),
-                              [this, left_neighbour](const net::Packet& p) {
-                                if (left_neighbour != nullptr) {
-                                  left_neighbour->receive(kRightPort, p);
-                                } else {
-                                  sink1_.receive(p);
-                                }
-                              });
-  }
-  for (unsigned i = 0; i < config.n_switches; ++i) {
-    sw::Switch* right_neighbour =
-        i + 1 < config.n_switches ? switches_[i + 1].get() : nullptr;
-    switches_[i]->attach_port(kRightPort, data_links_[i + 1]->forward(),
-                              [this, right_neighbour](const net::Packet& p) {
-                                if (right_neighbour != nullptr) {
-                                  right_neighbour->receive(kLeftPort, p);
-                                } else {
-                                  sink2_.receive(p);
-                                }
-                              });
-  }
-
-  for (auto& s : switches_) s->start();
-  controller_->start();
+  FabricConfig fc;
+  fc.topology = topo::make_chain(config.n_switches);
+  fc.routing = FabricRouting::L2Learning;
+  fc.switch_config = config.switch_config;
+  fc.controller_config = config.controller_config;
+  fc.host_link_mbps = config.host_link_mbps;
+  fc.inter_switch_mbps = config.inter_switch_mbps;
+  fc.link_delay = config.link_delay;
+  fc.control_link_mbps = config.control_link_mbps;
+  fc.control_link_delay = config.control_link_delay;
+  fc.seed = config.seed;
+  return fc;
 }
 
-void ChainTestbed::inject_from_host1(const net::Packet& packet) {
-  data_links_.front()->forward().send(
-      packet.frame_size,
-      [this, packet]() { switches_.front()->receive(kLeftPort, packet); });
-}
-
-void ChainTestbed::inject_from_host2(const net::Packet& packet) {
-  data_links_.back()->reverse().send(
-      packet.frame_size,
-      [this, packet]() { switches_.back()->receive(kRightPort, packet); });
-}
+ChainTestbed::ChainTestbed(const ChainConfig& config) : fabric_(to_fabric_config(config)) {}
 
 void ChainTestbed::warm_up() {
   // Standard L2 learning chatter end to end, with retries (fault injection
   // may drop requests). Host2 first so every switch learns its location,
   // then Host1.
+  sim::Simulator& sim = fabric_.sim();
+  ctrl::Controller& controller = fabric_.controller();
   std::uint16_t seq = 0;
-  auto learned_everywhere = [this](const net::MacAddress& mac) {
+  auto learned_everywhere = [this, &controller](const net::MacAddress& mac) {
     for (unsigned i = 0; i < n_switches(); ++i) {
-      if (!controller_->lookup_mac(mac, i + 1)) return false;
+      if (!controller.lookup_mac(mac, i + 1)) return false;
     }
     return true;
   };
@@ -93,62 +41,19 @@ void ChainTestbed::warm_up() {
                                          static_cast<std::uint16_t>(99 + seq++), 99, 100);
     p.flow_id = metrics::kUntrackedFlow;
     inject_from_host2(p);
-    sim_.run_until(sim_.now() + sim::SimTime::milliseconds(60));
+    sim.run_until(sim.now() + sim::SimTime::milliseconds(60));
   }
   for (int attempt = 0; attempt < 50 && !learned_everywhere(host1_mac()); ++attempt) {
     net::Packet p = net::make_udp_packet(host1_mac(), host2_mac(), host1_ip(), host2_ip(),
                                          static_cast<std::uint16_t>(99 + seq++), 99, 100);
     p.flow_id = metrics::kUntrackedFlow;
     inject_from_host1(p);
-    sim_.run_until(sim_.now() + sim::SimTime::milliseconds(60));
+    sim.run_until(sim.now() + sim::SimTime::milliseconds(60));
   }
-  sim_.run_until(sim_.now() + sim::SimTime::milliseconds(100));
+  sim.run_until(sim.now() + sim::SimTime::milliseconds(100));
   SDNBUF_CHECK_MSG(learned_everywhere(host1_mac()) && learned_everywhere(host2_mac()),
                    "chain warm-up failed to teach every switch both host locations");
   reset_statistics();
-}
-
-std::uint64_t ChainTestbed::total_pkt_ins() const {
-  std::uint64_t n = 0;
-  for (const auto& s : switches_) n += s->counters().pkt_ins_sent;
-  return n;
-}
-
-std::uint64_t ChainTestbed::total_control_bytes() const {
-  std::uint64_t n = 0;
-  for (const auto& c : channels_) {
-    n += c->to_controller_counters().total_bytes() + c->to_switch_counters().total_bytes();
-  }
-  return n;
-}
-
-void ChainTestbed::stop() {
-  for (auto& s : switches_) s->stop();
-  controller_->stop();
-}
-
-void ChainTestbed::reset_statistics() {
-  for (auto& link : data_links_) {
-    link->forward().tap().reset();
-    link->reverse().tap().reset();
-  }
-  for (auto& link : control_links_) {
-    link->forward().tap().reset();
-    link->reverse().tap().reset();
-  }
-  for (auto& channel : channels_) channel->reset_counters();
-  for (auto& s : switches_) {
-    s->cpu().reset_stats();
-    s->bus().reset_stats();
-    s->reset_counters();
-    if (s->packet_buffer() != nullptr) s->packet_buffer()->occupancy().reset(sim_.now());
-    if (s->flow_buffer() != nullptr) s->flow_buffer()->occupancy().reset(sim_.now());
-  }
-  controller_->cpu().reset_stats();
-  controller_->reset_counters();
-  sink1_.reset();
-  sink2_.reset();
-  measurement_start_ = sim_.now();
 }
 
 }  // namespace sdnbuf::core

@@ -9,18 +9,16 @@
 // miss at *every* switch on the path — the reactive overhead multiplies per
 // hop, and so does the buffer's saving (`bench_multihop`). Port numbering
 // per switch: 1 = toward Host1, 2 = toward Host2.
+//
+// The chain is now a thin wrapper over the topology engine: the wiring
+// comes from `topo::make_chain` via `FabricTestbed` (L2-learning routing —
+// safe here because a chain is loop-free), and only the two-host warm-up
+// conversation and the legacy accessors live at this layer.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
-#include "controller/controller.hpp"
-#include "host/sink.hpp"
-#include "net/link.hpp"
-#include "openflow/channel.hpp"
-#include "sim/simulator.hpp"
-#include "switchd/switch.hpp"
+#include "core/fabric_testbed.hpp"
 
 namespace sdnbuf::core {
 
@@ -46,8 +44,8 @@ class ChainTestbed {
   // L2 learning warm-up across the whole chain, then statistics reset.
   void warm_up();
 
-  void inject_from_host1(const net::Packet& packet);
-  void inject_from_host2(const net::Packet& packet);
+  void inject_from_host1(const net::Packet& packet) { fabric_.inject_from_host(0, packet); }
+  void inject_from_host2(const net::Packet& packet) { fabric_.inject_from_host(1, packet); }
 
   [[nodiscard]] net::MacAddress host1_mac() const { return net::MacAddress::from_index(1); }
   [[nodiscard]] net::MacAddress host2_mac() const { return net::MacAddress::from_index(2); }
@@ -58,34 +56,31 @@ class ChainTestbed {
     return net::Ipv4Address::from_octets(10, 2, 0, 1);
   }
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] unsigned n_switches() const { return static_cast<unsigned>(switches_.size()); }
-  [[nodiscard]] sw::Switch& switch_at(unsigned index) { return *switches_.at(index); }
-  [[nodiscard]] ctrl::Controller& controller() { return *controller_; }
-  [[nodiscard]] host::HostSink& sink1() { return sink1_; }
-  [[nodiscard]] host::HostSink& sink2() { return sink2_; }
+  [[nodiscard]] sim::Simulator& sim() { return fabric_.sim(); }
+  [[nodiscard]] unsigned n_switches() const { return fabric_.n_switches(); }
+  [[nodiscard]] sw::Switch& switch_at(unsigned index) { return fabric_.switch_at(index); }
+  [[nodiscard]] ctrl::Controller& controller() { return fabric_.controller(); }
+  [[nodiscard]] host::HostSink& sink1() { return fabric_.sink_at(0); }
+  [[nodiscard]] host::HostSink& sink2() { return fabric_.sink_at(1); }
+
+  // The underlying fabric (topology, router, channels, ...).
+  [[nodiscard]] FabricTestbed& fabric() { return fabric_; }
 
   // Sums across every switch / control channel.
-  [[nodiscard]] std::uint64_t total_pkt_ins() const;
-  [[nodiscard]] std::uint64_t total_control_bytes() const;
+  [[nodiscard]] std::uint64_t total_pkt_ins() const { return fabric_.total_pkt_ins(); }
+  [[nodiscard]] std::uint64_t total_control_bytes() const {
+    return fabric_.total_control_bytes();
+  }
 
   // Stops all housekeeping so Simulator::run() can drain.
-  void stop();
+  void stop() { fabric_.stop(); }
 
-  void reset_statistics();
+  void reset_statistics() { fabric_.reset_statistics(); }
 
  private:
-  sim::Simulator sim_;
-  std::unique_ptr<ctrl::Controller> controller_;
-  std::vector<std::unique_ptr<sw::Switch>> switches_;
-  std::vector<std::unique_ptr<net::DuplexLink>> control_links_;  // per switch
-  std::vector<std::unique_ptr<of::Channel>> channels_;           // per switch
-  // data_links_[0] = host1<->sw0, [i] = sw(i-1)<->sw(i), [n] = sw(n-1)<->host2;
-  // forward() always points toward Host2.
-  std::vector<std::unique_ptr<net::DuplexLink>> data_links_;
-  host::HostSink sink1_;
-  host::HostSink sink2_;
-  sim::SimTime measurement_start_;
+  [[nodiscard]] static FabricConfig to_fabric_config(const ChainConfig& config);
+
+  FabricTestbed fabric_;
 };
 
 }  // namespace sdnbuf::core

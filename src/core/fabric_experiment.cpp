@@ -1,0 +1,113 @@
+#include "core/fabric_experiment.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::core {
+
+FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& config) {
+  SDNBUF_CHECK_MSG(config.routing != FabricRouting::L2Learning,
+                   "fabric experiments need topology routing (L2 flooding loops)");
+
+  FabricConfig fc = config.fabric;
+  fc.topology = config.topology;
+  fc.routing = config.routing;
+  fc.seed = config.seed;
+  fc.switch_config.buffer_mode = config.mode;
+  fc.switch_config.buffer_capacity = config.buffer_capacity;
+  fc.observers = config.observers;
+
+  FabricTestbed bed(fc);
+  // Topology routing needs no learning warm-up; the measurement window opens
+  // immediately.
+  bed.reset_statistics();
+
+  std::optional<obs::MetricsSnapshotter> snapshotter;
+  if (config.metrics != nullptr) {
+    config.metrics->set_meta("mechanism", sw::buffer_mode_name(config.mode));
+    config.metrics->set_meta("pattern", host::traffic_pattern_name(config.pattern));
+    config.metrics->set_meta("seed", std::to_string(config.seed));
+    bed.install_metrics(*config.metrics);
+    snapshotter.emplace(bed.sim(), *config.metrics, config.metrics_interval);
+    snapshotter->start();
+  }
+
+  host::TrafficMatrixConfig tm;
+  tm.pattern = config.pattern;
+  for (unsigned h = 0; h < bed.n_hosts(); ++h) {
+    tm.host_macs.push_back(topo::Topology::host_mac(h));
+    tm.host_ips.push_back(topo::Topology::host_ip(h));
+  }
+  tm.incast_target = config.incast_target;
+  tm.incast_fanin = config.incast_fanin;
+  tm.duration_s = config.duration_s;
+  tm.flow_arrival_per_s = config.flow_arrival_per_s;
+  tm.pareto_alpha = config.pareto_alpha;
+  tm.min_packets = config.min_packets;
+  tm.max_packets = config.max_packets;
+  tm.in_flow_rate_mbps = config.in_flow_rate_mbps;
+  tm.frame_size = config.frame_size;
+
+  host::TrafficMatrixWorkload gen{
+      bed.sim(), tm, config.seed * 7919u + 3,
+      [&bed](unsigned src, const net::Packet& p) { bed.inject_from_host(src, p); }};
+  gen.start();
+
+  // Arrivals end at the horizon; the longest flow can keep pacing packets for
+  // max_packets gaps after that. Only once emission is provably over does
+  // "delivered == emitted" mean the run is done.
+  const sim::SimTime per_packet_gap =
+      sim::transmission_time(config.frame_size, config.in_flow_rate_mbps * 1e6);
+  const sim::SimTime horizon = bed.sim().now() + sim::SimTime::from_seconds(config.duration_s);
+  const sim::SimTime emission_done =
+      horizon + per_packet_gap.scaled(1.5 * static_cast<double>(config.max_packets) + 1.0);
+  const sim::SimTime deadline = emission_done + config.drain_timeout;
+
+  const sim::SimTime slice = sim::SimTime::milliseconds(20);
+  while (bed.sim().now() < deadline &&
+         (bed.sim().now() < emission_done || bed.total_delivered() < gen.packets_emitted())) {
+    bed.sim().run_until(std::min(bed.sim().now() + slice, deadline));
+  }
+  // Let in-flight control traffic settle, then stop housekeeping and drain.
+  bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(50));
+  if (snapshotter) snapshotter->stop();
+  bed.stop();
+  bed.sim().run();
+  if (config.metrics != nullptr) {
+    config.metrics->take_snapshot(bed.sim().now());  // final row, post-drain
+    config.metrics->clear_polls();                   // testbed dies with this frame
+  }
+
+  const sim::SimTime t0 = bed.measurement_start();
+  const sim::SimTime t1 = bed.sim().now();
+
+  FabricExperimentResult r;
+  r.flows = gen.flows_started();
+  r.packets_sent = gen.packets_emitted();
+  r.packets_delivered = bed.total_delivered();
+  r.duplicates = bed.total_duplicates();
+  r.pkt_ins = bed.total_pkt_ins();
+  const ctrl::ControllerCounters& cc = bed.controller().counters();
+  r.full_frame_pkt_ins = cc.full_frame_pkt_ins;
+  r.flow_mods = cc.flow_mods_sent;
+  r.pkt_outs = cc.pkt_outs_sent;
+  r.path_preinstalls = cc.path_preinstalls;
+  r.unroutable_drops = cc.unroutable_drops;
+  r.control_msgs = bed.total_control_msgs();
+  r.control_bytes = bed.total_control_bytes();
+  r.duration_s = (t1 - t0).sec();
+  if (r.duration_s > 0) {
+    r.control_mbps = static_cast<double>(r.control_bytes) * 8.0 / r.duration_s / 1e6;
+  }
+  r.first_packet_ms = bed.first_packet_ms();
+  r.buffer_avg_units = bed.buffer_occupancy_mean_sum();
+  r.buffer_max_units = static_cast<double>(bed.buffer_occupancy_max_sum());
+  r.delivered = bed.delivered_payloads();
+  r.drained = r.packets_delivered == r.packets_sent && r.duplicates == 0;
+  return r;
+}
+
+}  // namespace sdnbuf::core

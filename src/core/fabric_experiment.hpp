@@ -1,0 +1,92 @@
+// One fabric-scale experiment: a traffic-matrix workload pushed through a
+// FabricTestbed under one buffer mechanism and one route-install mode,
+// producing the fabric analogues of the paper's control-load / setup-delay /
+// occupancy metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fabric_testbed.hpp"
+#include "host/traffic_matrix.hpp"
+#include "util/stats.hpp"
+
+namespace sdnbuf::core {
+
+struct FabricExperimentConfig {
+  topo::Topology topology;
+  FabricRouting routing = FabricRouting::TopologyPerHop;
+
+  // Mechanism under test.
+  sw::BufferMode mode = sw::BufferMode::NoBuffer;
+  std::size_t buffer_capacity = 256;
+
+  // Traffic matrix (see TrafficMatrixConfig; host addressing is filled in
+  // from the topology).
+  host::TrafficPattern pattern = host::TrafficPattern::Permutation;
+  unsigned incast_target = 0;
+  unsigned incast_fanin = 0;
+  double duration_s = 0.5;
+  double flow_arrival_per_s = 400.0;
+  double pareto_alpha = 1.3;
+  std::uint32_t min_packets = 2;
+  std::uint32_t max_packets = 50;
+  double in_flow_rate_mbps = 20.0;
+  std::uint32_t frame_size = 1000;
+
+  std::uint64_t seed = 1;
+
+  // Platform template (cost models, link speeds); mode/buffer_capacity/seed
+  // above override the corresponding fields.
+  FabricConfig fabric;
+
+  // Extra simulated time allowed for the tail of the run to drain.
+  sim::SimTime drain_timeout = sim::SimTime::seconds(5);
+
+  // Per-switch invariant observers (forwarded into FabricConfig::observers;
+  // empty = no checking). Call finalize() on the registries afterwards.
+  std::vector<verify::InvariantObserver*> observers;
+
+  // Optional metrics registry: per-switch instruments + fabric gauges are
+  // installed before the run and polls cleared before return.
+  obs::MetricsRegistry* metrics = nullptr;
+  sim::SimTime metrics_interval = sim::SimTime::milliseconds(10);
+};
+
+struct FabricExperimentResult {
+  // Workload accounting.
+  std::uint64_t flows = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t duplicates = 0;
+
+  // Control-path load, fabric-wide (all channels, both directions).
+  std::uint64_t pkt_ins = 0;
+  std::uint64_t full_frame_pkt_ins = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t pkt_outs = 0;
+  std::uint64_t path_preinstalls = 0;
+  std::uint64_t unroutable_drops = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t control_bytes = 0;
+  double control_mbps = 0.0;  // control_bytes over the measurement window
+
+  // Flow setup delay at fabric scale: first-packet injection-to-delivery.
+  util::Samples first_packet_ms;
+
+  // Buffer units summed across switches (Fig. 8 analogue at fabric scale).
+  double buffer_avg_units = 0.0;
+  double buffer_max_units = 0.0;
+
+  // Sorted delivered payload multiset for cross-mode equality checks.
+  std::vector<verify::PayloadId> delivered;
+
+  double duration_s = 0.0;
+  bool drained = false;  // every emitted packet was delivered
+};
+
+// Builds the fabric, runs the traffic matrix to completion (or the deadline)
+// and harvests the metrics. Requires topology routing (the L2-learning mode
+// floods, which is unsafe on looped fabrics).
+[[nodiscard]] FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& config);
+
+}  // namespace sdnbuf::core

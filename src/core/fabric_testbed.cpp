@@ -1,0 +1,271 @@
+#include "core/fabric_testbed.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "metrics/delay_recorder.hpp"
+#include "util/check.hpp"
+
+namespace sdnbuf::core {
+
+const char* fabric_routing_name(FabricRouting routing) {
+  switch (routing) {
+    case FabricRouting::L2Learning: return "l2-learning";
+    case FabricRouting::TopologyPerHop: return "per-hop";
+    case FabricRouting::TopologyFullPath: return "full-path";
+  }
+  return "unknown";
+}
+
+FabricTestbed::FabricTestbed(const FabricConfig& config)
+    : topo_(config.topology), routing_(config.routing), observers_(config.observers) {
+  topo_.validate();
+  SDNBUF_CHECK_MSG(observers_.empty() || observers_.size() == topo_.n_switches(),
+                   "observers must be empty or one per switch");
+
+  for (unsigned h = 0; h < topo_.n_hosts(); ++h) {
+    sinks_.push_back(std::make_unique<host::HostSink>(sim_));
+  }
+
+  // Construction order mirrors the original hand-wired chain exactly —
+  // controller, all data links, then per switch [switch, control link,
+  // channel, connects] — so a chain-shaped fabric replays the chain
+  // testbed's event sequence bit for bit.
+  controller_ = std::make_unique<ctrl::Controller>(sim_, config.controller_config,
+                                                   config.seed * 40503u + 1);
+  router_ = std::make_unique<topo::Router>(topo_, config.seed * 0xda942042e4dd58b5ULL + 7);
+
+  for (std::size_t i = 0; i < topo_.n_links(); ++i) {
+    const topo::Topology::Link& link = topo_.links()[i];
+    const double mbps = link.host_edge ? config.host_link_mbps : config.inter_switch_mbps;
+    data_links_.push_back(std::make_unique<net::DuplexLink>(
+        sim_, "data" + std::to_string(i), mbps * 1e6, config.link_delay));
+  }
+
+  for (unsigned i = 0; i < topo_.n_switches(); ++i) {
+    sw::SwitchConfig sw_config = config.switch_config;
+    sw_config.name = topo_.name(topo_.switch_id(i));
+    sw_config.datapath_id = i + 1;
+    switches_.push_back(
+        std::make_unique<sw::Switch>(sim_, sw_config, config.seed * 2654435761u + i));
+    control_links_.push_back(std::make_unique<net::DuplexLink>(
+        sim_, "ctl" + std::to_string(i + 1), config.control_link_mbps * 1e6,
+        config.control_link_delay));
+    channels_.push_back(std::make_unique<of::Channel>(sim_, control_links_[i]->forward(),
+                                                      control_links_[i]->reverse()));
+    switches_[i]->connect(*channels_[i]);
+    controller_->connect(*channels_[i], i + 1);
+  }
+
+  wire_ports();
+
+  if (!observers_.empty()) {
+    for (unsigned i = 0; i < n_switches(); ++i) {
+      verify::InvariantObserver* obs = observers_[i];
+      if (obs == nullptr) continue;
+      switches_[i]->set_invariant_observer(obs);
+      controller_->set_invariant_observer_for(i + 1, obs);
+      channels_[i]->set_verify_tap(
+          [obs](bool to_controller, const of::OfMessage& msg, std::size_t, sim::SimTime when) {
+            obs->on_control_message(to_controller, msg, when);
+          });
+    }
+  }
+
+  if (routing_ != FabricRouting::L2Learning) {
+    controller_->enable_topology_routing(*router_, routing_ == FabricRouting::TopologyFullPath
+                                                       ? ctrl::RouteInstallMode::FullPathInstall
+                                                       : ctrl::RouteInstallMode::PerHopReactive);
+  }
+
+  for (auto& s : switches_) s->start();
+  controller_->start();
+}
+
+void FabricTestbed::wire_ports() {
+  // Per switch, in adjacency (= ascending port) order; the port map's
+  // insertion order matters because flooding iterates it.
+  for (unsigned si = 0; si < topo_.n_switches(); ++si) {
+    const topo::NodeId sw_node = topo_.switch_id(si);
+    for (const topo::Topology::Adjacency& adj : topo_.adjacency(sw_node)) {
+      net::DuplexLink& link = *data_links_[adj.link];
+      // forward() transmits a -> b; pick the half leaving this switch.
+      net::Link& egress =
+          topo_.links()[adj.link].a == sw_node ? link.forward() : link.reverse();
+      if (topo_.is_host(adj.peer)) {
+        const unsigned hi = topo_.index_of(adj.peer);
+        switches_[si]->attach_port(adj.port, egress, [this, si, hi](const net::Packet& p) {
+          if (!observers_.empty() && observers_[si] != nullptr) {
+            observers_[si]->on_packet_delivered(p, sim_.now());
+          }
+          if (p.flow_id != metrics::kUntrackedFlow) {
+            delivered_.emplace_back(p.flow_id, p.seq_in_flow);
+            if (p.seq_in_flow == 0) first_packet_ms_.add((sim_.now() - p.created_at).ms());
+          }
+          sinks_[hi]->receive(p);
+        });
+      } else {
+        const unsigned pi = topo_.index_of(adj.peer);
+        const std::uint16_t peer_port = adj.peer_port;
+        switches_[si]->attach_port(adj.port, egress,
+                                   [this, si, pi, peer_port](const net::Packet& p) {
+          // Cross-switch handoff: the sender's registry closes its account,
+          // the receiver's opens one.
+          if (!observers_.empty()) {
+            if (observers_[si] != nullptr) observers_[si]->on_packet_delivered(p, sim_.now());
+            if (observers_[pi] != nullptr) observers_[pi]->on_packet_injected(p, sim_.now());
+          }
+          switches_[pi]->receive(peer_port, p);
+        });
+      }
+    }
+  }
+}
+
+void FabricTestbed::inject_from_host(unsigned host_index, const net::Packet& packet) {
+  const topo::NodeId host = topo_.host_id(host_index);
+  const topo::Topology::Adjacency& att = topo_.attachment(host);
+  net::DuplexLink& link = *data_links_[att.link];
+  net::Link& uplink = topo_.links()[att.link].a == host ? link.forward() : link.reverse();
+  const unsigned si = topo_.index_of(att.peer);
+  if (!observers_.empty() && observers_[si] != nullptr) {
+    observers_[si]->on_packet_injected(packet, sim_.now());
+  }
+  const std::uint16_t in_port = att.peer_port;
+  uplink.send(packet.frame_size,
+              [this, si, in_port, packet]() { switches_[si]->receive(in_port, packet); });
+}
+
+std::uint64_t FabricTestbed::total_pkt_ins() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) n += s->counters().pkt_ins_sent;
+  return n;
+}
+
+std::uint64_t FabricTestbed::total_control_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) {
+    n += c->to_controller_counters().total_bytes() + c->to_switch_counters().total_bytes();
+  }
+  return n;
+}
+
+std::uint64_t FabricTestbed::total_control_msgs() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) {
+    n += c->to_controller_counters().total_count() + c->to_switch_counters().total_count();
+  }
+  return n;
+}
+
+std::uint64_t FabricTestbed::total_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sinks_) n += s->packets_received();
+  return n;
+}
+
+std::uint64_t FabricTestbed::total_duplicates() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sinks_) n += s->duplicate_packets();
+  return n;
+}
+
+double FabricTestbed::buffer_occupancy_mean_sum() const {
+  double sum = 0.0;
+  for (const auto& s : switches_) {
+    if (const auto* occ = s->buffer_occupancy(); occ != nullptr) {
+      sum += occ->time_weighted_mean(sim_.now());
+    }
+  }
+  return sum;
+}
+
+std::uint64_t FabricTestbed::buffer_occupancy_max_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) {
+    if (const auto* occ = s->buffer_occupancy(); occ != nullptr) sum += occ->max();
+  }
+  return sum;
+}
+
+std::vector<verify::PayloadId> FabricTestbed::delivered_payloads() const {
+  std::vector<verify::PayloadId> sorted = delivered_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
+  registry.set_meta("topology", "hosts=" + std::to_string(n_hosts()) +
+                                    ",switches=" + std::to_string(n_switches()) +
+                                    ",links=" + std::to_string(topo_.n_links()));
+  registry.set_meta("routing", fabric_routing_name(routing_));
+
+  // Shared histograms aggregate the distribution across the fabric; each
+  // switch still gets its own bundle instance.
+  obs::SwitchInstruments si;
+  si.pkt_in_bytes = &registry.histogram("switch.pkt_in_bytes", 16.0);
+  obs::BufferInstruments bi;
+  bi.residency_ms = &registry.histogram("buffer.residency_ms", 0.125);
+  obs::ChannelInstruments chi;
+  chi.wire_bytes_to_controller = &registry.histogram("channel.wire_bytes_to_controller", 16.0);
+  chi.wire_bytes_to_switch = &registry.histogram("channel.wire_bytes_to_switch", 16.0);
+  for (unsigned i = 0; i < n_switches(); ++i) {
+    switches_[i]->set_instruments(si);
+    switches_[i]->set_buffer_instruments(bi);
+    channels_[i]->set_instruments(chi);
+  }
+
+  obs::ControllerInstruments ci;
+  ci.pkt_in_bytes = &registry.histogram("controller.pkt_in_bytes", 16.0);
+  controller_->set_instruments(ci);
+
+  // Per-switch poll gauges, prefixed with the switch name.
+  for (unsigned i = 0; i < n_switches(); ++i) {
+    const std::string prefix = topo_.name(topo_.switch_id(i));
+    sw::Switch* s = switches_[i].get();
+    registry.register_poll(prefix + ".buffer.units_in_use", [s]() {
+      const auto* occ = s->buffer_occupancy();
+      return occ == nullptr ? 0.0 : static_cast<double>(occ->current());
+    });
+    registry.register_poll(prefix + ".pkt_ins_sent",
+                           [s]() { return static_cast<double>(s->counters().pkt_ins_sent); });
+  }
+  registry.register_poll("fabric.pkt_ins_sent",
+                         [this]() { return static_cast<double>(total_pkt_ins()); });
+  registry.register_poll("fabric.control_bytes",
+                         [this]() { return static_cast<double>(total_control_bytes()); });
+  registry.register_poll("fabric.packets_delivered",
+                         [this]() { return static_cast<double>(total_delivered()); });
+}
+
+void FabricTestbed::stop() {
+  for (auto& s : switches_) s->stop();
+  controller_->stop();
+}
+
+void FabricTestbed::reset_statistics() {
+  for (auto& link : data_links_) {
+    link->forward().tap().reset();
+    link->reverse().tap().reset();
+  }
+  for (auto& link : control_links_) {
+    link->forward().tap().reset();
+    link->reverse().tap().reset();
+  }
+  for (auto& channel : channels_) channel->reset_counters();
+  for (auto& s : switches_) {
+    s->cpu().reset_stats();
+    s->bus().reset_stats();
+    s->reset_counters();
+    if (s->packet_buffer() != nullptr) s->packet_buffer()->occupancy().reset(sim_.now());
+    if (s->flow_buffer() != nullptr) s->flow_buffer()->occupancy().reset(sim_.now());
+  }
+  controller_->cpu().reset_stats();
+  controller_->reset_counters();
+  for (auto& s : sinks_) s->reset();
+  delivered_.clear();
+  first_packet_ms_ = util::Samples{};
+  measurement_start_ = sim_.now();
+}
+
+}  // namespace sdnbuf::core

@@ -1,0 +1,146 @@
+// Many-switch fabric testbed: N switches wired per a `topo::Topology`, one
+// controller managing all of them over per-switch control channels.
+//
+//   hosts -- [edge/leaf/...] -- fabric links --            (data plane)
+//                \    |    /
+//                 controller (one channel per switch)      (control plane)
+//
+// This generalizes the hand-wired ChainTestbed (now a thin wrapper over
+// `topo::make_chain`) to arbitrary validated fabrics: per-switch port maps
+// come straight from the topology, forwarding decisions from the seeded ECMP
+// `topo::Router`, and the controller can answer misses per hop (the paper's
+// reactive model multiplied across the path) or pre-install the whole path
+// on the first packet_in of a flow.
+//
+// Per-switch observability: every switch, channel and the controller accept
+// their own `verify::InvariantObserver`, so fabric runs can keep one
+// invariant registry per switch (xids and buffer_ids are per-switch
+// namespaces and would collide in a shared registry). Packets crossing a
+// switch-to-switch link count as delivered by the sender's registry and
+// injected into the receiver's, which keeps each registry's conservation
+// closed locally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "host/sink.hpp"
+#include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "openflow/channel.hpp"
+#include "sim/simulator.hpp"
+#include "switchd/switch.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+#include "util/stats.hpp"
+#include "verify/invariants.hpp"
+
+namespace sdnbuf::core {
+
+// The forwarding application driving the fabric's controller.
+enum class FabricRouting {
+  // Classic MAC learning with flooding — only safe on loop-free topologies
+  // (the chain); kept for ChainTestbed compatibility.
+  L2Learning,
+  // topo::Router consulted per packet_in; every switch on the path misses
+  // once per flow (reactive per-hop setup).
+  TopologyPerHop,
+  // topo::Router walked once per flow; downstream rules pre-installed before
+  // the first packet is released (controller full-path installation).
+  TopologyFullPath,
+};
+
+[[nodiscard]] const char* fabric_routing_name(FabricRouting routing);
+
+struct FabricConfig {
+  topo::Topology topology;  // must pass validate()
+  FabricRouting routing = FabricRouting::TopologyPerHop;
+  sw::SwitchConfig switch_config;  // template; name/datapath_id set per switch
+  ctrl::ControllerConfig controller_config;
+  double host_link_mbps = 100.0;
+  double inter_switch_mbps = 100.0;
+  sim::SimTime link_delay = sim::SimTime::microseconds(20);
+  double control_link_mbps = 1000.0;
+  sim::SimTime control_link_delay = sim::SimTime::microseconds(300);
+  std::uint64_t seed = 1;
+  // Per-switch invariant observers: empty (no checking) or exactly one entry
+  // per switch, indexed by switch index. Owned by the caller.
+  std::vector<verify::InvariantObserver*> observers;
+};
+
+class FabricTestbed {
+ public:
+  explicit FabricTestbed(const FabricConfig& config);
+
+  FabricTestbed(const FabricTestbed&) = delete;
+  FabricTestbed& operator=(const FabricTestbed&) = delete;
+
+  // Sends `packet` from host `host_index` up its access link into the fabric.
+  void inject_from_host(unsigned host_index, const net::Packet& packet);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] const topo::Router& router() const { return *router_; }
+  [[nodiscard]] FabricRouting routing() const { return routing_; }
+
+  [[nodiscard]] unsigned n_switches() const { return static_cast<unsigned>(switches_.size()); }
+  [[nodiscard]] unsigned n_hosts() const { return static_cast<unsigned>(sinks_.size()); }
+  [[nodiscard]] sw::Switch& switch_at(unsigned index) { return *switches_.at(index); }
+  [[nodiscard]] of::Channel& channel_at(unsigned index) { return *channels_.at(index); }
+  [[nodiscard]] net::DuplexLink& data_link_at(std::size_t index) { return *data_links_.at(index); }
+  [[nodiscard]] ctrl::Controller& controller() { return *controller_; }
+  [[nodiscard]] host::HostSink& sink_at(unsigned host_index) { return *sinks_.at(host_index); }
+
+  // Sums across every switch / control channel.
+  [[nodiscard]] std::uint64_t total_pkt_ins() const;
+  [[nodiscard]] std::uint64_t total_control_bytes() const;
+  [[nodiscard]] std::uint64_t total_control_msgs() const;
+  [[nodiscard]] std::uint64_t total_delivered() const;
+  [[nodiscard]] std::uint64_t total_duplicates() const;
+  // Buffer occupancy summed over switches: time-weighted mean at `now` and
+  // the sum of per-switch maxima.
+  [[nodiscard]] double buffer_occupancy_mean_sum() const;
+  [[nodiscard]] std::uint64_t buffer_occupancy_max_sum() const;
+
+  // Sorted multiset of (flow_id, seq_in_flow) payloads delivered to hosts
+  // (untracked warm-up flows excluded) — the cross-mode equality check's
+  // input.
+  [[nodiscard]] std::vector<verify::PayloadId> delivered_payloads() const;
+  // Injection-to-delivery latency of each flow's first packet (ms): the
+  // fabric-scale flow setup delay measure.
+  [[nodiscard]] const util::Samples& first_packet_ms() const { return first_packet_ms_; }
+
+  [[nodiscard]] sim::SimTime measurement_start() const { return measurement_start_; }
+
+  // Attaches per-switch instrument bundles plus fabric-wide poll gauges to
+  // `registry`. Histograms aggregate across switches; per-switch gauges are
+  // prefixed with the switch name.
+  void install_metrics(obs::MetricsRegistry& registry);
+
+  // Stops all housekeeping so Simulator::run() can drain.
+  void stop();
+
+  void reset_statistics();
+
+ private:
+  void wire_ports();
+
+  sim::Simulator sim_;
+  topo::Topology topo_;
+  FabricRouting routing_;
+  std::vector<std::unique_ptr<host::HostSink>> sinks_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  std::unique_ptr<topo::Router> router_;
+  std::vector<std::unique_ptr<net::DuplexLink>> data_links_;     // topology link order
+  std::vector<std::unique_ptr<sw::Switch>> switches_;            // switch index order
+  std::vector<std::unique_ptr<net::DuplexLink>> control_links_;  // per switch
+  std::vector<std::unique_ptr<of::Channel>> channels_;           // per switch
+  std::vector<verify::InvariantObserver*> observers_;            // empty or per switch
+  std::vector<verify::PayloadId> delivered_;
+  util::Samples first_packet_ms_;
+  sim::SimTime measurement_start_;
+};
+
+}  // namespace sdnbuf::core

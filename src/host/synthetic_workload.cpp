@@ -17,21 +17,26 @@ SyntheticWorkload::SyntheticWorkload(sim::Simulator& sim, WorkloadConfig config,
   SDNBUF_CHECK_MSG(emit_ != nullptr, "emit function required");
 }
 
-std::uint32_t SyntheticWorkload::draw_flow_size() {
+std::uint32_t draw_bounded_pareto(util::Rng& rng, double alpha, std::uint32_t min_packets,
+                                  std::uint32_t max_packets) {
   // Bounded Pareto via inverse transform: F^-1(u) with support
   // [min_packets, max_packets].
-  const double alpha = config_.pareto_alpha;
-  const double lo = static_cast<double>(config_.min_packets);
-  const double hi = static_cast<double>(config_.max_packets);
+  const double lo = static_cast<double>(min_packets);
+  const double hi = static_cast<double>(max_packets);
   const double lo_a = std::pow(lo, alpha);
   const double hi_a = std::pow(hi, alpha);
   double u;
   do {
-    u = rng_.next_double();
+    u = rng.next_double();
   } while (u >= 1.0);
   const double x = std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a), -1.0 / alpha);
   const double clamped = std::min(hi, std::max(lo, x));
   return static_cast<std::uint32_t>(clamped + 0.5);
+}
+
+std::uint32_t SyntheticWorkload::draw_flow_size() {
+  return draw_bounded_pareto(rng_, config_.pareto_alpha, config_.min_packets,
+                             config_.max_packets);
 }
 
 void SyntheticWorkload::start() {

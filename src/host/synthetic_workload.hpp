@@ -22,6 +22,13 @@
 
 namespace sdnbuf::host {
 
+// One bounded-Pareto draw over [min_packets, max_packets] (inverse
+// transform), shared by SyntheticWorkload and the fabric traffic-matrix
+// workload so both sample identical flow-size distributions.
+[[nodiscard]] std::uint32_t draw_bounded_pareto(util::Rng& rng, double alpha,
+                                                std::uint32_t min_packets,
+                                                std::uint32_t max_packets);
+
 struct WorkloadConfig {
   // Flow arrivals are generated for this long (packets may finish later).
   double duration_s = 1.0;

@@ -8,6 +8,7 @@
 
 #include "metrics/delay_recorder.hpp"
 #include "openflow/constants.hpp"
+#include "util/rng.hpp"
 
 namespace sdnbuf::obs {
 
@@ -62,14 +63,7 @@ void append_timestamp_us(std::string& out, sim::SimTime ts) {
   out.append(buf, p);
 }
 
-// splitmix64: tiny, high-quality mixer — the same construction util::Rng uses
-// for seeding. Gives an unbiased flow sample independent of flow-id patterns.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using util::mix64;  // the repo-wide deterministic sampling mixer
 
 }  // namespace
 

@@ -1,0 +1,116 @@
+#include "topo/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdnbuf::topo {
+
+Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology), seed_(seed) {
+  topo_->validate();
+  const unsigned n_hosts = topo_->n_hosts();
+  const unsigned n_switches = topo_->n_switches();
+  tables_.assign(n_hosts, {});
+  dists_.assign(n_hosts, std::vector<unsigned>(n_switches, 0));
+
+  for (unsigned hi = 0; hi < n_hosts; ++hi) {
+    const NodeId host = topo_->host_id(hi);
+    const Topology::Adjacency& attach = topo_->attachment(host);
+    auto& dist = dists_[hi];
+
+    // BFS over the switch graph from the attachment switch; distance counts
+    // switches traversed (attachment switch = 1).
+    std::deque<NodeId> queue{attach.peer};
+    dist[topo_->index_of(attach.peer)] = 1;
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      const unsigned d = dist[topo_->index_of(cur)];
+      for (const Topology::Adjacency& adj : topo_->adjacency(cur)) {
+        if (topo_->is_host(adj.peer)) continue;
+        unsigned& pd = dist[topo_->index_of(adj.peer)];
+        if (pd == 0) {
+          pd = d + 1;
+          queue.push_back(adj.peer);
+        }
+      }
+    }
+
+    // Next hops: strictly-downhill neighbours (or the host itself at the
+    // attachment switch), sorted by peer id so the candidate order — and
+    // therefore the hash pick — is independent of link insertion order.
+    auto& table = tables_[hi];
+    table.assign(n_switches, {});
+    for (unsigned si = 0; si < n_switches; ++si) {
+      const NodeId sw = topo_->switch_id(si);
+      const unsigned d = dist[si];
+      if (d == 0) continue;  // unreachable
+      auto& hops = table[si];
+      if (sw == attach.peer) {
+        hops.push_back(NextHop{attach.peer_port, host});
+        continue;
+      }
+      for (const Topology::Adjacency& adj : topo_->adjacency(sw)) {
+        if (topo_->is_host(adj.peer)) continue;
+        if (dist[topo_->index_of(adj.peer)] == d - 1) {
+          hops.push_back(NextHop{adj.port, adj.peer});
+        }
+      }
+      std::sort(hops.begin(), hops.end(),
+                [](const NextHop& a, const NextHop& b) { return a.peer < b.peer; });
+    }
+  }
+}
+
+const std::vector<NextHop>& Router::next_hops(NodeId sw, NodeId dst_host) const {
+  SDNBUF_CHECK_MSG(!topo_->is_host(sw), "next_hops wants a switch");
+  SDNBUF_CHECK_MSG(topo_->is_host(dst_host), "next_hops wants a destination host");
+  return tables_[topo_->index_of(dst_host)][topo_->index_of(sw)];
+}
+
+std::optional<NextHop> Router::next_hop(NodeId sw, NodeId dst_host,
+                                        const net::FlowKey& flow) const {
+  const auto& hops = next_hops(sw, dst_host);
+  if (hops.empty()) return std::nullopt;
+  if (hops.size() == 1) return hops.front();
+  // Per-flow ECMP: mix the stable 5-tuple hash with the router seed and the
+  // deciding switch, so consecutive hops of one flow draw independently.
+  const std::uint64_t h =
+      util::mix64(flow.hash() ^ seed_ ^ (static_cast<std::uint64_t>(sw) * 0x9e3779b97f4a7c15ULL));
+  return hops[h % hops.size()];
+}
+
+std::optional<std::uint16_t> Router::next_hop_port(NodeId sw, NodeId dst_host,
+                                                   const net::FlowKey& flow) const {
+  const auto hop = next_hop(sw, dst_host, flow);
+  if (!hop) return std::nullopt;
+  return hop->port;
+}
+
+std::vector<NodeId> Router::path(NodeId from_switch, NodeId dst_host,
+                                 const net::FlowKey& flow) const {
+  std::vector<NodeId> nodes{from_switch};
+  NodeId cur = from_switch;
+  // BFS distances decrease strictly along the walk, so n_switches + 1 steps
+  // always suffice.
+  for (unsigned step = 0; step <= topo_->n_switches(); ++step) {
+    const auto hop = next_hop(cur, dst_host, flow);
+    if (!hop) return {};
+    nodes.push_back(hop->peer);
+    if (hop->peer == dst_host) return nodes;
+    cur = hop->peer;
+  }
+  SDNBUF_CHECK_MSG(false, "routing walk did not terminate");
+  return {};
+}
+
+unsigned Router::distance(NodeId sw, NodeId dst_host) const {
+  SDNBUF_CHECK_MSG(!topo_->is_host(sw), "distance wants a switch");
+  SDNBUF_CHECK_MSG(topo_->is_host(dst_host), "distance wants a destination host");
+  return dists_[topo_->index_of(dst_host)][topo_->index_of(sw)];
+}
+
+}  // namespace sdnbuf::topo

@@ -1,0 +1,79 @@
+// Deterministic shortest-path routing with seeded ECMP.
+//
+// `Router` precomputes, per destination host, the equal-cost next-hop set of
+// every switch (BFS distances over the switch graph, so paths are loop-free
+// by construction). When a switch has several shortest next hops, the pick
+// hashes the flow 5-tuple through `util::mix64` — the repo's standard
+// deterministic-sampling construction — so:
+//
+//   - the same (seed, flow) always takes the same path, on any platform,
+//     in any process, regardless of the order links were added (next-hop
+//     sets are sorted by peer NodeId before hashing picks an entry);
+//   - different flows spread across the equal-cost fan-out (per-flow ECMP,
+//     no packet reordering within a flow);
+//   - changing the seed re-rolls the path assignment, giving sweeps
+//     independent ECMP layouts the same way experiment seeds re-roll
+//     workloads.
+//
+// The controller consults the router per packet_in (per-hop reactive mode)
+// or walks the whole path once (full-path install mode); both use the same
+// pick function, so the hop-by-hop decisions agree with the precomputed
+// path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/flow_key.hpp"
+#include "topo/topology.hpp"
+
+namespace sdnbuf::topo {
+
+struct NextHop {
+  std::uint16_t port = 0;  // out-port on the deciding switch
+  NodeId peer = 0;         // the neighbour that port reaches (switch or host)
+
+  [[nodiscard]] bool operator==(const NextHop&) const = default;
+};
+
+class Router {
+ public:
+  // Validates the topology and builds the next-hop tables. `seed` only
+  // perturbs the ECMP picks, never the candidate sets.
+  Router(const Topology& topology, std::uint64_t seed);
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // Equal-cost next hops of switch `sw` toward `dst_host`, sorted by peer
+  // NodeId. Empty when the host is unreachable from `sw` (cannot happen in a
+  // validated, connected topology).
+  [[nodiscard]] const std::vector<NextHop>& next_hops(NodeId sw, NodeId dst_host) const;
+
+  // The ECMP pick for one flow; nullopt when unreachable.
+  [[nodiscard]] std::optional<NextHop> next_hop(NodeId sw, NodeId dst_host,
+                                                const net::FlowKey& flow) const;
+  [[nodiscard]] std::optional<std::uint16_t> next_hop_port(NodeId sw, NodeId dst_host,
+                                                           const net::FlowKey& flow) const;
+
+  // The full node sequence `flow` takes from `from_switch` to `dst_host`
+  // (inclusive on both ends): each consecutive pair is directly linked and
+  // every hop is this router's own ECMP pick. Empty when unreachable.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from_switch, NodeId dst_host,
+                                         const net::FlowKey& flow) const;
+
+  // Shortest-path hop count (switches traversed) from a switch to a host;
+  // 0 means unreachable.
+  [[nodiscard]] unsigned distance(NodeId sw, NodeId dst_host) const;
+
+ private:
+  const Topology* topo_;
+  std::uint64_t seed_;
+  // tables_[host_index][switch_index] = sorted equal-cost next hops.
+  std::vector<std::vector<std::vector<NextHop>>> tables_;
+  // dists_[host_index][switch_index] = hops to the host (0 = unreachable).
+  std::vector<std::vector<unsigned>> dists_;
+};
+
+}  // namespace sdnbuf::topo

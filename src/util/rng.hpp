@@ -11,6 +11,18 @@
 
 namespace sdnbuf::util {
 
+// splitmix64 finalizer: a tiny, high-quality stateless mixer — the same
+// construction SplitMix64 uses per step. The repo's standard tool for
+// deterministic hash-based choices (trace sampling, ECMP next-hop picks):
+// mix64(key ^ seed) gives an unbiased selection that is reproducible across
+// platforms and independent of container iteration order.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 // SplitMix64: used to expand a single 64-bit seed into generator state.
 class SplitMix64 {
  public:

@@ -272,6 +272,7 @@ void InvariantRegistry::on_control_message(bool to_controller, const of::OfMessa
 
   const std::uint32_t xid = of::message_xid(msg);
   if (const auto* fm = std::get_if<of::FlowMod>(&msg)) {
+    if (allow_proactive_installs_) return;
     if (packet_ins_.count(xid) == 0) {
       violate(now, "unpaired-flow-mod", "xid " + std::to_string(xid) + " answers no packet_in");
     }

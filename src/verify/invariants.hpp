@@ -61,6 +61,12 @@ class InvariantRegistry final : public InvariantObserver {
   // slot stays free for tcpdump-style captures).
   void attach(of::Channel& channel);
 
+  // Full-path route installation legitimately sends flow_mods that answer no
+  // packet_in on this switch's channel (fresh xids, rules for flows this
+  // switch never reported). Setting this relaxes the "unpaired-flow-mod" and
+  // "rule-without-packet" checks; everything else still applies.
+  void set_allow_proactive_installs(bool allow) { allow_proactive_installs_ = allow; }
+
   // --- InvariantObserver ---
   void on_packet_injected(const net::Packet& packet, sim::SimTime now) override;
   void on_packet_delivered(const net::Packet& packet, sim::SimTime now) override;
@@ -143,6 +149,7 @@ class InvariantRegistry final : public InvariantObserver {
   std::uint64_t total_violations_ = 0;
   std::uint64_t events_ = 0;
   bool finalized_ = false;
+  bool allow_proactive_installs_ = false;
 
   // Ordered map: deterministic iteration keeps reports and finalize output
   // reproducible across runs.

@@ -1,12 +1,16 @@
 #include "verify/scenario_gen.hpp"
 
+#include <memory>
+#include <set>
 #include <sstream>
+#include <utility>
 
+#include "core/fabric_experiment.hpp"
 #include "util/rng.hpp"
 
 namespace sdnbuf::verify {
 
-Scenario sample_scenario(std::uint64_t seed, bool force_faults) {
+Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabric) {
   // Decorrelate the sampling stream from the experiment's own seeded
   // streams (which derive from `seed` directly).
   util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1e);
@@ -51,7 +55,134 @@ Scenario sample_scenario(std::uint64_t seed, bool force_faults) {
     // Echo-only scenario: liveness traffic over a healthy (or lossy) channel.
     s.echo_interval = sim::SimTime::milliseconds(50 + rng.next_below(101));
   }
+  // Fabric cross-check draws come LAST so enabling them never perturbs the
+  // base scenario a seed maps to. The gate draw is always consumed; the
+  // fault smoke (force_faults) keeps its run time by skipping fabrics.
+  const bool want_fabric = rng.next_double() < 0.30;
+  if ((want_fabric || force_fabric) && !force_faults) {
+    s.fabric_kind = static_cast<unsigned>(rng.next_below(3));
+    s.fabric_switches = static_cast<unsigned>(2 + rng.next_below(7));  // 2..8
+    s.fabric_seed = rng.next_u64();
+    s.fabric_pattern = static_cast<unsigned>(rng.next_below(3));
+    s.fabric_full_path = rng.next_below(2) == 1;
+  }
   return s;
+}
+
+// Deterministic small fabric from the scenario's fabric draws. Every shape
+// satisfies Topology::validate() by construction.
+static topo::Topology build_fabric(const Scenario& s) {
+  util::Rng rng(s.fabric_seed * 0x2545f4914f6cdd1dULL + 0xfab41c);
+  switch (s.fabric_kind) {
+    case 0: {  // small leaf-spine: 3..5 switches
+      const unsigned spines = static_cast<unsigned>(1 + rng.next_below(2));
+      const unsigned leaves = static_cast<unsigned>(2 + rng.next_below(2));
+      const unsigned hosts = static_cast<unsigned>(1 + rng.next_below(2));
+      return topo::make_leaf_spine(spines, leaves, hosts);
+    }
+    case 1:  // smallest fat-tree: 5 switches, 2 hosts
+      return topo::make_fat_tree(2);
+    default: {  // random connected switch graph with randomly homed hosts
+      const unsigned n_sw = s.fabric_switches;
+      const unsigned n_hosts = static_cast<unsigned>(2 + rng.next_below(3));
+      std::vector<std::pair<unsigned, unsigned>> edges;
+      std::set<std::pair<unsigned, unsigned>> seen;
+      // Hosts are node ids 0..n_hosts-1, switches n_hosts..n_hosts+n_sw-1.
+      const auto sw_id = [n_hosts](unsigned i) { return n_hosts + i; };
+      for (unsigned h = 0; h < n_hosts; ++h) {
+        edges.emplace_back(h, sw_id(static_cast<unsigned>(rng.next_below(n_sw))));
+      }
+      // Spanning tree keeps the switch graph connected; extras add loops
+      // (safe under topology routing, which never floods).
+      for (unsigned i = 1; i < n_sw; ++i) {
+        const unsigned parent = static_cast<unsigned>(rng.next_below(i));
+        edges.emplace_back(sw_id(parent), sw_id(i));
+        seen.insert({parent, i});
+      }
+      const std::uint64_t extras = rng.next_below(n_sw);
+      for (std::uint64_t e = 0; e < extras; ++e) {
+        unsigned a = static_cast<unsigned>(rng.next_below(n_sw));
+        unsigned b = static_cast<unsigned>(rng.next_below(n_sw));
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (!seen.insert({a, b}).second) continue;
+        edges.emplace_back(sw_id(a), sw_id(b));
+      }
+      return topo::from_edge_list(n_hosts, n_sw, edges);
+    }
+  }
+}
+
+// Runs the fabric cross-check under all three buffer mechanisms with one
+// InvariantRegistry per switch, appending any failures to `out`.
+static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
+  const topo::Topology topology = build_fabric(scenario);
+  constexpr sw::BufferMode kModes[] = {sw::BufferMode::NoBuffer,
+                                       sw::BufferMode::PacketGranularity,
+                                       sw::BufferMode::FlowGranularity};
+  constexpr host::TrafficPattern kPatterns[] = {host::TrafficPattern::AllToAll,
+                                                host::TrafficPattern::Permutation,
+                                                host::TrafficPattern::Incast};
+  std::array<std::vector<PayloadId>, 3> delivered;
+  std::array<bool, 3> drained{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<std::unique_ptr<InvariantRegistry>> registries;
+    std::vector<InvariantObserver*> observers;
+    for (unsigned sw_i = 0; sw_i < topology.n_switches(); ++sw_i) {
+      registries.push_back(std::make_unique<InvariantRegistry>());
+      if (scenario.fabric_full_path) registries.back()->set_allow_proactive_installs(true);
+      observers.push_back(registries.back().get());
+    }
+
+    core::FabricExperimentConfig cfg;
+    cfg.topology = topology;
+    cfg.routing = scenario.fabric_full_path ? core::FabricRouting::TopologyFullPath
+                                            : core::FabricRouting::TopologyPerHop;
+    cfg.mode = kModes[i];
+    cfg.buffer_capacity = scenario.buffer_capacity;
+    cfg.pattern = kPatterns[scenario.fabric_pattern % 3];
+    cfg.duration_s = 0.15;
+    cfg.flow_arrival_per_s = 150.0;
+    cfg.min_packets = 1;
+    cfg.max_packets = 6;
+    cfg.seed = scenario.seed;
+    cfg.observers = observers;
+    const core::FabricExperimentResult r = run_fabric_experiment(cfg);
+    delivered[i] = r.delivered;
+    drained[i] = r.drained;
+    out.fabric_delivered += r.packets_delivered;
+
+    std::uint64_t events = 0;
+    for (unsigned sw_i = 0; sw_i < registries.size(); ++sw_i) {
+      registries[sw_i]->finalize(/*expect_all_delivered=*/r.drained);
+      events += registries[sw_i]->events_observed();
+      if (!registries[sw_i]->ok()) {
+        out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) + " " +
+                               topology.name(topology.switch_id(sw_i)) + ": " +
+                               registries[sw_i]->report());
+      }
+    }
+    out.fabric_events += events;
+    if (events == 0) {
+      out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
+                             ": observers saw no events (hooks unwired?)");
+    }
+    if (!r.drained) {
+      out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
+                             ": undrained (" + std::to_string(r.packets_delivered) + "/" +
+                             std::to_string(r.packets_sent) + " delivered, " +
+                             std::to_string(r.duplicates) + " dup)");
+    }
+  }
+  // No fault plane on the fabric yet, so every mechanism must deliver the
+  // identical payload multiset.
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (drained[i] && drained[0] && delivered[i] != delivered[0]) {
+      out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
+                             " delivered a different payload multiset than " +
+                             sw::buffer_mode_name(kModes[0]));
+    }
+  }
 }
 
 std::string Scenario::describe() const {
@@ -67,6 +198,12 @@ std::string Scenario::describe() const {
        << " chan_dup=" << chan_duplicate_prob << " chan_jitter=" << chan_extra_delay.to_string()
        << " outage=" << outage_start.to_string() << '+' << outage_len.to_string()
        << " echo=" << echo_interval.to_string() << " fail_mode=" << sw::fail_mode_name(fail_mode);
+  }
+  if (has_fabric()) {
+    constexpr const char* kKinds[] = {"leaf-spine", "fat-tree-k2", "random"};
+    os << " fabric=" << kKinds[fabric_kind % 3] << " fabric_sw=" << fabric_switches
+       << " fabric_seed=" << fabric_seed << " fabric_pattern=" << fabric_pattern
+       << " fabric_install=" << (fabric_full_path ? "full-path" : "per-hop");
   }
   return os.str();
 }
@@ -153,6 +290,8 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
       }
     }
   }
+
+  if (scenario.has_fabric()) run_fabric_check(scenario, out);
   return out;
 }
 

@@ -49,6 +49,17 @@ struct Scenario {
   sim::SimTime echo_interval = sim::SimTime::zero();
   sw::ConnectionFailMode fail_mode = sw::ConnectionFailMode::FailSecure;
 
+  // Fabric cross-check: a small multi-switch fabric (2-8 switches) run under
+  // topology routing in addition to the single-chain scenario above.
+  // `fabric_switches == 0` disables it.
+  unsigned fabric_kind = 0;      // 0=leaf-spine, 1=fat-tree k=2, 2=random edge list
+  unsigned fabric_switches = 0;  // switch budget for the random kind; 0 = off
+  std::uint64_t fabric_seed = 0;
+  unsigned fabric_pattern = 0;  // host::TrafficPattern index
+  bool fabric_full_path = false;
+
+  [[nodiscard]] bool has_fabric() const { return fabric_switches > 0; }
+
   [[nodiscard]] bool has_channel_faults() const {
     return chan_loss_to_controller > 0.0 || chan_loss_to_switch > 0.0 ||
            chan_duplicate_prob > 0.0 || chan_extra_delay > sim::SimTime::zero() ||
@@ -68,8 +79,12 @@ struct Scenario {
 // (eviction), controller fault injection (Algorithm 1 re-request), stats
 // polling, the piggyback ablation and control-channel faults
 // (loss/duplication/jitter/outage). `force_faults` guarantees the sampled
-// scenario exercises the channel fault plane (used by the CI smoke step).
-[[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false);
+// scenario exercises the channel fault plane (used by the CI smoke step);
+// `force_fabric` likewise guarantees the fabric cross-check fires (the two
+// forces are mutually exclusive — faults win, since the fabric has no fault
+// plane yet).
+[[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false,
+                                       bool force_fabric = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;
@@ -84,6 +99,10 @@ struct ScenarioOutcome {
   Scenario scenario;
   std::array<ModeOutcome, 3> modes;  // NoBuffer, PacketGranularity, FlowGranularity
   std::vector<std::string> failures;  // empty = scenario passed
+
+  // Fabric cross-check accounting (zero when the scenario has no fabric).
+  std::uint64_t fabric_events = 0;
+  std::uint64_t fabric_delivered = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

@@ -18,10 +18,11 @@
 int main(int argc, char** argv) {
   using namespace sdnbuf;
 
-  util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose", "force-faults"});
+  util::CliFlags flags(argc, argv,
+                       {"runs", "seed", "offset", "verbose", "force-faults", "force-fabric"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\nusage: fuzz_scenarios [--runs N] [--seed S] [--offset K] "
-                         "[--verbose] [--force-faults]\n",
+                         "[--verbose] [--force-faults] [--force-fabric]\n",
                  flags.error().c_str());
     return 2;
   }
@@ -30,6 +31,11 @@ int main(int argc, char** argv) {
   const long long offset = flags.get_int("offset", 0);
   const bool verbose = flags.get_bool("verbose", false);
   const bool force_faults = flags.get_bool("force-faults", false);
+  const bool force_fabric = flags.get_bool("force-fabric", false);
+  if (force_faults && force_fabric) {
+    std::fprintf(stderr, "fuzz_scenarios: --force-faults and --force-fabric are exclusive\n");
+    return 2;
+  }
   if (runs < 1) {
     std::fprintf(stderr, "fuzz_scenarios: --runs must be a positive integer\n");
     return 2;
@@ -37,8 +43,8 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   for (long long i = offset; i < offset + runs; ++i) {
-    const verify::Scenario scenario =
-        verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i), force_faults);
+    const verify::Scenario scenario = verify::sample_scenario(
+        static_cast<std::uint64_t>(base_seed + i), force_faults, force_fabric);
     const verify::ScenarioOutcome outcome = verify::run_scenario(scenario);
     if (outcome.ok()) {
       if (verbose) {
@@ -51,6 +57,11 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(mode.result.packets_sent),
                       mode.result.drained ? 1 : 0);
         }
+        if (scenario.has_fabric()) {
+          std::printf("      fabric             events=%llu delivered=%llu (3 modes)\n",
+                      static_cast<unsigned long long>(outcome.fabric_events),
+                      static_cast<unsigned long long>(outcome.fabric_delivered));
+        }
       }
       continue;
     }
@@ -59,8 +70,8 @@ int main(int argc, char** argv) {
     for (const auto& failure : outcome.failures) {
       std::printf("      %s\n", failure.c_str());
     }
-    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s\n",
-                base_seed + i, force_faults ? " --force-faults" : "");
+    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s\n", base_seed + i,
+                force_faults ? " --force-faults" : "", force_fabric ? " --force-fabric" : "");
   }
 
   std::printf("fuzz_scenarios: %lld scenario(s) x 3 modes, %d failure(s)\n", runs, failed);

@@ -1,0 +1,264 @@
+// Fabric integration tests: topology-routed delivery across leaf-spine and
+// fat-tree fabrics, per-switch invariant registries, per-hop vs full-path
+// installation, traffic-matrix patterns, and run-level determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fabric_experiment.hpp"
+#include "core/fabric_testbed.hpp"
+#include "host/traffic_matrix.hpp"
+
+namespace sdnbuf::core {
+namespace {
+
+FabricConfig fabric_config(topo::Topology topology, FabricRouting routing, sw::BufferMode mode) {
+  FabricConfig config;
+  config.topology = std::move(topology);
+  config.routing = routing;
+  config.switch_config.buffer_mode = mode;
+  config.switch_config.buffer_capacity = 256;
+  return config;
+}
+
+net::Packet host_packet(unsigned src, unsigned dst, std::uint16_t src_port,
+                        std::uint64_t flow_id, std::uint32_t seq = 0) {
+  net::Packet p = net::make_udp_packet(
+      topo::Topology::host_mac(src), topo::Topology::host_mac(dst),
+      topo::Topology::host_ip(src), topo::Topology::host_ip(dst), src_port, 9, 1000);
+  p.flow_id = flow_id;
+  p.seq_in_flow = seq;
+  return p;
+}
+
+void drain(FabricTestbed& bed, sim::SimTime grace = sim::SimTime::milliseconds(200)) {
+  bed.sim().run_until(bed.sim().now() + grace);
+  bed.stop();
+  bed.sim().run();
+}
+
+TEST(FabricTestbed, LeafSpineDeliversAcrossTheFabric) {
+  FabricTestbed bed{fabric_config(topo::make_leaf_spine(2, 2, 2), FabricRouting::TopologyPerHop,
+                                  sw::BufferMode::PacketGranularity)};
+  // Host 0 (leaf 1) -> host 3 (leaf 2): must cross a spine.
+  bed.inject_from_host(0, host_packet(0, 3, 10000, 1));
+  drain(bed);
+  EXPECT_EQ(bed.sink_at(3).packets_received(), 1u);
+  EXPECT_EQ(bed.total_delivered(), 1u);
+  // Reactive per-hop: leaf, spine, leaf each raised one packet_in.
+  EXPECT_EQ(bed.total_pkt_ins(), 3u);
+}
+
+TEST(FabricTestbed, SameLeafTrafficStaysLocal) {
+  FabricTestbed bed{fabric_config(topo::make_leaf_spine(2, 2, 2), FabricRouting::TopologyPerHop,
+                                  sw::BufferMode::PacketGranularity)};
+  bed.inject_from_host(0, host_packet(0, 1, 10000, 1));
+  drain(bed);
+  EXPECT_EQ(bed.sink_at(1).packets_received(), 1u);
+  EXPECT_EQ(bed.total_pkt_ins(), 1u);  // only the shared leaf missed
+  // Spines never saw the packet.
+  EXPECT_EQ(bed.switch_at(2).counters().pkt_ins_sent, 0u);
+  EXPECT_EQ(bed.switch_at(3).counters().pkt_ins_sent, 0u);
+}
+
+TEST(FabricTestbed, FullPathInstallAnswersOnlyTheOrigin) {
+  FabricTestbed bed{fabric_config(topo::make_leaf_spine(2, 2, 2),
+                                  FabricRouting::TopologyFullPath,
+                                  sw::BufferMode::PacketGranularity)};
+  bed.inject_from_host(0, host_packet(0, 3, 10000, 1));
+  drain(bed);
+  EXPECT_EQ(bed.sink_at(3).packets_received(), 1u);
+  // One miss at the ingress leaf; the spine and egress leaf got their rules
+  // proactively.
+  EXPECT_EQ(bed.total_pkt_ins(), 1u);
+  EXPECT_EQ(bed.controller().counters().path_preinstalls, 2u);
+  EXPECT_EQ(bed.controller().counters().flow_mods_sent, 3u);
+}
+
+TEST(FabricTestbed, UnroutableDestinationIsDroppedNotFlooded) {
+  FabricTestbed bed{fabric_config(topo::make_leaf_spine(2, 2, 2), FabricRouting::TopologyPerHop,
+                                  sw::BufferMode::NoBuffer)};
+  net::Packet p = host_packet(0, 1, 10000, 1);
+  p.eth.dst = net::MacAddress::from_index(999);  // no such host
+  bed.inject_from_host(0, p);
+  drain(bed);
+  EXPECT_EQ(bed.total_delivered(), 0u);
+  EXPECT_EQ(bed.controller().counters().unroutable_drops, 1u);
+  EXPECT_EQ(bed.controller().counters().floods, 0u);
+}
+
+TEST(FabricTestbed, PerSwitchRegistriesStayCleanOnFatTree) {
+  const topo::Topology topology = topo::make_fat_tree(4);
+  std::vector<std::unique_ptr<verify::InvariantRegistry>> registries;
+  std::vector<verify::InvariantObserver*> observers;
+  for (unsigned i = 0; i < topology.n_switches(); ++i) {
+    registries.push_back(std::make_unique<verify::InvariantRegistry>());
+    observers.push_back(registries.back().get());
+  }
+  FabricConfig config = fabric_config(topology, FabricRouting::TopologyPerHop,
+                                      sw::BufferMode::FlowGranularity);
+  config.observers = observers;
+  FabricTestbed bed{config};
+  // A handful of cross-pod flows.
+  for (unsigned f = 0; f < 8; ++f) {
+    bed.inject_from_host(f % 4, host_packet(f % 4, 12 + f % 4,
+                                            static_cast<std::uint16_t>(10000 + f), f));
+  }
+  drain(bed, sim::SimTime::milliseconds(500));
+  EXPECT_EQ(bed.total_delivered(), 8u);
+  std::uint64_t events = 0;
+  for (unsigned i = 0; i < registries.size(); ++i) {
+    registries[i]->finalize(/*expect_all_delivered=*/true);
+    EXPECT_TRUE(registries[i]->ok())
+        << topology.name(topology.switch_id(i)) << "\n" << registries[i]->report();
+    events += registries[i]->events_observed();
+  }
+  EXPECT_GT(events, 0u);
+}
+
+TEST(FabricTestbed, FullPathNeedsProactiveAllowance) {
+  const topo::Topology topology = topo::make_leaf_spine(2, 2, 2);
+  std::vector<std::unique_ptr<verify::InvariantRegistry>> registries;
+  std::vector<verify::InvariantObserver*> observers;
+  for (unsigned i = 0; i < topology.n_switches(); ++i) {
+    registries.push_back(std::make_unique<verify::InvariantRegistry>());
+    registries.back()->set_allow_proactive_installs(true);
+    observers.push_back(registries.back().get());
+  }
+  FabricConfig config = fabric_config(topology, FabricRouting::TopologyFullPath,
+                                      sw::BufferMode::PacketGranularity);
+  config.observers = observers;
+  FabricTestbed bed{config};
+  bed.inject_from_host(0, host_packet(0, 3, 10000, 1));
+  drain(bed);
+  EXPECT_EQ(bed.total_delivered(), 1u);
+  for (auto& reg : registries) {
+    reg->finalize(/*expect_all_delivered=*/true);
+    EXPECT_TRUE(reg->ok()) << reg->report();
+  }
+}
+
+TEST(TrafficMatrix, PatternsPickValidPairs) {
+  sim::Simulator sim;
+  host::TrafficMatrixConfig config;
+  for (unsigned h = 0; h < 8; ++h) {
+    config.host_macs.push_back(topo::Topology::host_mac(h));
+    config.host_ips.push_back(topo::Topology::host_ip(h));
+  }
+  config.incast_target = 3;
+  config.incast_fanin = 4;
+  for (const auto pattern : {host::TrafficPattern::AllToAll, host::TrafficPattern::Permutation,
+                             host::TrafficPattern::Incast}) {
+    config.pattern = pattern;
+    host::TrafficMatrixWorkload wl{sim, config, 11, [](unsigned, const net::Packet&) {}};
+    for (std::uint64_t f = 0; f < 100; ++f) {
+      const auto [src, dst] = wl.pick_pair(f);
+      EXPECT_LT(src, 8u);
+      EXPECT_LT(dst, 8u);
+      EXPECT_NE(src, dst) << host::traffic_pattern_name(pattern);
+      if (pattern == host::TrafficPattern::Incast) {
+        EXPECT_EQ(dst, 3u);
+        EXPECT_NE(src, 3u);
+      }
+    }
+  }
+}
+
+TEST(TrafficMatrix, PermutationIsAFixedRotation) {
+  sim::Simulator sim;
+  host::TrafficMatrixConfig config;
+  config.pattern = host::TrafficPattern::Permutation;
+  for (unsigned h = 0; h < 6; ++h) {
+    config.host_macs.push_back(topo::Topology::host_mac(h));
+    config.host_ips.push_back(topo::Topology::host_ip(h));
+  }
+  host::TrafficMatrixWorkload wl{sim, config, 3, [](unsigned, const net::Packet&) {}};
+  const unsigned shift = (wl.pick_pair(0).second + 6 - wl.pick_pair(0).first) % 6;
+  EXPECT_GE(shift, 1u);
+  for (std::uint64_t f = 0; f < 24; ++f) {
+    const auto [src, dst] = wl.pick_pair(f);
+    EXPECT_EQ(dst, (src + shift) % 6) << f;
+  }
+}
+
+TEST(FabricExperiment, RunsAllThreeMechanismsAndAgreesOnDeliveries) {
+  FabricExperimentConfig config;
+  config.topology = topo::make_leaf_spine(2, 2, 2);
+  config.pattern = host::TrafficPattern::Permutation;
+  config.duration_s = 0.2;
+  config.flow_arrival_per_s = 150.0;
+  config.max_packets = 10;
+  config.seed = 5;
+
+  std::vector<FabricExperimentResult> results;
+  for (const auto mode : {sw::BufferMode::NoBuffer, sw::BufferMode::PacketGranularity,
+                          sw::BufferMode::FlowGranularity}) {
+    config.mode = mode;
+    results.push_back(run_fabric_experiment(config));
+  }
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.drained) << r.packets_delivered << "/" << r.packets_sent;
+    EXPECT_GT(r.flows, 0u);
+  }
+  // All mechanisms deliver exactly the same payload multiset.
+  EXPECT_EQ(results[0].delivered, results[1].delivered);
+  EXPECT_EQ(results[1].delivered, results[2].delivered);
+  // Buffered modes shrink the control path (full frames vs headers).
+  EXPECT_LT(results[1].control_bytes, results[0].control_bytes);
+  EXPECT_LT(results[2].control_bytes, results[0].control_bytes);
+}
+
+TEST(FabricExperiment, SameSeedIsBitIdentical) {
+  FabricExperimentConfig config;
+  config.topology = topo::make_fat_tree(4);
+  config.pattern = host::TrafficPattern::AllToAll;
+  config.mode = sw::BufferMode::FlowGranularity;
+  config.duration_s = 0.1;
+  config.flow_arrival_per_s = 200.0;
+  config.max_packets = 8;
+  config.seed = 21;
+
+  const FabricExperimentResult a = run_fabric_experiment(config);
+  const FabricExperimentResult b = run_fabric_experiment(config);
+  EXPECT_EQ(a.flows, b.flows);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.pkt_ins, b.pkt_ins);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+
+  // A different seed draws a different workload.
+  config.seed = 22;
+  const FabricExperimentResult c = run_fabric_experiment(config);
+  EXPECT_NE(a.delivered, c.delivered);
+}
+
+TEST(FabricExperiment, FullPathCutsPacketInsUnderIncast) {
+  FabricExperimentConfig config;
+  config.topology = topo::make_leaf_spine(2, 4, 2);
+  config.pattern = host::TrafficPattern::Incast;
+  config.incast_target = 0;
+  config.incast_fanin = 6;
+  config.mode = sw::BufferMode::FlowGranularity;
+  config.duration_s = 0.2;
+  config.flow_arrival_per_s = 150.0;
+  config.max_packets = 10;
+  config.seed = 9;
+
+  config.routing = FabricRouting::TopologyPerHop;
+  const FabricExperimentResult per_hop = run_fabric_experiment(config);
+  config.routing = FabricRouting::TopologyFullPath;
+  const FabricExperimentResult full_path = run_fabric_experiment(config);
+
+  EXPECT_TRUE(per_hop.drained);
+  EXPECT_TRUE(full_path.drained);
+  EXPECT_EQ(per_hop.delivered, full_path.delivered);
+  // Full-path answers one miss per flow instead of one per hop.
+  EXPECT_LT(full_path.pkt_ins, per_hop.pkt_ins);
+  EXPECT_GT(full_path.path_preinstalls, 0u);
+}
+
+}  // namespace
+}  // namespace sdnbuf::core
