@@ -1,0 +1,165 @@
+// Analytical oracle vs simulator — the Fig. 5/6/7 delay family with the
+// closed-form prediction overlaid on every simulated curve (DESIGN.md §12).
+//
+// For each E1 mechanism and each swept rate the oracle (model::predict)
+// forecasts pkt_in rate, the three delay means and the control-path load;
+// the simulated sweep provides the measured means and spreads. Output is
+// one aligned table per metric plus results/model_validation.csv in long
+// form (mechanism, rate, metric, predicted, simulated mean/std, relative
+// error) for plotting overlays, and claim lines with the worst relative
+// error inside the validated region (<= 50 Mbps, everything unsaturated —
+// the band tests/test_model_validation.cpp enforces).
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "model/node_model.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+// The validated operating region: unsaturated for every mechanism.
+constexpr double kValidatedMaxRateMbps = 50.0;
+
+struct MetricRow {
+  std::string mechanism;
+  double rate_mbps = 0.0;
+  std::string metric;
+  double predicted = 0.0;
+  double simulated_mean = 0.0;
+  double simulated_std = 0.0;
+  double rel_error = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdnbuf;
+  const auto options = bench::parse_options(argc, argv);
+
+  std::vector<core::SweepResult> sweeps;
+  std::vector<bench::MechanismSpec> mechanisms = bench::e1_mechanisms();
+  for (const auto& mechanism : mechanisms) {
+    sweeps.push_back(bench::run_e1(options, mechanism));
+  }
+
+  // One E1 base config per mechanism, matching run_e1's sweep cells.
+  const auto params_for = [&](const bench::MechanismSpec& mechanism, double rate) {
+    core::ExperimentConfig base;
+    base.n_flows = 1000;
+    base.packets_per_flow = 1;
+    base.frame_size = 1000;
+    base.order = host::EmissionOrder::Sequential;
+    base.mode = mechanism.mode;
+    base.buffer_capacity = mechanism.buffer_capacity == 0 ? 256 : mechanism.buffer_capacity;
+    base.rate_mbps = rate;
+    return model::Params::from(base);
+  };
+
+  struct MetricSpec {
+    const char* name;
+    double (*predicted)(const model::Prediction&);
+    const util::Summary& (*simulated)(const core::RatePoint&);
+  };
+  const MetricSpec metrics[] = {
+      {"setup_ms", [](const model::Prediction& p) { return p.setup_ms; },
+       [](const core::RatePoint& p) -> const util::Summary& { return p.setup_ms; }},
+      {"controller_ms", [](const model::Prediction& p) { return p.controller_ms; },
+       [](const core::RatePoint& p) -> const util::Summary& { return p.controller_ms; }},
+      {"switch_ms", [](const model::Prediction& p) { return p.switch_ms; },
+       [](const core::RatePoint& p) -> const util::Summary& { return p.switch_ms; }},
+      {"pkt_ins_sent", [](const model::Prediction& p) { return p.pkt_ins_total; },
+       [](const core::RatePoint& p) -> const util::Summary& { return p.pkt_ins_sent; }},
+      {"to_controller_mbps", [](const model::Prediction& p) { return p.to_controller_mbps; },
+       [](const core::RatePoint& p) -> const util::Summary& { return p.to_controller_mbps; }},
+  };
+
+  std::vector<MetricRow> rows;
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    for (const auto& point : sweeps[s].points) {
+      const model::Prediction prediction =
+          model::predict(params_for(mechanisms[s], point.rate_mbps));
+      for (const auto& metric : metrics) {
+        MetricRow row;
+        row.mechanism = sweeps[s].label;
+        row.rate_mbps = point.rate_mbps;
+        row.metric = metric.name;
+        row.predicted = metric.predicted(prediction);
+        row.simulated_mean = metric.simulated(point).mean();
+        row.simulated_std = metric.simulated(point).stddev();
+        row.rel_error = row.simulated_mean != 0.0
+                            ? std::abs(row.predicted - row.simulated_mean) / row.simulated_mean
+                            : 0.0;
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Per-metric overlay tables (predicted next to measured, like the figure
+  // tables print mean next to std).
+  if (!options.quiet) {
+    for (const auto& metric : metrics) {
+      util::TableWriter table(std::string("model oracle: ") + metric.name +
+                              " (predicted / simulated)");
+      std::vector<std::string> columns{"rate (Mbps)"};
+      for (const auto& sweep : sweeps) {
+        columns.push_back(sweep.label + " model");
+        columns.push_back(sweep.label + " sim");
+      }
+      table.set_columns(columns);
+      const std::size_t n_rates = sweeps.front().points.size();
+      for (std::size_t i = 0; i < n_rates; ++i) {
+        std::vector<std::string> row{
+            util::format_double(sweeps.front().points[i].rate_mbps, 0)};
+        for (std::size_t s = 0; s < sweeps.size(); ++s) {
+          const auto& point = sweeps[s].points[i];
+          const model::Prediction prediction =
+              model::predict(params_for(mechanisms[s], point.rate_mbps));
+          row.push_back(util::format_double(metric.predicted(prediction), 3));
+          row.push_back(util::format_double(metric.simulated(point).mean(), 3));
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.csv_dir, ec);
+  const std::string path = options.csv_dir + "/model_validation.csv";
+  std::ofstream file(path);
+  if (file) {
+    file << "mechanism,rate_mbps,metric,predicted,simulated_mean,simulated_std,rel_error\n";
+    for (const auto& row : rows) {
+      file << row.mechanism << ',' << util::format_double(row.rate_mbps, 17) << ',' << row.metric
+           << ',' << util::format_double(row.predicted, 17) << ','
+           << util::format_double(row.simulated_mean, 17) << ','
+           << util::format_double(row.simulated_std, 17) << ','
+           << util::format_double(row.rel_error, 17) << '\n';
+    }
+    if (!options.quiet) std::cout << "wrote " << path << "\n\n";
+  } else {
+    std::cerr << "warning: could not write " << path << '\n';
+  }
+
+  // Claim lines: worst relative error per delay metric inside the
+  // validated region.
+  for (const char* name : {"setup_ms", "controller_ms", "switch_ms", "pkt_ins_sent"}) {
+    double worst = 0.0;
+    for (const auto& row : rows) {
+      if (row.metric == name && row.rate_mbps <= kValidatedMaxRateMbps) {
+        worst = std::max(worst, row.rel_error);
+      }
+    }
+    bench::print_claim(std::string("max |model - sim| / sim, ") + name + " (<= " +
+                           util::format_double(kValidatedMaxRateMbps, 0) + " Mbps)",
+                       "<= 10%", 100.0 * worst, "%");
+  }
+  return 0;
+}

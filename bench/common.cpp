@@ -4,7 +4,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 
+#include "model/prescreen.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -14,14 +16,15 @@ namespace sdnbuf::bench {
 Options parse_options(int argc, char** argv) {
   const util::CliFlags flags(
       argc, argv,
-      {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet", "jobs", "metrics-out",
-       "trace-out", "trace-sample", "profile", "log-level"});
+      {"reps", "quick", "rates-coarse", "csv-dir", "seed", "quiet", "jobs", "prescreen",
+       "metrics-out", "trace-out", "trace-sample", "profile", "log-level"});
   if (!flags.ok()) {
     std::cerr << flags.error() << "\n"
               << "usage: " << argv[0]
               << " [--reps N] [--quick] [--rates-coarse] [--csv-dir DIR] [--seed S] [--jobs N]\n"
-              << "       [--metrics-out F.json] [--trace-out F.json] [--trace-sample N]\n"
-              << "       [--profile] [--log-level trace|debug|info|warn|error|off]\n";
+              << "       [--prescreen] [--metrics-out F.json] [--trace-out F.json]\n"
+              << "       [--trace-sample N] [--profile]"
+              << " [--log-level trace|debug|info|warn|error|off]\n";
     std::exit(1);
   }
   Options options;
@@ -36,6 +39,7 @@ Options parse_options(int argc, char** argv) {
   options.jobs = static_cast<int>(flags.get_int(
       "jobs", static_cast<long long>(util::ThreadPool::default_parallelism())));
   if (options.jobs < 1) options.jobs = 1;
+  options.prescreen = flags.get_bool("prescreen", false);
   options.metrics_out = flags.get_string("metrics-out", "");
   options.trace_out = flags.get_string("trace-out", "");
   options.trace_sample = static_cast<std::uint32_t>(flags.get_int("trace-sample", 16));
@@ -85,13 +89,53 @@ namespace {
 // visible but nothing saturates.
 constexpr double kObservedRateMbps = 50.0;
 
+// Screens the sweep's rate grid through the analytical oracle: every
+// mechanism of the experiment becomes one model::Sweep scenario, and only
+// the rates the model flags as interesting survive. All mechanisms of one
+// experiment see the same mechanism set, so repeated calls return the same
+// screened axis and overlaid figure curves stay aligned.
+std::vector<double> prescreen_rates(const Options& options,
+                                    const std::vector<MechanismSpec>& mechanisms,
+                                    const core::ExperimentConfig& base) {
+  model::Sweep sweep;
+  sweep.rates_mbps = options.rates.empty() ? core::default_rates() : options.rates;
+  std::string signature;
+  for (const auto& m : mechanisms) {
+    core::ExperimentConfig config = base;
+    config.mode = m.mode;
+    config.buffer_capacity = m.buffer_capacity == 0 ? 256 : m.buffer_capacity;
+    sweep.scenarios.push_back({m.label, model::Params::from(config)});
+    signature += m.label + "|";
+  }
+  const model::ScreenResult screen = sweep.run();
+
+  // One log line per distinct mechanism set (run_e1 is called once per
+  // mechanism with the identical grid; repeating the line is just noise).
+  static std::set<std::string> logged;
+  if (!options.quiet && logged.insert(signature).second) {
+    std::cout << "prescreen: model kept " << screen.kept_rates_mbps.size() << "/"
+              << sweep.rates_mbps.size() << " rates, skipping " << screen.skipped_cells() << "/"
+              << screen.total_cells << " sweep cells\n";
+    for (const auto& x : screen.crossovers) {
+      std::cout << "prescreen: " << sweep.scenarios[x.scenario_a].label << " x "
+                << sweep.scenarios[x.scenario_b].label << " delay crossover in ["
+                << util::format_double(x.rate_low_mbps, 0) << ", "
+                << util::format_double(x.rate_high_mbps, 0) << "] Mbps (~"
+                << util::format_double(x.rate_estimate_mbps, 1) << ")\n";
+    }
+  }
+  return screen.kept_rates_mbps;
+}
+
 core::SweepResult run_sweep_for(const Options& options, const MechanismSpec& mechanism,
-                                core::ExperimentConfig base) {
+                                core::ExperimentConfig base,
+                                const std::vector<MechanismSpec>& experiment_mechanisms) {
   base.mode = mechanism.mode;
   base.buffer_capacity = mechanism.buffer_capacity == 0 ? 256 : mechanism.buffer_capacity;
   base.seed = options.seed;
   core::SweepConfig sweep;
-  sweep.rates_mbps = options.rates;
+  sweep.rates_mbps = options.prescreen ? prescreen_rates(options, experiment_mechanisms, base)
+                                       : options.rates;
   sweep.repetitions = options.repetitions;
   sweep.jobs = options.jobs;
   sweep.base = base;
@@ -165,7 +209,7 @@ core::SweepResult run_e1(const Options& options, const MechanismSpec& mechanism)
   base.packets_per_flow = 1;
   base.frame_size = 1000;
   base.order = host::EmissionOrder::Sequential;
-  return run_sweep_for(options, mechanism, base);
+  return run_sweep_for(options, mechanism, base, e1_mechanisms());
 }
 
 core::SweepResult run_e2(const Options& options, const MechanismSpec& mechanism) {
@@ -175,7 +219,7 @@ core::SweepResult run_e2(const Options& options, const MechanismSpec& mechanism)
   base.frame_size = 1000;
   base.order = host::EmissionOrder::CrossSequence;
   base.batch_size = 5;
-  return run_sweep_for(options, mechanism, base);
+  return run_sweep_for(options, mechanism, base, e2_mechanisms());
 }
 
 void print_figure(const Options& options, const std::string& figure_id, const std::string& title,

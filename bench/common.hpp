@@ -32,6 +32,14 @@ struct Options {
   // --jobs 1 runs the historical sequential path.
   int jobs = 0;  // 0 -> ThreadPool::default_parallelism(), set by parse_options
 
+  // Analytical pre-screening (src/model): before sweeping, evaluate the
+  // whole rate grid in closed form for every mechanism of the experiment
+  // and simulate only the "interesting" rates (grid anchors, delay and
+  // utilization knees, mechanism crossovers). Logs how many grid cells the
+  // model skipped. All mechanisms of one figure share the screened rate
+  // axis, so overlaid curves stay aligned.
+  bool prescreen = false;
+
   // Observability (DESIGN.md §10). When any of these is requested, each
   // mechanism additionally gets ONE fully-instrumented single run at a
   // representative rate (the sweeps themselves stay obs-free, so the
@@ -48,9 +56,9 @@ struct Options {
   }
 };
 
-// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed/--jobs plus the
-// observability flags --metrics-out/--trace-out/--trace-sample/--profile and
-// --log-level; exits on bad flags.
+// Parses --reps/--quick/--rates-coarse/--csv-dir/--seed/--jobs/--prescreen
+// plus the observability flags --metrics-out/--trace-out/--trace-sample/
+// --profile and --log-level; exits on bad flags.
 [[nodiscard]] Options parse_options(int argc, char** argv);
 
 // Inserts "-<label>" before the path's extension ("m.json" -> "m-x.json").

@@ -27,6 +27,13 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+# Model-validation pass, explicitly: the analytical oracle (src/model) does
+# heavy floating-point work (Erlang recurrences, fixed-point iteration,
+# pow/exp on mixture moments) where UB — overflow in the factorial-free
+# recurrences, bad casts, division by zero at saturation boundaries — would
+# silently corrupt predictions. A clean -L model run under UBSan gates that.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L model
+
 # Observability pass: the obs-overhead stage of bench_simcore runs E1 with
 # metrics + tracing + profiler attached, so the whole instrumentation hot
 # path (histogram record, span open/close, JSON render, profiler rows) gets

@@ -1,5 +1,6 @@
 #include "core/sweep.hpp"
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
 
@@ -96,21 +97,35 @@ SweepResult run_sweep(const SweepConfig& config, std::string label, const Progre
 
   // Parallel fan-out: each (rate, repetition) cell writes its result into a
   // pre-assigned slot; the merge below runs on this thread in sweep order.
+  //
+  // Work distribution is pull-based at worker granularity: one long-lived
+  // task per worker draining a shared atomic cell counter, instead of one
+  // queued closure per cell. That turns 2 mutex acquisitions + a condition
+  // wakeup + a heap-allocated std::function per cell into a single relaxed
+  // fetch_add, which is what the BENCH_simcore sweep stage was losing to at
+  // fine cell granularity (speedup < 1 at jobs=4). Slot pre-assignment and
+  // the sequential merge are untouched, so results stay bit-identical to
+  // the jobs=1 path for any job count.
   std::vector<ExperimentResult> cell_results(cells);
+  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
   {
     util::ThreadPool pool(static_cast<unsigned>(jobs));
     std::mutex progress_mu;
-    std::size_t index = 0;
-    for (const double rate : rates) {
-      for (int rep = 0; rep < config.repetitions; ++rep, ++index) {
-        pool.submit([&config, &cell_results, &progress, &progress_mu, rate, rep, index]() {
+    std::atomic<std::size_t> next_cell{0};
+    for (std::size_t worker = 0; worker < jobs; ++worker) {
+      pool.submit([&config, &cell_results, &progress, &progress_mu, &next_cell, &rates, reps,
+                   cells]() {
+        for (std::size_t index = next_cell.fetch_add(1, std::memory_order_relaxed);
+             index < cells; index = next_cell.fetch_add(1, std::memory_order_relaxed)) {
+          const double rate = rates[index / reps];
+          const int rep = static_cast<int>(index % reps);
           if (progress) {
             const std::lock_guard<std::mutex> lock(progress_mu);
             progress(rate, rep);
           }
           cell_results[index] = run_experiment(cell_config(config, rate, rep));
-        });
-      }
+        }
+      });
     }
     pool.wait_idle();
   }

@@ -1,0 +1,387 @@
+#include "model/node_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/queueing.hpp"
+#include "openflow/actions.hpp"
+#include "openflow/constants.hpp"
+
+namespace sdnbuf::model {
+namespace {
+
+// Squared coefficient of variation of inter-arrival times at the control
+// stations. The generator paces packets near-deterministically (uniform
+// +-10% spacing jitter alone gives cv^2 ~ 0.003), but phase interference
+// with the fed-back control responses adds variability; 0.05 is calibrated
+// against the simulator at moderate load. Off saturation the waits this
+// scales are microseconds, so the prediction is insensitive to it within a
+// factor of a few.
+constexpr double kArrivalCv2 = 0.05;
+
+// The Erlang-B blocking <-> buffered-path delay feedback converges
+// geometrically under damping; 32 damped steps puts the residual far below
+// the model's own accuracy.
+constexpr int kFixedPointIterations = 32;
+
+constexpr double sec(double microseconds) { return microseconds * 1e-6; }
+
+// First two moments of one service class (seconds, seconds^2).
+struct Cost {
+  double mean_s = 0.0;
+  double second_s2 = 0.0;
+};
+
+// A deterministic service time (wire serialization, bus crossing).
+Cost fixed_cost(double seconds) { return Cost{seconds, seconds * seconds}; }
+
+// A CPU job: nominal cost scaled by the lognormal jitter moments.
+Cost jittered_cost(double nominal_us, const LognormalJitter& j) {
+  const double s = sec(nominal_us);
+  return Cost{s * j.mean_factor, s * s * j.second_moment_factor};
+}
+
+void add(ServiceMixture& m, double rate, const Cost& c) { m.add(rate, c.mean_s, c.second_s2); }
+
+}  // namespace
+
+Params Params::from(const core::ExperimentConfig& config) {
+  Params p;
+  p.rate_mbps = config.rate_mbps;
+  p.frame_size = config.frame_size;
+  p.n_flows = config.n_flows;
+  p.packets_per_flow = config.packets_per_flow;
+  p.batch_size = config.order == host::EmissionOrder::CrossSequence ? config.batch_size : 1;
+  p.mode = config.mode;
+  p.buffer_capacity = config.buffer_capacity;
+  p.miss_send_len = config.testbed.switch_config.miss_send_len;
+  p.switch_cores = config.testbed.switch_config.cpu_cores;
+  p.controller_cores = config.testbed.controller_config.cpu_cores;
+  p.control_link_mbps = config.testbed.control_link_mbps;
+  p.control_link_delay_s = config.testbed.control_link_delay.sec();
+  p.switch_costs = config.testbed.switch_config.costs;
+  p.controller_costs = config.testbed.controller_config.costs;
+  return p;
+}
+
+Params Params::at_rate(double mbps) const {
+  Params p = *this;
+  p.rate_mbps = mbps;
+  return p;
+}
+
+Prediction predict(const Params& pp) {
+  const sw::CostModel& sc = pp.switch_costs;
+  const ctrl::CostModel& cc = pp.controller_costs;
+  const LognormalJitter sj = lognormal_jitter(sc.jitter_sigma);
+  const LognormalJitter cj = lognormal_jitter(cc.jitter_sigma);
+
+  const double frame = pp.frame_size;
+  // Bytes the buffered-path packet_in copies out of the frame.
+  const double data_b = std::min<double>(pp.miss_send_len, frame);
+  const double action_bytes = static_cast<double>(of::encoded_size(of::output_to(1)));
+
+  // Wire sizes (OpenFlow encoding + the control channel's TCP/IP/Ethernet
+  // overhead, exactly as net::Link charges them).
+  const auto pktin_wire = [&](double data) {
+    return static_cast<double>(of::kPacketInFixedSize) + data + of::kTransportOverhead;
+  };
+  const double fm_wire =
+      static_cast<double>(of::kFlowModFixedSize) + action_bytes + of::kTransportOverhead;
+  const auto po_wire = [&](double data) {
+    return static_cast<double>(of::kPacketOutFixedSize) + action_bytes + data +
+           of::kTransportOverhead;
+  };
+  const double link_bps = pp.control_link_mbps * 1e6;
+  const auto ser = [&](double bytes) { return bytes * 8.0 / link_bps; };
+  const auto bus = [&](double bytes) { return bytes * 8.0 / sc.bus_bandwidth_bps; };
+
+  // Workload shape.
+  const double lambda_pkt = pp.rate_mbps * 1e6 / (8.0 * frame);
+  const double n_pkts = static_cast<double>(pp.n_flows) * pp.packets_per_flow;
+  const double send_span_s = n_pkts / lambda_pkt;
+  const double l_flow = lambda_pkt / pp.packets_per_flow;
+  // Gap between consecutive packets of the *same* flow: back-to-back when
+  // emitted sequentially, stretched by the interleave factor otherwise.
+  const double gap_flow_s =
+      static_cast<double>(std::max<std::uint32_t>(pp.batch_size, 1)) / lambda_pkt;
+
+  // Service classes.
+  const Cost asic = jittered_cost(sc.asic_match_us, sj);
+  const Cost miss_nb =
+      jittered_cost(sc.miss_base_us + sc.pkt_in_base_us + sc.pkt_in_per_byte_us * frame, sj);
+  const Cost miss_pkt = jittered_cost(
+      sc.miss_base_us + sc.buffer_store_us + sc.pkt_in_base_us + sc.pkt_in_per_byte_us * data_b,
+      sj);
+  const Cost miss_flow_first = jittered_cost(
+      sc.miss_base_us + sc.flow_map_lookup_us + sc.flow_map_store_us +
+          sc.flow_first_packet_extra_us + sc.buffer_store_us + sc.pkt_in_base_us +
+          sc.pkt_in_per_byte_us * data_b,
+      sj);
+  const Cost miss_flow_sub = jittered_cost(sc.flow_map_lookup_us + sc.buffer_store_us, sj);
+  const Cost miss_flow_nb = jittered_cost(
+      sc.flow_map_lookup_us + sc.miss_base_us + sc.pkt_in_base_us + sc.pkt_in_per_byte_us * frame,
+      sj);
+  const Cost install = jittered_cost(sc.flow_mod_install_us, sj);
+  const Cost exec_b = jittered_cost(sc.pkt_out_base_us, sj);
+  const Cost exec_ff = jittered_cost(sc.pkt_out_base_us + sc.pkt_out_per_byte_us * frame, sj);
+  const double release_s = sec(sc.buffer_release_us) * sj.mean_factor;
+
+  const Cost parse_b =
+      jittered_cost(cc.parse_base_us + cc.parse_per_byte_us * data_b + cc.decision_us, cj);
+  const Cost parse_ff =
+      jittered_cost(cc.parse_base_us + cc.parse_per_byte_us * frame + cc.decision_us, cj);
+  const Cost enc_fm = jittered_cost(cc.encode_flow_mod_us, cj);
+  const Cost enc_po_b = jittered_cost(cc.encode_pkt_out_base_us, cj);
+  const Cost enc_po_ff =
+      jittered_cost(cc.encode_pkt_out_base_us + cc.encode_pkt_out_per_byte_us * frame, cj);
+
+  const bool buffered_mode = pp.mode != sw::BufferMode::NoBuffer;
+
+  // Fixed-point state: buffer exhaustion probability and misses per flow.
+  double p = 0.0;
+  double k = 1.0;
+
+  // Results of the last iteration, kept for the output stage.
+  double setup_b_s = 0.0, setup_ff_s = 0.0;
+  double ctrl_b_s = 0.0, ctrl_ff_s = 0.0;
+  double sw_b_s = 0.0, sw_ff_s = 0.0;
+  double setup_mean_s = 0.0, ctrl_mean_s = 0.0, sw_mean_s = 0.0;
+  double residency_s = 0.0;
+  ServiceMixture m_scpu, m_ccpu, m_bus, m_up, m_down;
+  double l_pktin_b = 0.0, l_pktin_ff = 0.0;
+  double l_miss = l_flow;
+
+  for (int it = 0; it < kFixedPointIterations; ++it) {
+    l_miss = l_flow * k;
+    const double l_sub = std::max(0.0, l_miss - l_flow);
+
+    // packet_in volume, split into header-sized (buffered) and full-frame.
+    switch (pp.mode) {
+      case sw::BufferMode::NoBuffer:
+        l_pktin_b = 0.0;
+        l_pktin_ff = l_miss;
+        break;
+      case sw::BufferMode::PacketGranularity:
+        l_pktin_b = (1.0 - p) * l_miss;
+        l_pktin_ff = p * l_miss;
+        break;
+      case sw::BufferMode::FlowGranularity:
+        // One header pkt_in per flow; exhausted misses (first or not) fall
+        // back to the per-packet full-frame punt.
+        l_pktin_b = (1.0 - p) * l_flow;
+        l_pktin_ff = p * l_miss;
+        break;
+    }
+    const double l_pktin = l_pktin_b + l_pktin_ff;
+
+    // Station mixtures.
+    m_scpu = ServiceMixture{};
+    m_ccpu = ServiceMixture{};
+    m_bus = ServiceMixture{};
+    m_up = ServiceMixture{};
+    m_down = ServiceMixture{};
+
+    switch (pp.mode) {
+      case sw::BufferMode::NoBuffer:
+        add(m_scpu, l_miss, miss_nb);
+        break;
+      case sw::BufferMode::PacketGranularity:
+        add(m_scpu, (1.0 - p) * l_miss, miss_pkt);
+        add(m_scpu, p * l_miss, miss_nb);
+        break;
+      case sw::BufferMode::FlowGranularity:
+        add(m_scpu, (1.0 - p) * l_flow, miss_flow_first);
+        add(m_scpu, (1.0 - p) * l_sub, miss_flow_sub);
+        add(m_scpu, p * l_miss, miss_flow_nb);
+        break;
+    }
+    add(m_scpu, l_pktin, install);
+    add(m_scpu, l_pktin_b, exec_b);
+    add(m_scpu, l_pktin_ff, exec_ff);
+
+    // ASIC<->CPU bus: one upstream crossing per pkt_in-generating miss
+    // (flow-granularity's silently-buffered packets stay on the CPU side),
+    // one downstream crossing per full-frame packet_out re-injection.
+    add(m_bus, l_pktin_b, fixed_cost(bus(data_b)));
+    add(m_bus, l_pktin_ff, fixed_cost(bus(frame)));
+    add(m_bus, l_pktin_ff, fixed_cost(bus(frame)));
+
+    add(m_ccpu, l_pktin_b, parse_b);
+    add(m_ccpu, l_pktin_ff, parse_ff);
+    add(m_ccpu, l_pktin, enc_fm);
+    add(m_ccpu, l_pktin_b, enc_po_b);
+    add(m_ccpu, l_pktin_ff, enc_po_ff);
+
+    add(m_up, l_pktin_b, fixed_cost(ser(pktin_wire(data_b))));
+    add(m_up, l_pktin_ff, fixed_cost(ser(pktin_wire(frame))));
+    add(m_down, l_pktin, fixed_cost(ser(fm_wire)));
+    add(m_down, l_pktin_b, fixed_cost(ser(po_wire(0.0))));
+    add(m_down, l_pktin_ff, fixed_cost(ser(po_wire(frame))));
+
+    // Waiting times. Past saturation the Allen-Cunneen wait is infinite;
+    // the finite-run ramp keeps the prediction comparable to what a finite
+    // workload actually measures.
+    const auto wait = [&](const ServiceMixture& m, std::size_t servers) {
+      if (m.rate() <= 0.0) return 0.0;
+      const double w = gg_c_wait_s(m.rate(), m.mean_s(), servers, kArrivalCv2, m.cs2());
+      if (std::isfinite(w)) return w;
+      return overload_ramp_wait_s(m.offered_erlangs() / static_cast<double>(servers),
+                                  send_span_s);
+    };
+    const double w_scpu = wait(m_scpu, pp.switch_cores);
+    const double w_ccpu = wait(m_ccpu, pp.controller_cores);
+    const double w_bus = wait(m_bus, 1);
+    const double w_up = wait(m_up, 1);
+    const double w_down = wait(m_down, 1);
+
+    // Controller delay (pkt_in sent -> first response arrival): uplink
+    // serialization + propagation, parse+decide and flow_mod-encode CPU
+    // jobs, flow_mod serialization + propagation back.
+    const auto controller_delay = [&](double data, const Cost& parse) {
+      return ser(pktin_wire(data)) + w_up + pp.control_link_delay_s + w_ccpu + parse.mean_s +
+             w_ccpu + enc_fm.mean_s + ser(fm_wire) + w_down + pp.control_link_delay_s;
+    };
+    // Gap between the flow_mod arriving and the packet_out arriving: the
+    // pkt_out encode job runs while the flow_mod serializes (the max), then
+    // the pkt_out's own (larger) serialization replaces the flow_mod's.
+    const auto po_gap = [&](const Cost& enc_po, double po_data) {
+      return std::max(w_ccpu + enc_po.mean_s, ser(fm_wire)) + ser(po_wire(po_data)) -
+             ser(fm_wire);
+    };
+    // Switch-side residence (setup - controller): ASIC match, bus punt,
+    // miss-handling CPU job, then after the controller round trip the
+    // packet_out gap, its execution job, and either the buffer release or
+    // the full frame's return bus crossing.
+    const auto switch_delay = [&](const Cost& miss, const Cost& enc_po, const Cost& exec,
+                                  bool fullframe) {
+      double d = asic.mean_s + w_bus + bus(fullframe ? frame : data_b) + w_scpu + miss.mean_s +
+                 po_gap(enc_po, fullframe ? frame : 0.0) + w_scpu + exec.mean_s;
+      d += fullframe ? w_bus + bus(frame) : release_s;
+      return d;
+    };
+
+    ctrl_b_s = controller_delay(data_b, parse_b);
+    ctrl_ff_s = controller_delay(frame, parse_ff);
+    switch (pp.mode) {
+      case sw::BufferMode::NoBuffer:
+        sw_ff_s = switch_delay(miss_nb, enc_po_ff, exec_ff, true);
+        sw_b_s = sw_ff_s;
+        ctrl_b_s = ctrl_ff_s;
+        break;
+      case sw::BufferMode::PacketGranularity:
+        sw_b_s = switch_delay(miss_pkt, enc_po_b, exec_b, false);
+        sw_ff_s = switch_delay(miss_nb, enc_po_ff, exec_ff, true);
+        break;
+      case sw::BufferMode::FlowGranularity:
+        sw_b_s = switch_delay(miss_flow_first, enc_po_b, exec_b, false);
+        sw_ff_s = switch_delay(miss_flow_nb, enc_po_ff, exec_ff, true);
+        break;
+    }
+    setup_b_s = ctrl_b_s + sw_b_s;
+    setup_ff_s = ctrl_ff_s + sw_ff_s;
+
+    const double ff = buffered_mode ? p : 1.0;
+    setup_mean_s = (1.0 - ff) * setup_b_s + ff * setup_ff_s;
+    ctrl_mean_s = (1.0 - ff) * ctrl_b_s + ff * ctrl_ff_s;
+    sw_mean_s = (1.0 - ff) * sw_b_s + ff * sw_ff_s;
+
+    // Misses per flow: packets of a flow sent before its rule lands all
+    // miss (the rule is usable roughly one flow-setup after the first one).
+    k = pp.packets_per_flow <= 1
+            ? 1.0
+            : std::min<double>(pp.packets_per_flow,
+                               1.0 + std::floor(setup_mean_s / gap_flow_s));
+
+    // Buffer exhaustion feedback: every miss offers one unit for one
+    // buffered control round trip plus the lazy reclaim delay. Erlang-B of
+    // that offered load is the Poisson-arrival blocking probability, but
+    // the generator's paced arrivals keep the occupancy far tighter than
+    // Poisson: the simulator shows a hard fluid threshold (zero overflow
+    // until the offered load crosses the capacity, then the deterministic
+    // excess max(0, 1 - capacity/offered) is lost). Blend the two with the
+    // same arrival-variability weight the wait formulas use, so the small
+    // residual randomness (feedback-phase interference) keeps a thin
+    // Erlang tail around the knee.
+    if (buffered_mode) {
+      residency_s = setup_b_s - asic.mean_s + sc.buffer_reclaim_delay.sec();
+      const double offered = l_miss * residency_s;
+      const double cap = static_cast<double>(pp.buffer_capacity);
+      const double p_fluid = offered > cap ? (offered - cap) / offered : 0.0;
+      const double p_new = kArrivalCv2 * erlang_b(pp.buffer_capacity, offered) +
+                           (1.0 - kArrivalCv2) * p_fluid;
+      p = 0.5 * p + 0.5 * p_new;
+    }
+  }
+
+  // Counts over the whole run (send span worth of arrivals).
+  const double n_miss = static_cast<double>(pp.n_flows) * k;
+  double n_pktin_b = 0.0, n_pktin_ff = 0.0;
+  switch (pp.mode) {
+    case sw::BufferMode::NoBuffer:
+      n_pktin_ff = n_miss;
+      break;
+    case sw::BufferMode::PacketGranularity:
+      n_pktin_b = (1.0 - p) * n_miss;
+      n_pktin_ff = p * n_miss;
+      break;
+    case sw::BufferMode::FlowGranularity:
+      n_pktin_b = (1.0 - p) * static_cast<double>(pp.n_flows);
+      n_pktin_ff = p * n_miss;
+      break;
+  }
+  const double n_pktin = n_pktin_b + n_pktin_ff;
+
+  // Run duration: the send span, stretched if some station needs longer
+  // than that to clear the offered work, plus the last flow's setup tail.
+  const struct {
+    const ServiceMixture* m;
+    std::size_t servers;
+  } stations[] = {{&m_scpu, pp.switch_cores},
+                  {&m_ccpu, pp.controller_cores},
+                  {&m_bus, 1},
+                  {&m_up, 1},
+                  {&m_down, 1}};
+  double max_rho = 0.0;
+  for (const auto& s : stations) {
+    max_rho = std::max(max_rho, s.m->offered_erlangs() / static_cast<double>(s.servers));
+  }
+  const double duration_s = std::max(send_span_s, max_rho * send_span_s) + setup_mean_s;
+
+  Prediction out;
+  out.pkt_ins_total = n_pktin;
+  out.pkt_in_rate_per_s = n_pktin / duration_s;
+  out.full_frame_fraction = n_pktin > 0.0 ? n_pktin_ff / n_pktin : 0.0;
+  out.buffer_exhaustion_probability = buffered_mode ? p : 0.0;
+
+  out.setup_ms = setup_mean_s * 1e3;
+  out.controller_ms = ctrl_mean_s * 1e3;
+  out.switch_ms = sw_mean_s * 1e3;
+
+  const double up_bytes = n_pktin_b * pktin_wire(data_b) + n_pktin_ff * pktin_wire(frame);
+  const double down_bytes =
+      n_pktin * fm_wire + n_pktin_b * po_wire(0.0) + n_pktin_ff * po_wire(frame);
+  out.to_controller_mbps = up_bytes * 8.0 / 1e6 / duration_s;
+  out.to_switch_mbps = down_bytes * 8.0 / 1e6 / duration_s;
+
+  // offered_erlangs is busy-seconds per second during the send span; CPU
+  // percentages are measured over the (possibly longer) full window.
+  const double span_over_duration = send_span_s / duration_s;
+  out.switch_cpu_pct = 100.0 * m_scpu.offered_erlangs() * span_over_duration;
+  out.controller_cpu_pct = 100.0 * m_ccpu.offered_erlangs() * span_over_duration;
+  out.bus_utilization_pct = 100.0 * m_bus.offered_erlangs() * span_over_duration;
+
+  if (buffered_mode) {
+    const double stored_rate = l_miss * (1.0 - p);
+    out.buffer_avg_units =
+        std::min<double>(stored_rate * residency_s, static_cast<double>(pp.buffer_capacity)) *
+        span_over_duration;
+  }
+
+  out.duration_s = duration_s;
+  out.max_utilization = max_rho;
+  out.saturated = max_rho >= 1.0;
+  return out;
+}
+
+}  // namespace sdnbuf::model

@@ -1,0 +1,130 @@
+// Analytical model of the single-switch OpenFlow node — the second,
+// independent correctness oracle next to the src/verify invariant layer.
+//
+// Following "On the Modeling of OpenFlow-based SDNs: The Single Node Case"
+// (arXiv:1411.4733), the reactive-forwarding control loop is modeled as a
+// network of queueing stations with a feedback path:
+//
+//           miss                    packet_in
+//   ingress ----> [bus] -> [switch CPU] --------> [uplink] ---+
+//                                                             [controller CPU]
+//   egress <---- [bus*] <- [switch CPU] <-------- [downlink]--+
+//                            flow_mod + packet_out
+//
+//   (*) the return bus crossing exists only when the packet_out carries the
+//       full frame, i.e. in no-buffer mode or on buffer exhaustion.
+//
+// Each station is solved in closed form (Erlang/Allen-Cunneen two-moment
+// waits, see model/queueing.hpp); the buffer is an M/G/c/c loss system
+// whose Erlang-B blocking probability feeds back into the service demands
+// (a blocked miss takes the full-frame path), iterated to a fixed point.
+// The paper's three buffer mechanisms map onto the model as different
+// pkt_in volumes, copied-byte counts and re-injection terms:
+//
+//   NoBuffer          every miss punts the whole frame over the bus, the
+//                     packet_in carries it, and the packet_out re-injects
+//                     it over the bus again
+//   PacketGranularity every miss occupies one buffer unit for one control
+//                     RTT (+ lazy reclaim); the packet_in carries only
+//                     miss_send_len bytes; exhaustion falls back to the
+//                     no-buffer path per packet (Erlang-B mixture)
+//   FlowGranularity   one packet_in per flow; later packets of a pending
+//                     flow are buffered silently (CPU-only map+store job),
+//                     at the price of the first-packet setup tax
+//
+// The predictions target exactly what the simulator measures (§III.B /
+// metrics::DelayRecorder definitions), so tests can assert relative error
+// directly: tests/test_model_validation.cpp holds the oracle to <= 10% on
+// pkt_in rate and mean delays; DESIGN.md §12 documents where and why the
+// two are *expected* to diverge (saturated stations, bursty arrivals).
+#pragma once
+
+#include <cstdint>
+
+#include "controller/controller.hpp"
+#include "core/experiment.hpp"
+#include "switchd/switch.hpp"
+
+namespace sdnbuf::model {
+
+// Everything the closed-form evaluation needs, flattened out of the
+// simulator's config structs so a Params value is self-contained and cheap
+// to perturb in sweeps.
+struct Params {
+  // Workload (the E1/E2 pktgen shape).
+  double rate_mbps = 10.0;
+  std::uint32_t frame_size = 1000;
+  std::uint64_t n_flows = 1000;
+  std::uint32_t packets_per_flow = 1;
+  std::uint32_t batch_size = 1;  // packet interleave factor (CrossSequence)
+  double spacing_jitter = 0.1;
+
+  // Mechanism.
+  sw::BufferMode mode = sw::BufferMode::NoBuffer;
+  std::size_t buffer_capacity = 256;
+  std::uint16_t miss_send_len = 128;
+
+  // Platform.
+  unsigned switch_cores = 4;
+  unsigned controller_cores = 2;
+  double control_link_mbps = 1000.0;
+  double control_link_delay_s = 300e-6;
+  sw::CostModel switch_costs;
+  ctrl::CostModel controller_costs;
+
+  // Builds Params from an experiment config (the mechanism/buffer overrides
+  // applied exactly as core::run_experiment applies them).
+  [[nodiscard]] static Params from(const core::ExperimentConfig& config);
+
+  // The same operating point at a different sending rate (sweep helper).
+  [[nodiscard]] Params at_rate(double mbps) const;
+};
+
+// Closed-form predictions, named after the ExperimentResult fields they
+// forecast. Delays are means over flows, matching Samples::mean() of the
+// corresponding recorder output.
+struct Prediction {
+  // Message volume.
+  double pkt_ins_total = 0.0;       // expected pkt_ins_sent over the run
+  double pkt_in_rate_per_s = 0.0;   // pkt_ins_total / duration_s
+  double full_frame_fraction = 0.0;  // share of pkt_ins carrying the frame
+
+  // Probability a miss finds the buffer exhausted (Erlang-B blocking of the
+  // unit pool). This is the model's packet-loss probability in the sense of
+  // arXiv:1411.4733 §IV — our switch falls back to a full-frame punt
+  // instead of dropping, so it surfaces as full_frame_pkt_ins, not loss.
+  double buffer_exhaustion_probability = 0.0;
+
+  // Per-flow delay means (§III.B definitions).
+  double setup_ms = 0.0;       // Fig. 5
+  double controller_ms = 0.0;  // Fig. 6
+  double switch_ms = 0.0;      // Fig. 7
+
+  // Control-path byte load over the measurement window (Fig. 2 / Fig. 9).
+  double to_controller_mbps = 0.0;
+  double to_switch_mbps = 0.0;
+
+  // Station utilizations (100% = one core / one server fully busy).
+  double switch_cpu_pct = 0.0;
+  double controller_cpu_pct = 0.0;
+  double bus_utilization_pct = 0.0;
+
+  // Buffer pool (Fig. 8): time-average occupied units.
+  double buffer_avg_units = 0.0;
+
+  // Run envelope.
+  double duration_s = 0.0;
+  // Highest station utilization (rho of the binding resource, in [0, inf));
+  // > 1 means the run operates past saturation and `saturated` is set. Past
+  // this point delay predictions switch to the finite-run overload ramp and
+  // are order-of-magnitude only (DESIGN.md §12).
+  double max_utilization = 0.0;
+  bool saturated = false;
+};
+
+// Evaluates the model at one operating point. Pure function of Params;
+// costs microseconds, so grids of thousands of cells are free compared to
+// one simulation.
+[[nodiscard]] Prediction predict(const Params& params);
+
+}  // namespace sdnbuf::model

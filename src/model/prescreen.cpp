@@ -1,0 +1,103 @@
+#include "model/prescreen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::model {
+
+ScreenResult Sweep::run() const {
+  SDNBUF_CHECK_MSG(std::is_sorted(rates_mbps.begin(), rates_mbps.end()),
+                   "prescreen grid rates must be ascending");
+
+  ScreenResult result;
+  const std::size_t n_rates = rates_mbps.size();
+  const std::size_t n_scen = scenarios.size();
+  result.total_cells = n_rates * n_scen;
+  if (n_rates == 0 || n_scen == 0) return result;
+
+  result.predictions.resize(n_scen);
+  for (std::size_t s = 0; s < n_scen; ++s) {
+    result.predictions[s].reserve(n_rates);
+    for (double rate : rates_mbps) {
+      result.predictions[s].push_back(predict(scenarios[s].params.at_rate(rate)));
+    }
+  }
+
+  std::vector<bool> keep(n_rates, false);
+  keep.front() = keep.back() = true;  // anchors
+
+  // Knees: delay leaving the low-load plateau, or a station nearing
+  // saturation. Mark the first offending cell; the margin pass below keeps
+  // the flat neighbor that anchors interpolation.
+  result.knee_rate_mbps.assign(n_scen, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t s = 0; s < n_scen; ++s) {
+    const auto& row = result.predictions[s];
+    double floor_ms = std::numeric_limits<double>::infinity();
+    for (const auto& cell : row) floor_ms = std::min(floor_ms, cell.setup_ms);
+    bool past_delay_knee = false;
+    bool past_util_knee = false;
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      if (!past_delay_knee && row[r].setup_ms >= knee_ratio * floor_ms) {
+        past_delay_knee = true;
+        result.knee_rate_mbps[s] = rates_mbps[r];
+        keep[r] = true;
+      }
+      if (!past_util_knee && row[r].max_utilization >= utilization_knee) {
+        past_util_knee = true;
+        keep[r] = true;
+      }
+      // Inside the bent region the curve is no longer flat: keep every cell
+      // past the delay knee so its shape is simulated, not interpolated.
+      if (past_delay_knee || past_util_knee) keep[r] = true;
+    }
+  }
+
+  // Crossovers: sign flips of the pairwise setup-delay difference between
+  // adjacent rates.
+  for (std::size_t a = 0; a < n_scen; ++a) {
+    for (std::size_t b = a + 1; b < n_scen; ++b) {
+      for (std::size_t r = 1; r < n_rates; ++r) {
+        const double prev =
+            result.predictions[a][r - 1].setup_ms - result.predictions[b][r - 1].setup_ms;
+        const double cur = result.predictions[a][r].setup_ms - result.predictions[b][r].setup_ms;
+        if (prev == 0.0 || cur == 0.0 || (prev < 0.0) == (cur < 0.0)) continue;
+        Crossover x;
+        x.scenario_a = a;
+        x.scenario_b = b;
+        x.rate_low_mbps = rates_mbps[r - 1];
+        x.rate_high_mbps = rates_mbps[r];
+        x.rate_estimate_mbps =
+            rates_mbps[r - 1] +
+            (rates_mbps[r] - rates_mbps[r - 1]) * (prev / (prev - cur));
+        result.crossovers.push_back(x);
+        keep[r - 1] = keep[r] = true;
+      }
+    }
+  }
+
+  // Margin: widen every kept cell by margin_cells neighbors.
+  if (margin_cells > 0) {
+    std::vector<bool> widened = keep;
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      if (!keep[r]) continue;
+      const std::size_t lo = r >= static_cast<std::size_t>(margin_cells)
+                                 ? r - static_cast<std::size_t>(margin_cells)
+                                 : 0;
+      const std::size_t hi =
+          std::min(n_rates - 1, r + static_cast<std::size_t>(margin_cells));
+      for (std::size_t i = lo; i <= hi; ++i) widened[i] = true;
+    }
+    keep.swap(widened);
+  }
+
+  for (std::size_t r = 0; r < n_rates; ++r) {
+    if (keep[r]) result.kept_rates_mbps.push_back(rates_mbps[r]);
+  }
+  result.kept_cells = result.kept_rates_mbps.size() * n_scen;
+  return result;
+}
+
+}  // namespace sdnbuf::model

@@ -1,0 +1,89 @@
+// Closed-form sweep pre-screening.
+//
+// A full simulated sweep costs (rates x mechanisms x repetitions) event-loop
+// runs; the analytical oracle evaluates the same grid in microseconds. The
+// pre-screener uses that to find the "interesting region" — the cells where
+// the figures actually change shape — so core::run_sweep only simulates
+// those:
+//
+//   * knees: the first rate where a mechanism's setup delay leaves its flat
+//     low-load plateau (delay >= knee_ratio x the plateau value), and the
+//     first rate where any station utilization crosses the saturation
+//     threshold;
+//   * crossovers: rate intervals where the predicted setup-delay ordering
+//     of two mechanisms flips (e.g. flow-granularity's first-packet tax vs
+//     a small packet-granularity pool running out of units);
+//   * anchors: the endpoints of the grid, so curves stay plotted end to end.
+//
+// Everything else is skippable: the model predicts those cells sit on a
+// flat or smoothly-varying stretch that interpolation recovers. The bench
+// layer exposes this as --prescreen (see bench/common.hpp) and logs how
+// many cells were skipped; tests/test_model_validation.cpp checks the
+// detected crossover against full simulation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/node_model.hpp"
+
+namespace sdnbuf::model {
+
+// One mechanism column of the grid.
+struct Scenario {
+  std::string label;
+  Params params;  // rate_mbps is overridden per grid cell
+};
+
+// A detected flip of the predicted setup-delay ordering between two
+// scenarios, bracketed by adjacent grid rates.
+struct Crossover {
+  std::size_t scenario_a = 0;  // indices into Sweep::scenarios
+  std::size_t scenario_b = 0;
+  double rate_low_mbps = 0.0;   // last rate with the old ordering
+  double rate_high_mbps = 0.0;  // first rate with the new ordering
+  // Linear interpolation of the delay difference's zero inside the bracket.
+  double rate_estimate_mbps = 0.0;
+};
+
+struct ScreenResult {
+  // predictions[s][r]: scenario s evaluated at rates_mbps[r].
+  std::vector<std::vector<Prediction>> predictions;
+
+  // Rates worth simulating (union over scenarios, ascending). A cell is
+  // interesting when it is an endpoint, sits at a knee (delay or
+  // utilization), or brackets a crossover; margin_cells neighbors on each
+  // side are kept too.
+  std::vector<double> kept_rates_mbps;
+
+  std::vector<Crossover> crossovers;
+  // Per scenario: the first rate whose predicted setup delay exceeds
+  // knee_ratio x the scenario's minimum over the grid (NaN if none).
+  std::vector<double> knee_rate_mbps;
+
+  // Cell accounting (cells = rates x scenarios; a skipped rate skips the
+  // whole row of scenarios since sweeps share one rate axis).
+  std::size_t total_cells = 0;
+  std::size_t kept_cells = 0;
+  [[nodiscard]] std::size_t skipped_cells() const { return total_cells - kept_cells; }
+};
+
+// The pre-screener. Fill in the grid and call run().
+struct Sweep {
+  std::vector<double> rates_mbps;
+  std::vector<Scenario> scenarios;
+
+  // A cell is a knee once predicted setup delay reaches knee_ratio x the
+  // scenario's grid minimum...
+  double knee_ratio = 1.5;
+  // ...or the binding station's utilization reaches this.
+  double utilization_knee = 0.9;
+  // Neighbors kept around every interesting cell (>= 1 keeps the cell
+  // before a knee, which anchors the interpolation on the flat side).
+  int margin_cells = 1;
+
+  [[nodiscard]] ScreenResult run() const;
+};
+
+}  // namespace sdnbuf::model

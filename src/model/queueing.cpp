@@ -1,0 +1,76 @@
+#include "model/queueing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::model {
+
+double erlang_b(std::size_t servers, double offered_load) {
+  SDNBUF_CHECK_MSG(offered_load >= 0.0, "offered load must be non-negative");
+  double b = 1.0;
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(std::size_t servers, double offered_load) {
+  SDNBUF_CHECK_MSG(servers >= 1, "need at least one server");
+  const double c = static_cast<double>(servers);
+  if (offered_load >= c) return 1.0;
+  const double b = erlang_b(servers, offered_load);
+  // C = c B / (c - a (1 - B)), derived from the B<->C relationship.
+  return c * b / (c - offered_load * (1.0 - b));
+}
+
+double mmc_wait_s(double lambda, double mean_service_s, std::size_t servers) {
+  if (lambda <= 0.0 || mean_service_s <= 0.0) return 0.0;
+  const double a = lambda * mean_service_s;
+  const double c = static_cast<double>(servers);
+  if (a >= c) return std::numeric_limits<double>::infinity();
+  return erlang_c(servers, a) / (c / mean_service_s - lambda);
+}
+
+double gg_c_wait_s(double lambda, double mean_service_s, std::size_t servers, double ca2,
+                   double cs2) {
+  return mmc_wait_s(lambda, mean_service_s, servers) * 0.5 * (ca2 + cs2);
+}
+
+double overload_ramp_wait_s(double rho, double run_duration_s) {
+  if (rho <= 1.0 || run_duration_s <= 0.0) return 0.0;
+  return run_duration_s * (rho - 1.0) / 2.0;
+}
+
+LognormalJitter lognormal_jitter(double sigma) {
+  LognormalJitter j;
+  j.mean_factor = std::exp(sigma * sigma / 2.0);
+  j.second_moment_factor = std::exp(2.0 * sigma * sigma);
+  j.cs2 = std::exp(sigma * sigma) - 1.0;
+  return j;
+}
+
+void ServiceMixture::add(double rate, double mean_s, double second_moment_s2) {
+  if (rate <= 0.0) return;
+  rate_ += rate;
+  weighted_mean_ += rate * mean_s;
+  weighted_second_ += rate * second_moment_s2;
+}
+
+double ServiceMixture::mean_s() const { return rate_ > 0.0 ? weighted_mean_ / rate_ : 0.0; }
+
+double ServiceMixture::second_moment_s2() const {
+  return rate_ > 0.0 ? weighted_second_ / rate_ : 0.0;
+}
+
+double ServiceMixture::cs2() const {
+  const double m = mean_s();
+  if (m <= 0.0) return 0.0;
+  const double v = second_moment_s2() - m * m;
+  return v > 0.0 ? v / (m * m) : 0.0;
+}
+
+double ServiceMixture::offered_erlangs() const { return weighted_mean_; }
+
+}  // namespace sdnbuf::model

@@ -1,0 +1,88 @@
+// Closed-form queueing building blocks for the analytical node model.
+//
+// Everything here is textbook material ("On the Modeling of OpenFlow-based
+// SDNs: The Single Node Case", arXiv:1411.4733, builds its single-node model
+// from the same pieces): Erlang's loss and delay formulas, multi-server
+// waiting times, and the two-moment (Allen-Cunneen / Kingman) correction
+// that adapts the Markovian waiting time to the near-deterministic service
+// and arrival processes our simulator actually produces. The simulator paces
+// packets at a jittered nominal rate and draws service times from a
+// low-sigma lognormal, so squared coefficients of variation are far below 1
+// and Poisson-formula waits would badly overestimate queueing — the
+// correction factor (ca2 + cs2) / 2 is what makes the oracle land within a
+// few percent of the simulator (see tests/test_model_validation.cpp).
+#pragma once
+
+#include <cstddef>
+
+namespace sdnbuf::model {
+
+// Erlang-B: blocking probability of an M/G/c/c loss system offered `a`
+// Erlangs (insensitive to the service distribution). Computed with the
+// numerically stable recurrence B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)).
+[[nodiscard]] double erlang_b(std::size_t servers, double offered_load);
+
+// Erlang-C: probability an arrival waits in an M/M/c queue offered `a`
+// Erlangs. Returns 1.0 when a >= c (the queue has no steady state).
+[[nodiscard]] double erlang_c(std::size_t servers, double offered_load);
+
+// Mean waiting time (time in queue, excluding service) of an M/M/c queue:
+// W = C(c, a) / (c/E[S] - lambda). `lambda` in jobs/sec, `mean_service_s`
+// in seconds. Returns +inf when the queue is unstable.
+[[nodiscard]] double mmc_wait_s(double lambda, double mean_service_s, std::size_t servers);
+
+// Two-moment GI/G/c waiting-time approximation (Allen-Cunneen): the M/M/c
+// wait scaled by (ca2 + cs2) / 2, where ca2/cs2 are the squared coefficients
+// of variation of inter-arrival and service times. Exact for M/M/c, exact
+// in heavy traffic (Kingman), and correctly collapses to ~zero waits for
+// the paced, low-jitter traffic the testbed generates. Returns +inf when
+// unstable.
+[[nodiscard]] double gg_c_wait_s(double lambda, double mean_service_s, std::size_t servers,
+                                 double ca2, double cs2);
+
+// Finite-run overload wait: when lambda * E[S] / c = rho > 1 there is no
+// steady state and the queue grows linearly for the whole run. A job
+// arriving at time t waits ~ t (rho - 1) / rho of backlog, so the mean wait
+// over a run of `run_duration_s` is run_duration_s * (rho - 1) / 2 (the
+// average arrival sits mid-run). Used by the oracle to keep delay
+// predictions finite — and comparable to the simulator's finite-workload
+// measurements — past saturation.
+[[nodiscard]] double overload_ramp_wait_s(double rho, double run_duration_s);
+
+// Moments of the multiplicative lognormal service jitter the simulator
+// applies to every drawn cost: X = exp(sigma Z) with median 1, so
+// E[X] = exp(sigma^2 / 2) and E[X^2] = exp(2 sigma^2). `mean_factor`
+// converts a nominal cost into its expected value; `cs2` is the squared
+// coefficient of variation exp(sigma^2) - 1.
+struct LognormalJitter {
+  double mean_factor = 1.0;
+  double second_moment_factor = 1.0;
+  double cs2 = 0.0;
+};
+
+[[nodiscard]] LognormalJitter lognormal_jitter(double sigma);
+
+// Aggregates a mixture of job classes at one station into the first two
+// moments an M/G/c formula needs. Add each class with its rate (jobs/sec)
+// and per-class service moments; read the totals back.
+class ServiceMixture {
+ public:
+  // `rate` jobs/sec whose service time has the given mean and second moment
+  // (seconds, seconds^2). Zero-rate classes are ignored.
+  void add(double rate, double mean_s, double second_moment_s2);
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double mean_s() const;
+  [[nodiscard]] double second_moment_s2() const;
+  // Squared coefficient of variation of the mixture (0 when empty).
+  [[nodiscard]] double cs2() const;
+  // Offered load in Erlangs: lambda * E[S].
+  [[nodiscard]] double offered_erlangs() const;
+
+ private:
+  double rate_ = 0.0;
+  double weighted_mean_ = 0.0;    // sum rate_i * E[S_i]
+  double weighted_second_ = 0.0;  // sum rate_i * E[S_i^2]
+};
+
+}  // namespace sdnbuf::model

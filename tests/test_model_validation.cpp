@@ -1,0 +1,258 @@
+// Cross-validation of the analytical queueing oracle (src/model) against
+// the discrete-event simulator — the numerical half of the correctness
+// story (src/verify holds the invariant half). The headline assertions
+// mirror the acceptance bar: simulator means within 10% of theory on
+// pkt_in rate and all three delay families across (rate x mechanism)
+// operating points, and the prescreen's predicted mechanism crossover
+// within one grid cell of the simulated one.
+//
+// All tolerances here are relative-error bands, not statistical intervals:
+// one run averages over 1000 flows, so the standard error of each mean is
+// far below the modeling error the band absorbs (DESIGN.md §12 lists the
+// known divergence sources).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "model/node_model.hpp"
+#include "model/prescreen.hpp"
+#include "model/queueing.hpp"
+
+namespace sdnbuf {
+namespace {
+
+// Acceptance bar: simulator-vs-theory relative error on means.
+constexpr double kRelTol = 0.10;
+
+core::ExperimentConfig e1_config(sw::BufferMode mode, std::size_t capacity, double rate_mbps) {
+  core::ExperimentConfig config;
+  config.mode = mode;
+  config.buffer_capacity = capacity;
+  config.rate_mbps = rate_mbps;
+  config.n_flows = 1000;
+  config.packets_per_flow = 1;
+  config.seed = 7;
+  return config;
+}
+
+double rel_error(double predicted, double measured) {
+  return std::abs(predicted - measured) / measured;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form building blocks against textbook values.
+
+TEST(Queueing, ErlangBKnownValues) {
+  // B(1, 1) = 1/2, B(2, 1) = 1/5 (hand-evaluated recurrence).
+  EXPECT_NEAR(model::erlang_b(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(model::erlang_b(2, 1.0), 0.2, 1e-12);
+  // No servers: every arrival blocked.
+  EXPECT_DOUBLE_EQ(model::erlang_b(0, 3.0), 1.0);
+  // Zero offered load: never blocked.
+  EXPECT_DOUBLE_EQ(model::erlang_b(8, 0.0), 0.0);
+  // Monotone in offered load.
+  EXPECT_LT(model::erlang_b(16, 8.0), model::erlang_b(16, 24.0));
+}
+
+TEST(Queueing, ErlangCAndWaits) {
+  // Single server: C(1, rho) = rho, and the M/M/1 wait rho / (mu - lambda).
+  EXPECT_NEAR(model::erlang_c(1, 0.5), 0.5, 1e-12);
+  const double w = model::mmc_wait_s(5.0, 0.1, 1);  // rho = 0.5, mu = 10
+  EXPECT_NEAR(w, 0.5 / (10.0 - 5.0), 1e-12);
+  // Saturated: no steady state.
+  EXPECT_EQ(model::erlang_c(2, 2.5), 1.0);
+  EXPECT_TRUE(std::isinf(model::mmc_wait_s(30.0, 0.1, 2)));
+  // The two-moment correction is exact for M/M/c (ca2 = cs2 = 1)...
+  EXPECT_NEAR(model::gg_c_wait_s(5.0, 0.1, 1, 1.0, 1.0), w, 1e-12);
+  // ...and vanishes for D/D/c.
+  EXPECT_NEAR(model::gg_c_wait_s(5.0, 0.1, 1, 0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(Queueing, LognormalJitterMoments) {
+  const auto j = model::lognormal_jitter(0.15);
+  EXPECT_NEAR(j.mean_factor, std::exp(0.15 * 0.15 / 2.0), 1e-12);
+  EXPECT_NEAR(j.second_moment_factor, std::exp(2.0 * 0.15 * 0.15), 1e-12);
+  EXPECT_NEAR(j.cs2, std::exp(0.15 * 0.15) - 1.0, 1e-12);
+}
+
+TEST(Queueing, ServiceMixtureMoments) {
+  model::ServiceMixture m;
+  m.add(2.0, 1.0, 1.0);  // deterministic 1 s jobs
+  m.add(2.0, 3.0, 9.0);  // deterministic 3 s jobs
+  EXPECT_DOUBLE_EQ(m.rate(), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_s(), 2.0);
+  EXPECT_DOUBLE_EQ(m.second_moment_s2(), 5.0);
+  // Var = 5 - 4 = 1, cs2 = 1/4.
+  EXPECT_DOUBLE_EQ(m.cs2(), 0.25);
+  EXPECT_DOUBLE_EQ(m.offered_erlangs(), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// The headline oracle: simulator means inside the 10% band of theory at
+// nine (mechanism x rate) operating points spanning all three mechanisms.
+
+struct OperatingPoint {
+  const char* label;
+  sw::BufferMode mode;
+  std::size_t capacity;
+  double rate_mbps;
+};
+
+TEST(ModelValidation, SimulatorWithinTenPercentOfTheory) {
+  const OperatingPoint points[] = {
+      {"no-buffer", sw::BufferMode::NoBuffer, 256, 10.0},
+      {"no-buffer", sw::BufferMode::NoBuffer, 256, 30.0},
+      {"no-buffer", sw::BufferMode::NoBuffer, 256, 50.0},
+      {"pkt-256", sw::BufferMode::PacketGranularity, 256, 10.0},
+      {"pkt-256", sw::BufferMode::PacketGranularity, 256, 30.0},
+      {"pkt-256", sw::BufferMode::PacketGranularity, 256, 50.0},
+      {"flow-256", sw::BufferMode::FlowGranularity, 256, 10.0},
+      {"flow-256", sw::BufferMode::FlowGranularity, 256, 30.0},
+      {"flow-256", sw::BufferMode::FlowGranularity, 256, 50.0},
+  };
+  for (const auto& pt : points) {
+    SCOPED_TRACE(testing::Message() << pt.label << " @ " << pt.rate_mbps << " Mbps");
+    const auto config = e1_config(pt.mode, pt.capacity, pt.rate_mbps);
+    const auto sim = core::run_experiment(config);
+    const auto prediction = model::predict(model::Params::from(config));
+
+    ASSERT_GT(sim.duration_s, 0.0);
+    const double sim_pktin_rate = static_cast<double>(sim.pkt_ins_sent) / sim.duration_s;
+    EXPECT_LE(rel_error(prediction.pkt_in_rate_per_s, sim_pktin_rate), kRelTol);
+    EXPECT_LE(rel_error(prediction.setup_ms, sim.setup_ms.mean()), kRelTol);
+    EXPECT_LE(rel_error(prediction.controller_ms, sim.controller_ms.mean()), kRelTol);
+    EXPECT_LE(rel_error(prediction.switch_ms, sim.switch_ms.mean()), kRelTol);
+    // Control-path byte load rides on the same message accounting.
+    EXPECT_LE(rel_error(prediction.to_controller_mbps, sim.to_controller_mbps), kRelTol);
+    EXPECT_LE(rel_error(prediction.to_switch_mbps, sim.to_switch_mbps), kRelTol);
+    EXPECT_FALSE(prediction.saturated);
+  }
+}
+
+// The Erlang-B feedback: a 16-unit pool at 50 Mbps runs out of units for
+// roughly half the misses; the model must see both the fallback fraction
+// and the resulting delay mixture.
+TEST(ModelValidation, BufferExhaustionMixture) {
+  const auto config = e1_config(sw::BufferMode::PacketGranularity, 16, 50.0);
+  const auto sim = core::run_experiment(config);
+  const auto prediction = model::predict(model::Params::from(config));
+
+  ASSERT_GT(sim.pkt_ins_sent, 0u);
+  const double sim_ff =
+      static_cast<double>(sim.full_frame_pkt_ins) / static_cast<double>(sim.pkt_ins_sent);
+  EXPECT_GT(sim_ff, 0.2);  // the point genuinely exercises exhaustion
+  EXPECT_NEAR(prediction.full_frame_fraction, sim_ff, 0.10);
+  EXPECT_GT(prediction.buffer_exhaustion_probability, 0.2);
+  EXPECT_LE(rel_error(prediction.setup_ms, sim.setup_ms.mean()), kRelTol);
+  EXPECT_LE(rel_error(prediction.controller_ms, sim.controller_ms.mean()), kRelTol);
+  // The pool itself hovers near its capacity.
+  EXPECT_NEAR(prediction.buffer_avg_units, sim.buffer_avg_units, 3.0);
+}
+
+// Past saturation the model must stay finite, flag the regime, and point at
+// the right bottleneck (the ASIC<->CPU bus for no-buffer full-frame punts).
+TEST(ModelValidation, SaturationIsFlaggedNotInfinite) {
+  const auto config = e1_config(sw::BufferMode::NoBuffer, 256, 120.0);
+  const auto prediction = model::predict(model::Params::from(config));
+  EXPECT_TRUE(prediction.saturated);
+  EXPECT_GT(prediction.max_utilization, 1.0);
+  EXPECT_TRUE(std::isfinite(prediction.setup_ms));
+  EXPECT_GT(prediction.setup_ms, 5.0);  // far above the flat-region ~1.1 ms
+}
+
+// ---------------------------------------------------------------------------
+// Prescreen: the model-found mechanism crossover matches full simulation to
+// within one grid cell (acceptance criterion), and flat regions are skipped.
+
+TEST(ModelPrescreen, CrossoverWithinOneGridCell) {
+  const std::vector<double> grid = {30.0, 40.0, 50.0, 60.0, 70.0};
+  const double cell = grid[1] - grid[0];
+
+  model::Sweep sweep;
+  sweep.rates_mbps = grid;
+  sweep.scenarios = {
+      {"pkt-16", model::Params::from(e1_config(sw::BufferMode::PacketGranularity, 16, grid[0]))},
+      {"flow-256",
+       model::Params::from(e1_config(sw::BufferMode::FlowGranularity, 256, grid[0]))},
+  };
+  const auto screen = sweep.run();
+
+  ASSERT_EQ(screen.crossovers.size(), 1u)
+      << "exactly one pkt-16 / flow-256 ordering flip expected on this grid";
+  const auto& crossover = screen.crossovers.front();
+
+  // Full simulation of the same grid: locate the sign flip of the setup
+  // delay difference and interpolate its zero.
+  std::vector<double> diff_ms;
+  for (double rate : grid) {
+    const auto pkt = core::run_experiment(e1_config(sw::BufferMode::PacketGranularity, 16, rate));
+    const auto flow = core::run_experiment(e1_config(sw::BufferMode::FlowGranularity, 256, rate));
+    diff_ms.push_back(pkt.setup_ms.mean() - flow.setup_ms.mean());
+  }
+  double sim_crossover = -1.0;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    if ((diff_ms[i - 1] < 0.0) != (diff_ms[i] < 0.0)) {
+      sim_crossover = grid[i - 1] + cell * (diff_ms[i - 1] / (diff_ms[i - 1] - diff_ms[i]));
+      break;
+    }
+  }
+  ASSERT_GT(sim_crossover, 0.0) << "simulation found no crossover on the grid";
+
+  EXPECT_NEAR(crossover.rate_estimate_mbps, sim_crossover, cell);
+  // The bracket cells survive the screen, so a prescreened sweep still
+  // simulates the crossover region.
+  for (double rate : {crossover.rate_low_mbps, crossover.rate_high_mbps}) {
+    EXPECT_TRUE(std::find(screen.kept_rates_mbps.begin(), screen.kept_rates_mbps.end(), rate) !=
+                screen.kept_rates_mbps.end())
+        << "crossover bracket rate " << rate << " was screened out";
+  }
+}
+
+TEST(ModelPrescreen, FlatRegionIsSkipped) {
+  // pkt-256 alone: delay stays on its plateau across the whole grid, so
+  // everything but the anchors (+ margin) is skippable.
+  model::Sweep sweep;
+  sweep.rates_mbps = {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0};
+  sweep.scenarios = {
+      {"pkt-256",
+       model::Params::from(e1_config(sw::BufferMode::PacketGranularity, 256, 10.0))},
+  };
+  const auto screen = sweep.run();
+
+  EXPECT_EQ(screen.total_cells, sweep.rates_mbps.size());
+  EXPECT_GT(screen.skipped_cells(), 0u);
+  EXPECT_LT(screen.kept_rates_mbps.size(), sweep.rates_mbps.size());
+  // Anchors always survive.
+  EXPECT_EQ(screen.kept_rates_mbps.front(), 10.0);
+  EXPECT_EQ(screen.kept_rates_mbps.back(), 90.0);
+  // Kept rates are a subset of the grid, ascending.
+  EXPECT_TRUE(std::is_sorted(screen.kept_rates_mbps.begin(), screen.kept_rates_mbps.end()));
+  for (double rate : screen.kept_rates_mbps) {
+    EXPECT_TRUE(std::find(sweep.rates_mbps.begin(), sweep.rates_mbps.end(), rate) !=
+                sweep.rates_mbps.end());
+  }
+}
+
+TEST(ModelPrescreen, KneeIsKeptForNoBuffer) {
+  // no-buffer bends hard past ~70 Mbps (bus saturation): the screen must
+  // keep the bent region and report a knee rate.
+  model::Sweep sweep;
+  sweep.rates_mbps = {10.0, 30.0, 50.0, 70.0, 90.0, 110.0};
+  sweep.scenarios = {
+      {"no-buffer", model::Params::from(e1_config(sw::BufferMode::NoBuffer, 256, 10.0))},
+  };
+  const auto screen = sweep.run();
+
+  ASSERT_EQ(screen.knee_rate_mbps.size(), 1u);
+  EXPECT_FALSE(std::isnan(screen.knee_rate_mbps[0]));
+  EXPECT_GE(screen.knee_rate_mbps[0], 70.0);
+  // The saturated tail is interesting by definition.
+  EXPECT_TRUE(std::find(screen.kept_rates_mbps.begin(), screen.kept_rates_mbps.end(), 110.0) !=
+              screen.kept_rates_mbps.end());
+}
+
+}  // namespace
+}  // namespace sdnbuf
