@@ -23,6 +23,7 @@
 
 #include "common.hpp"
 #include "core/experiment.hpp"
+#include "recovery.hpp"
 #include "util/csv.hpp"
 
 int main(int argc, char** argv) {
@@ -35,17 +36,15 @@ int main(int argc, char** argv) {
       {"flow-granularity", sw::BufferMode::FlowGranularity, 256}};
 
   // ---- Part 1: symmetric channel loss sweep --------------------------------
-  util::TableWriter loss_table("robustness: control channel drops a fraction of messages in "
-                               "each direction (50 flows x 6 packets at 50 Mbps)");
-  loss_table.set_columns({"mechanism", "loss %", "delivered %", "resend pkt_ins",
-                          "msgs lost", "setup ms"});
+  bench::RecoverySweep loss_sweep(
+      "robustness: control channel drops a fraction of messages in each direction "
+      "(50 flows x 6 packets at 50 Mbps)",
+      {"mechanism", "loss %"},
+      {{"delivered %", 1}, {"resend pkt_ins", 1}, {"msgs lost", 1}, {"setup ms", 3}});
 
   for (const auto& mechanism : mechanisms) {
     for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
-      util::Summary delivered_pct;
-      util::Summary resends;
-      util::Summary lost_msgs;
-      util::Summary setup;
+      bench::RecoveryCell cell;
       for (int rep = 0; rep < options.repetitions; ++rep) {
         core::ExperimentConfig config;
         config.mode = mechanism.mode;
@@ -59,20 +58,16 @@ int main(int argc, char** argv) {
         config.testbed.fault_profile.loss_to_switch = loss;
         config.drain_timeout = sim::SimTime::seconds(2);
         const auto r = core::run_experiment(config);
-        delivered_pct.add(100.0 * static_cast<double>(r.packets_delivered) /
-                          static_cast<double>(r.packets_sent));
-        resends.add(static_cast<double>(r.resend_pkt_ins));
-        lost_msgs.add(static_cast<double>(r.channel_lost_msgs));
-        if (r.setup_ms.count() > 0) setup.add(r.setup_ms.mean());
+        cell.metric("delivered %").add(bench::percent(r.packets_delivered, r.packets_sent));
+        cell.metric("resend pkt_ins").add(static_cast<double>(r.resend_pkt_ins));
+        cell.metric("msgs lost").add(static_cast<double>(r.channel_lost_msgs));
+        if (r.setup_ms.count() > 0) cell.metric("setup ms").add(r.setup_ms.mean());
       }
-      loss_table.add_row({mechanism.label, util::format_double(loss * 100, 0),
-                          util::format_double(delivered_pct.mean(), 1),
-                          util::format_double(resends.mean(), 1),
-                          util::format_double(lost_msgs.mean(), 1),
-                          util::format_double(setup.mean(), 3)});
+      loss_sweep.add_cell({mechanism.label, util::format_double(loss * 100, 0)}, cell);
     }
   }
-  loss_table.print(std::cout);
+  loss_sweep.print(std::cout);
+  loss_sweep.write_csv(options.csv_dir + "/robustness_loss.csv");
   std::cout << "\nOnly the flow-granularity mechanism re-requests after a loss, so it\n"
                "recovers both lost requests and lost releases; packet-granularity\n"
                "strands the affected packet until buffer expiry, and no-buffer both\n"
@@ -80,24 +75,24 @@ int main(int argc, char** argv) {
                "full-frame exchange is slower, widening the vulnerable window).\n\n";
 
   // ---- Part 2: outage, degradation modes and recovery ----------------------
-  util::TableWriter outage_table(
+  bench::RecoverySweep outage_sweep(
       "robustness: control connection outage starting 1.05 s into a 5-flow, 20 Mbps run "
-      "(rules hard-expire after 1 s; echo 50 ms x 3 misses)");
-  outage_table.set_columns({"mechanism", "fail mode", "outage s", "delivered %", "restore ms",
-                            "degraded fwd/drop", "reconcile rereq/exp", "resends"});
+      "(rules hard-expire after 1 s; echo 50 ms x 3 misses)",
+      {"mechanism", "fail mode", "outage s"},
+      {{"delivered %", 1},
+       {"restore ms", 0},
+       {"degraded fwd", 0},
+       {"degraded drop", 0},
+       {"reconcile rereq", 1},
+       {"reconcile exp", 1},
+       {"resends", 1}});
 
   const sim::SimTime outage_start = sim::SimTime::milliseconds(1050);
   for (const auto& mechanism : mechanisms) {
     for (const auto fail_mode :
          {sw::ConnectionFailMode::FailSecure, sw::ConnectionFailMode::FailStandalone}) {
       for (const double outage_s : {0.3, 0.7}) {
-        util::Summary delivered_pct;
-        util::Summary restore_ms;
-        util::Summary degraded_fwd;
-        util::Summary degraded_drop;
-        util::Summary rereq;
-        util::Summary rexp;
-        util::Summary resends;
+        bench::RecoveryCell cell;
         for (int rep = 0; rep < options.repetitions; ++rep) {
           core::ExperimentConfig config;
           config.mode = mechanism.mode;
@@ -115,29 +110,25 @@ int main(int argc, char** argv) {
               {outage_start, outage_start + sim::SimTime::from_seconds(outage_s)});
           config.drain_timeout = sim::SimTime::seconds(2);
           const auto r = core::run_experiment(config);
-          delivered_pct.add(100.0 * static_cast<double>(r.packets_delivered) /
-                            static_cast<double>(r.packets_sent));
+          cell.metric("delivered %").add(bench::percent(r.packets_delivered, r.packets_sent));
           if (r.last_reconnect_s >= 0.0) {
-            restore_ms.add(1e3 * (r.last_reconnect_s - (outage_start.sec() + outage_s)));
+            cell.metric("restore ms")
+                .add(1e3 * (r.last_reconnect_s - (outage_start.sec() + outage_s)));
           }
-          degraded_fwd.add(static_cast<double>(r.standalone_forwarded));
-          degraded_drop.add(static_cast<double>(r.failsecure_dropped));
-          rereq.add(static_cast<double>(r.reconcile_rerequests));
-          rexp.add(static_cast<double>(r.reconcile_expired));
-          resends.add(static_cast<double>(r.resend_pkt_ins));
+          cell.metric("degraded fwd").add(static_cast<double>(r.standalone_forwarded));
+          cell.metric("degraded drop").add(static_cast<double>(r.failsecure_dropped));
+          cell.metric("reconcile rereq").add(static_cast<double>(r.reconcile_rerequests));
+          cell.metric("reconcile exp").add(static_cast<double>(r.reconcile_expired));
+          cell.metric("resends").add(static_cast<double>(r.resend_pkt_ins));
         }
-        outage_table.add_row(
-            {mechanism.label, sw::fail_mode_name(fail_mode), util::format_double(outage_s, 1),
-             util::format_double(delivered_pct.mean(), 1),
-             util::format_double(restore_ms.mean(), 0),
-             util::format_double(degraded_fwd.mean(), 0) + "/" +
-                 util::format_double(degraded_drop.mean(), 0),
-             util::format_double(rereq.mean(), 1) + "/" + util::format_double(rexp.mean(), 1),
-             util::format_double(resends.mean(), 1)});
+        outage_sweep.add_cell({mechanism.label, sw::fail_mode_name(fail_mode),
+                               util::format_double(outage_s, 1)},
+                              cell);
       }
     }
   }
-  outage_table.print(std::cout);
+  outage_sweep.print(std::cout);
+  outage_sweep.write_csv(options.csv_dir + "/robustness_outage.csv");
   std::cout << "\nThe rules hard-expire into a dead channel, so misses are buffered and\n"
                "their pkt_ins lost until liveness degrades the switch; from then on\n"
                "fail-standalone floods misses (fwd) while fail-secure drops them (drop,\n"

@@ -1,0 +1,87 @@
+#include "recovery.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hpp"
+
+namespace sdnbuf::bench {
+
+util::Summary& RecoveryCell::metric(const std::string& name) {
+  for (auto& [n, s] : metrics_) {
+    if (n == name) return s;
+  }
+  metrics_.emplace_back(name, util::Summary{});
+  return metrics_.back().second;
+}
+
+const util::Summary* RecoveryCell::find(const std::string& name) const {
+  for (const auto& [n, s] : metrics_) {
+    if (n == name) return &s;
+  }
+  return nullptr;
+}
+
+double percent(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+RecoverySweep::RecoverySweep(std::string title, std::vector<std::string> key_columns,
+                             std::vector<std::pair<std::string, int>> metric_columns)
+    : title_(std::move(title)),
+      key_columns_(std::move(key_columns)),
+      metric_columns_(std::move(metric_columns)) {}
+
+void RecoverySweep::add_cell(std::vector<std::string> keys, const RecoveryCell& cell) {
+  rows_.push_back(Row{std::move(keys), cell});
+}
+
+void RecoverySweep::print(std::ostream& out) const {
+  util::TableWriter table(title_);
+  std::vector<std::string> columns = key_columns_;
+  for (const auto& [name, decimals] : metric_columns_) {
+    (void)decimals;
+    columns.push_back(name);
+  }
+  table.set_columns(columns);
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells = row.keys;
+    for (const auto& [name, decimals] : metric_columns_) {
+      const util::Summary* s = row.cell.find(name);
+      cells.push_back(s == nullptr || s->count() == 0 ? "-"
+                                                      : util::format_double(s->mean(), decimals));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(out);
+}
+
+bool RecoverySweep::write_csv(const std::string& path) const {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "warning: could not write " << path << '\n';
+    return false;
+  }
+  util::CsvWriter csv(file);
+  std::vector<std::string> header = key_columns_;
+  header.insert(header.end(), {"metric", "mean", "std", "count"});
+  csv.header(header);
+  for (const Row& row : rows_) {
+    for (const auto& [name, summary] : row.cell.metrics()) {
+      std::vector<std::string> cells = row.keys;
+      cells.push_back(name);
+      cells.push_back(util::format_double(summary.mean(), 6));
+      cells.push_back(util::format_double(summary.stddev(), 6));
+      cells.push_back(std::to_string(summary.count()));
+      csv.row_strings(cells);
+    }
+  }
+  return true;
+}
+
+}  // namespace sdnbuf::bench

@@ -1,0 +1,70 @@
+// Degradation/recovery sweep scaffolding, shared by the robustness benches
+// (bench_robustness_loss: control-channel faults; bench_failover: data-plane
+// faults).
+//
+// The common shape: sweep (mechanism × fault condition) cells, run N seeded
+// repetitions per cell, accumulate named metric Summaries, then emit one
+// aligned-table row per cell plus a long-format CSV (one line per cell ×
+// metric with mean/std/count) under results/.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sdnbuf::bench {
+
+// One sweep cell: named metric Summaries in insertion order. Metrics are
+// created on first use, so every repetition just writes
+// `cell.metric("delivered %").add(...)`.
+class RecoveryCell {
+ public:
+  util::Summary& metric(const std::string& name);
+  [[nodiscard]] const util::Summary* find(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, util::Summary>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, util::Summary>> metrics_;
+};
+
+// 100 * part / whole, 0 when whole is 0.
+[[nodiscard]] double percent(std::uint64_t part, std::uint64_t whole);
+
+// Collects finished cells keyed by their sweep coordinates and renders them
+// as an aligned stdout table (one column per metric, mean over repetitions)
+// and optionally as long-format CSV.
+class RecoverySweep {
+ public:
+  // `metric_columns` pairs a metric name with the decimals its table cell
+  // prints with. A cell missing a metric prints "-".
+  RecoverySweep(std::string title, std::vector<std::string> key_columns,
+                std::vector<std::pair<std::string, int>> metric_columns);
+
+  void add_cell(std::vector<std::string> keys, const RecoveryCell& cell);
+
+  void print(std::ostream& out) const;
+
+  // Writes "key columns..., metric, mean, std, count" rows; creates the
+  // parent directory. Returns false (with a warning on stderr) when the file
+  // cannot be opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> keys;
+    RecoveryCell cell;
+  };
+
+  std::string title_;
+  std::vector<std::string> key_columns_;
+  std::vector<std::pair<std::string, int>> metric_columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sdnbuf::bench

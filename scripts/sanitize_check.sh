@@ -49,6 +49,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L model
 # a small multi-switch fabric (topology routing, ECMP, per-switch invariant
 # registries) under the sanitizers.
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-fabric
+# Fourth pass with data-plane link faults forced on: every fabric runs under
+# seeded flap schedules, exercising send-time loss, port_status handling,
+# route repair and the fate policies under the sanitizers.
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-link-faults
+# Data-fault unit/integration suite, explicitly (it is part of ctest above,
+# but run it by name so a label change can't silently drop the coverage).
+"$BUILD_DIR/tests/test_data_fault"
 
 # ThreadSanitizer pass over the concurrent pieces. TSan cannot be combined
 # with ASan, hence the separate build tree.
@@ -62,4 +69,4 @@ export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/test_thread_pool"
 "$TSAN_DIR/tests/test_parallel_sweep"
 
-echo "sanitize_check: OK (3 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"
+echo "sanitize_check: OK (4 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"

@@ -1,5 +1,7 @@
 #include "controller/controller.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -63,9 +65,62 @@ void Controller::learn(const net::MacAddress& mac, std::uint16_t port,
   binding(datapath_id).mac_table[mac] = port;
 }
 
-void Controller::enable_topology_routing(const topo::Router& router, RouteInstallMode mode) {
+void Controller::enable_topology_routing(topo::Router& router, RouteInstallMode mode) {
   router_ = &router;
   route_mode_ = mode;
+}
+
+std::size_t Controller::installed_rules_on_link(std::size_t link_index) const {
+  return static_cast<std::size_t>(
+      std::count_if(installed_rules_.begin(), installed_rules_.end(),
+                    [link_index](const InstalledRule& r) { return r.link == link_index; }));
+}
+
+void Controller::record_installed_rule(std::uint64_t datapath_id, const of::Match& match,
+                                       std::uint16_t priority, const of::ActionList& actions) {
+  if (router_ == nullptr) return;  // the learning app keeps no path state
+  const of::OutputAction* out = nullptr;
+  for (const of::Action& a : actions) {
+    if (const auto* o = std::get_if<of::OutputAction>(&a)) {
+      out = o;
+      break;
+    }
+  }
+  if (out == nullptr) return;  // drop rule: no link to track
+  const topo::Topology& topology = router_->topology();
+  if (datapath_id < 1 || datapath_id > topology.n_switches()) return;
+  const topo::NodeId sw = topology.switch_id(static_cast<unsigned>(datapath_id - 1));
+  for (const topo::Topology::Adjacency& adj : topology.adjacency(sw)) {
+    if (adj.port != out->port) continue;  // flood/controller ports match nothing
+    // flow_mod ADD overwrites an identical match+priority entry on the
+    // switch, so refresh in place instead of double-counting.
+    for (InstalledRule& r : installed_rules_) {
+      if (r.datapath_id == datapath_id && r.priority == priority && r.match == match) {
+        r.link = adj.link;
+        return;
+      }
+    }
+    installed_rules_.push_back(InstalledRule{datapath_id, match, priority, adj.link});
+    return;
+  }
+}
+
+void Controller::forget_rule(std::uint64_t datapath_id, const of::Match& match,
+                             std::uint16_t priority) {
+  const auto it = std::find_if(installed_rules_.begin(), installed_rules_.end(),
+                               [&](const InstalledRule& r) {
+                                 return r.datapath_id == datapath_id && r.priority == priority &&
+                                        r.match == match;
+                               });
+  if (it != installed_rules_.end()) installed_rules_.erase(it);
+}
+
+void Controller::forget_switch_rules(std::uint64_t datapath_id) {
+  installed_rules_.erase(std::remove_if(installed_rules_.begin(), installed_rules_.end(),
+                                        [datapath_id](const InstalledRule& r) {
+                                          return r.datapath_id == datapath_id;
+                                        }),
+                         installed_rules_.end());
 }
 
 void Controller::set_invariant_observer_for(std::uint64_t datapath_id,
@@ -155,18 +210,92 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
   } else if (const auto* port_stats = std::get_if<of::PortStatsReply>(&msg)) {
     ++counters_.stats_replies_seen;
     last_port_stats_ = *port_stats;
-  } else if (std::holds_alternative<of::FlowRemoved>(msg)) {
+  } else if (const auto* removed = std::get_if<of::FlowRemoved>(&msg)) {
     ++counters_.flow_removed_seen;
+    // Timed-out (or deleted) rules leave the bookkeeping so route repair
+    // never re-deletes state the switch already dropped.
+    forget_rule(datapath_id, removed->match, removed->priority);
+  } else if (const auto* status = std::get_if<of::PortStatus>(&msg)) {
+    handle_port_status(datapath_id, *status);
   } else if (const auto* hello = std::get_if<of::Hello>(&msg)) {
     // Echo the switch's hello xid back: that completes both the initial
-    // handshake and a post-outage re-handshake on the switch side.
+    // handshake and a post-outage re-handshake on the switch side. A hello
+    // also means the datapath (re)started empty — a crashed switch lost its
+    // table, so any rules recorded for it are gone.
     ++counters_.hellos_seen;
+    forget_switch_rules(datapath_id);
     binding(datapath_id).channel->send_from_controller(of::Hello{hello->xid});
   } else if (const auto* echo = std::get_if<of::EchoRequest>(&msg)) {
     ++counters_.echo_requests_seen;
     binding(datapath_id).channel->send_from_controller(of::EchoReply{echo->xid});
   }
   // EchoReply / FeaturesReply / BarrierReply need no reaction here.
+}
+
+void Controller::handle_port_status(std::uint64_t datapath_id, const of::PortStatus& msg) {
+  ++counters_.port_status_seen;
+  if (router_ == nullptr) return;  // the learning app keeps no path state to repair
+  const topo::Topology& topology = router_->topology();
+  if (datapath_id < 1 || datapath_id > topology.n_switches()) return;
+  const topo::NodeId sw = topology.switch_id(static_cast<unsigned>(datapath_id - 1));
+  const topo::Topology::Adjacency* adj = nullptr;
+  for (const topo::Topology::Adjacency& a : topology.adjacency(sw)) {
+    if (a.port == msg.desc.port_no) {
+      adj = &a;
+      break;
+    }
+  }
+  if (adj == nullptr) return;  // port unknown to the topology: nothing to repair
+  const std::size_t link = adj->link;
+  const bool up = !msg.desc.link_down;
+
+  cpu_.submit(cost_us(config_.costs.decision_us), [this, link, up]() {
+    // Both endpoint switches report the same link transition; whichever
+    // report is processed first performs the repair, the other sees the
+    // router already agreeing and stops.
+    if (router_ == nullptr || router_->link_up(link) == up) return;
+    router_->set_link_state(link, up);
+    if (up) {
+      ++counters_.link_up_events;
+      // A restored link makes every detour routed around it stale, and a
+      // stale detour can pair with a later repair into a forwarding loop
+      // (A's detour leans on B just as B's repair leans on A). Flushing the
+      // whole table on link-up keeps the installed rules loop-free: between
+      // two up-events the down-set only grows, so all surviving rules were
+      // computed against nested failure snapshots and compose acyclically.
+      std::vector<InstalledRule> doomed = std::move(installed_rules_);
+      installed_rules_.clear();
+      send_rule_deletes(std::move(doomed));
+      return;
+    }
+    ++counters_.link_down_events;
+    // Every recorded rule riding the dead link is now forwarding into a
+    // black hole: delete it on its switch so the next packet of the flow
+    // misses and reroutes over the repaired tables. stable_partition keeps
+    // install order, so the delete sequence is deterministic.
+    const auto it = std::stable_partition(installed_rules_.begin(), installed_rules_.end(),
+                                          [link](const InstalledRule& r) { return r.link != link; });
+    std::vector<InstalledRule> doomed(it, installed_rules_.end());
+    installed_rules_.erase(it, installed_rules_.end());
+    send_rule_deletes(std::move(doomed));
+  });
+}
+
+void Controller::send_rule_deletes(std::vector<InstalledRule> doomed) {
+  if (doomed.empty()) return;
+  cpu_.submit(cost_us(config_.costs.encode_flow_mod_us * static_cast<double>(doomed.size())),
+              [this, doomed = std::move(doomed)]() {
+    for (const InstalledRule& rule : doomed) {
+      SwitchBinding& b = binding(rule.datapath_id);
+      of::FlowMod fm;
+      fm.xid = b.channel->next_xid();
+      fm.match = rule.match;
+      fm.command = of::FlowModCommand::DeleteStrict;
+      fm.priority = rule.priority;
+      ++counters_.rules_invalidated;
+      b.channel->send_from_controller(fm);
+    }
+  });
 }
 
 void Controller::handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg) {
@@ -232,11 +361,12 @@ void Controller::decide_and_respond(std::uint64_t datapath_id, SwitchBinding& bi
     return;
   }
 
-  respond_with_actions(binding, msg, packet, of::output_to(it->second));
+  respond_with_actions(datapath_id, binding, msg, packet, of::output_to(it->second));
 }
 
-void Controller::respond_with_actions(SwitchBinding& binding, const of::PacketIn& msg,
-                                      const net::Packet& packet, const of::ActionList& actions) {
+void Controller::respond_with_actions(std::uint64_t datapath_id, SwitchBinding& binding,
+                                      const of::PacketIn& msg, const net::Packet& packet,
+                                      const of::ActionList& actions) {
   of::Channel* channel = binding.channel;
   SDNBUF_CHECK(channel != nullptr);
 
@@ -267,7 +397,7 @@ void Controller::respond_with_actions(SwitchBinding& binding, const of::PacketIn
   }
   const bool piggyback = config_.piggyback_buffer_id && msg.buffer_id != of::kNoBuffer;
   cpu_.submit(cost_us(config_.costs.encode_flow_mod_us),
-              [this, channel, msg, packet, actions, send_pkt_out, piggyback]() {
+              [this, datapath_id, channel, msg, packet, actions, send_pkt_out, piggyback]() {
     of::FlowMod fm;
     fm.xid = msg.xid;  // responses echo the request xid (delay attribution)
     fm.match = of::Match::exact_from(packet, msg.in_port);
@@ -287,6 +417,7 @@ void Controller::respond_with_actions(SwitchBinding& binding, const of::PacketIn
     if (config_.request_flow_removed) fm.flags |= of::kFlowModSendFlowRem;
     fm.actions = actions;
     ++counters_.flow_mods_sent;
+    record_installed_rule(datapath_id, fm.match, fm.priority, fm.actions);
     channel->send_from_controller(fm);
     if (!piggyback) send_pkt_out();
   });
@@ -333,7 +464,7 @@ void Controller::route_and_respond(std::uint64_t datapath_id, SwitchBinding& bin
       drop_packet();
       return;
     }
-    respond_with_actions(binding, msg, packet, of::output_to(*port));
+    respond_with_actions(datapath_id, binding, msg, packet, of::output_to(*port));
     return;
   }
 
@@ -369,7 +500,7 @@ void Controller::install_remaining_hops(std::shared_ptr<const std::vector<PathHo
                                         std::size_t idx, std::uint64_t origin_dpid,
                                         of::PacketIn msg, net::Packet packet) {
   if (idx >= hops->size()) {
-    respond_with_actions(binding(origin_dpid), msg, packet,
+    respond_with_actions(origin_dpid, binding(origin_dpid), msg, packet,
                          of::output_to(hops->front().out_port));
     return;
   }
@@ -392,6 +523,7 @@ void Controller::install_remaining_hops(std::shared_ptr<const std::vector<PathHo
     fm.actions = of::output_to(hop.out_port);
     ++counters_.flow_mods_sent;
     ++counters_.path_preinstalls;
+    record_installed_rule(hop.datapath_id, fm.match, fm.priority, fm.actions);
     b.channel->send_from_controller(fm);
     install_remaining_hops(std::move(hops), idx + 1, origin_dpid, std::move(msg),
                            std::move(packet));

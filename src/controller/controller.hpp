@@ -109,6 +109,10 @@ struct ControllerCounters {
   std::uint64_t errors_seen = 0;
   std::uint64_t hellos_seen = 0;          // handshakes + re-handshakes answered
   std::uint64_t echo_requests_seen = 0;   // liveness probes answered
+  std::uint64_t port_status_seen = 0;     // data-plane fault notifications
+  std::uint64_t link_down_events = 0;     // distinct links marked down
+  std::uint64_t link_up_events = 0;       // distinct links restored
+  std::uint64_t rules_invalidated = 0;    // flow_mod deletes sent for dead links
 };
 
 class Controller {
@@ -165,10 +169,17 @@ class Controller {
   // routing: packet_in destinations resolve through the router's host
   // addressing scheme and the seeded ECMP tables instead of learned MAC
   // locations (no flooding — fabrics have loops). `router` is owned by the
-  // caller (the FabricTestbed) and must outlive the controller. Requires the
-  // fabric dpid convention: switch index i <-> datapath_id i + 1.
-  void enable_topology_routing(const topo::Router& router, RouteInstallMode mode);
+  // caller (the FabricTestbed) and must outlive the controller; it is
+  // non-const because route repair marks failed links down in it (the
+  // controller is the only writer). Requires the fabric dpid convention:
+  // switch index i <-> datapath_id i + 1.
+  void enable_topology_routing(topo::Router& router, RouteInstallMode mode);
   [[nodiscard]] bool topology_routing() const { return router_ != nullptr; }
+
+  // Installed-rule bookkeeping (topology mode): number of rules the
+  // controller believes are live, and how many ride a given topology link.
+  [[nodiscard]] std::size_t installed_rule_count() const { return installed_rules_.size(); }
+  [[nodiscard]] std::size_t installed_rules_on_link(std::size_t link_index) const;
 
   void reset_counters() { counters_ = ControllerCounters{}; }
 
@@ -201,8 +212,22 @@ class Controller {
     std::uint16_t out_port = 0;
   };
 
+  // One rule the controller installed somewhere on the fabric, remembered so
+  // route repair can find everything that traverses a failed link. `link` is
+  // the topology link the rule's output port crosses.
+  struct InstalledRule {
+    std::uint64_t datapath_id = 0;
+    of::Match match;
+    std::uint16_t priority = 0;
+    std::size_t link = 0;
+  };
+
   void on_message(std::uint64_t datapath_id, const of::OfMessage& msg);
   void handle_packet_in(std::uint64_t datapath_id, const of::PacketIn& msg);
+  // Data-plane fault repair: resolves the reported port to a topology link,
+  // flips it in the router (rebuilding the ECMP tables), and on link-down
+  // deletes every recorded rule that rides the link.
+  void handle_port_status(std::uint64_t datapath_id, const of::PortStatus& msg);
   void decide_and_respond(std::uint64_t datapath_id, SwitchBinding& binding,
                           const of::PacketIn& msg, const net::Packet& packet);
   // Topology-routing counterpart of decide_and_respond.
@@ -210,8 +235,17 @@ class Controller {
                          const of::PacketIn& msg, const net::Packet& packet);
   // The flow_mod + packet_out answer toward the switch that raised the
   // packet_in (shared by the learning and routing applications).
-  void respond_with_actions(SwitchBinding& binding, const of::PacketIn& msg,
-                            const net::Packet& packet, const of::ActionList& actions);
+  void respond_with_actions(std::uint64_t datapath_id, SwitchBinding& binding,
+                            const of::PacketIn& msg, const net::Packet& packet,
+                            const of::ActionList& actions);
+  // Bookkeeping helpers (all no-ops outside topology mode).
+  void record_installed_rule(std::uint64_t datapath_id, const of::Match& match,
+                             std::uint16_t priority, const of::ActionList& actions);
+  void forget_rule(std::uint64_t datapath_id, const of::Match& match, std::uint16_t priority);
+  void forget_switch_rules(std::uint64_t datapath_id);
+  // Encodes one DeleteStrict per doomed rule (one CPU job for the batch) and
+  // sends them to their switches, counting counters_.rules_invalidated.
+  void send_rule_deletes(std::vector<InstalledRule> doomed);
   // Installs rules on hops[idx..] one CPU job at a time, then answers the
   // originating switch (hops[0]) with respond_with_actions.
   void install_remaining_hops(std::shared_ptr<const std::vector<PathHop>> hops, std::size_t idx,
@@ -226,8 +260,9 @@ class Controller {
   util::Rng rng_;
   sim::CpuServer cpu_;
   std::map<std::uint64_t, SwitchBinding> switches_;
-  const topo::Router* router_ = nullptr;
+  topo::Router* router_ = nullptr;
   RouteInstallMode route_mode_ = RouteInstallMode::PerHopReactive;
+  std::vector<InstalledRule> installed_rules_;
   ControllerCounters counters_;
   verify::InvariantObserver* observer_ = nullptr;
   obs::ControllerInstruments instr_;

@@ -19,11 +19,38 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   fc.switch_config.buffer_mode = config.mode;
   fc.switch_config.buffer_capacity = config.buffer_capacity;
   fc.observers = config.observers;
+  fc.link_faults = config.link_faults;
+  fc.switch_crashes = config.switch_crashes;
 
   FabricTestbed bed(fc);
   // Topology routing needs no learning warm-up; the measurement window opens
   // immediately.
   bed.reset_statistics();
+
+  // Closed-loop plumbing: emitted packets go through the reliable sender,
+  // and every sink's first-copy delivery acks (and, when a timeline is
+  // requested, bins) the packet. Fault-free open-loop runs leave all of this
+  // untouched — the sink callback is only installed when needed.
+  std::optional<host::ReliableSender> sender;
+  if (config.closed_loop) {
+    sender.emplace(bed.sim(), config.reliable,
+                   [&bed](unsigned src, const net::Packet& p) { bed.inject_from_host(src, p); });
+  }
+  std::vector<std::uint64_t> delivered_per_bin;
+  const sim::SimTime bin = config.delivery_bin;
+  const sim::SimTime bins_t0 = bed.sim().now();
+  if (config.closed_loop || bin > sim::SimTime::zero()) {
+    for (unsigned h = 0; h < bed.n_hosts(); ++h) {
+      bed.sink_at(h).set_on_receive([&, bin, bins_t0](const net::Packet& p) {
+        if (bin > sim::SimTime::zero()) {
+          const auto idx = static_cast<std::size_t>((bed.sim().now() - bins_t0).ns() / bin.ns());
+          if (idx >= delivered_per_bin.size()) delivered_per_bin.resize(idx + 1, 0);
+          ++delivered_per_bin[idx];
+        }
+        if (sender) sender->acknowledge(p);
+      });
+    }
+  }
 
   std::optional<obs::MetricsSnapshotter> snapshotter;
   if (config.metrics != nullptr) {
@@ -53,7 +80,13 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
 
   host::TrafficMatrixWorkload gen{
       bed.sim(), tm, config.seed * 7919u + 3,
-      [&bed](unsigned src, const net::Packet& p) { bed.inject_from_host(src, p); }};
+      [&bed, &sender](unsigned src, const net::Packet& p) {
+        if (sender) {
+          sender->offer(src, p);
+        } else {
+          bed.inject_from_host(src, p);
+        }
+      }};
   gen.start();
 
   // Arrivals end at the horizon; the longest flow can keep pacing packets for
@@ -67,13 +100,17 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   const sim::SimTime deadline = emission_done + config.drain_timeout;
 
   const sim::SimTime slice = sim::SimTime::milliseconds(20);
-  while (bed.sim().now() < deadline &&
-         (bed.sim().now() < emission_done || bed.total_delivered() < gen.packets_emitted())) {
+  const auto work_remains = [&]() {
+    if (sender) return sender->outstanding() > 0;
+    return bed.total_delivered() < gen.packets_emitted();
+  };
+  while (bed.sim().now() < deadline && (bed.sim().now() < emission_done || work_remains())) {
     bed.sim().run_until(std::min(bed.sim().now() + slice, deadline));
   }
   // Let in-flight control traffic settle, then stop housekeeping and drain.
   bed.sim().run_until(bed.sim().now() + sim::SimTime::milliseconds(50));
   if (snapshotter) snapshotter->stop();
+  if (sender) sender->stop();
   bed.stop();
   bed.sim().run();
   if (config.metrics != nullptr) {
@@ -106,7 +143,29 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   r.buffer_avg_units = bed.buffer_occupancy_mean_sum();
   r.buffer_max_units = static_cast<double>(bed.buffer_occupancy_max_sum());
   r.delivered = bed.delivered_payloads();
-  r.drained = r.packets_delivered == r.packets_sent && r.duplicates == 0;
+
+  r.link_fault_drops = bed.total_link_fault_drops();
+  r.port_status_seen = cc.port_status_seen;
+  r.rules_invalidated = cc.rules_invalidated;
+  r.link_down_events = cc.link_down_events;
+  for (unsigned i = 0; i < bed.n_switches(); ++i) {
+    r.switch_crashes += bed.switch_at(i).counters().crashes;
+    r.buffer_units_expired += bed.switch_at(i).counters().buffer_units_expired;
+  }
+  r.delivered_per_bin = std::move(delivered_per_bin);
+  r.last_fault_clear = bed.last_fault_clear();
+  if (sender) {
+    const host::ReliableSenderCounters& sc = sender->counters();
+    r.unique_offered = sc.offered;
+    r.unique_acked = sc.acked;
+    r.retransmits = sc.retransmits;
+    r.abandoned = sc.abandoned;
+    // Closed loop: drained means every offered packet was finally delivered
+    // (spurious-retransmit duplicates at the sinks are expected and benign).
+    r.drained = sc.acked == sc.offered && sender->outstanding() == 0;
+  } else {
+    r.drained = r.packets_delivered == r.packets_sent && r.duplicates == 0;
+  }
   return r;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/fabric_testbed.hpp"
+#include "host/reliable_sender.hpp"
 #include "host/traffic_matrix.hpp"
 #include "util/stats.hpp"
 
@@ -50,6 +51,21 @@ struct FabricExperimentConfig {
   // installed before the run and polls cleared before return.
   obs::MetricsRegistry* metrics = nullptr;
   sim::SimTime metrics_interval = sim::SimTime::milliseconds(10);
+
+  // --- data-plane fault plane (all inert by default) ---
+  // Forwarded into FabricConfig; empty = fault-free, byte-identical runs.
+  std::vector<LinkFaultSpec> link_faults;
+  std::vector<SwitchCrashSpec> switch_crashes;
+  // Closed-loop mode: every emitted packet goes through a ReliableSender
+  // that retransmits on timeout until the destination sink acks the first
+  // copy — loss becomes re-offered load instead of a silent gap.
+  bool closed_loop = false;
+  host::ReliableSenderConfig reliable;
+  // Delivery timeline: first-copy deliveries per `delivery_bin` of simulated
+  // time since the measurement start (zero = disabled). The failover bench
+  // compares fault-run bins against a no-fault baseline to measure
+  // degradation depth and time-to-recovery.
+  sim::SimTime delivery_bin = sim::SimTime::zero();
 };
 
 struct FabricExperimentResult {
@@ -82,6 +98,23 @@ struct FabricExperimentResult {
 
   double duration_s = 0.0;
   bool drained = false;  // every emitted packet was delivered
+
+  // --- fault-plane accounting (zero in fault-free runs) ---
+  std::uint64_t link_fault_drops = 0;   // frames eaten by downed links
+  std::uint64_t port_status_seen = 0;   // fault notifications at the controller
+  std::uint64_t rules_invalidated = 0;  // flow_mod deletes from route repair
+  std::uint64_t link_down_events = 0;
+  std::uint64_t switch_crashes = 0;
+  std::uint64_t buffer_units_expired = 0;  // summed over switches
+  // Closed-loop accounting (zero when closed_loop is off).
+  std::uint64_t unique_offered = 0;
+  std::uint64_t unique_acked = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t abandoned = 0;
+  // First-copy deliveries per delivery_bin since measurement start (empty
+  // when delivery_bin is zero).
+  std::vector<std::uint64_t> delivered_per_bin;
+  sim::SimTime last_fault_clear;  // zero in fault-free runs
 };
 
 // Builds the fabric, runs the traffic matrix to completion (or the deadline)

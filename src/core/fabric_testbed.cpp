@@ -80,6 +80,58 @@ FabricTestbed::FabricTestbed(const FabricConfig& config)
 
   for (auto& s : switches_) s->start();
   controller_->start();
+
+  // Fault arming comes after everything above so a fault-free configuration
+  // leaves the construction-time event sequence untouched (byte-identity
+  // with pre-fault-plane builds).
+  arm_link_faults(config.link_faults);
+  arm_switch_crashes(config.switch_crashes);
+}
+
+void FabricTestbed::arm_link_faults(const std::vector<LinkFaultSpec>& faults) {
+  for (const LinkFaultSpec& spec : faults) {
+    if (spec.schedule.empty()) continue;
+    SDNBUF_CHECK_MSG(spec.link_index < topo_.n_links(), "link fault index out of range");
+    auto schedule = std::make_unique<net::LinkFaultSchedule>(spec.schedule);
+    data_links_[spec.link_index]->set_fault_schedule(schedule.get());
+    if (schedule->last_recovery() > last_fault_clear_) {
+      last_fault_clear_ = schedule->last_recovery();
+    }
+
+    // Port-state events at every outage boundary, for each endpoint that is
+    // a switch (host endpoints have no port state to flip).
+    const topo::Topology::Link& link = topo_.links()[spec.link_index];
+    for (const topo::NodeId end : {link.a, link.b}) {
+      if (topo_.is_host(end)) continue;
+      const unsigned si = topo_.index_of(end);
+      const std::uint16_t port = end == link.a ? link.a_port : link.b_port;
+      for (const net::OutageWindow& w : schedule->windows()) {
+        sim_.schedule_at(w.start,
+                         [this, si, port]() { switches_[si]->set_port_state(port, false); });
+        sim_.schedule_at(w.end, [this, si, port]() { switches_[si]->set_port_state(port, true); });
+      }
+    }
+    fault_schedules_.push_back(std::move(schedule));
+  }
+}
+
+void FabricTestbed::arm_switch_crashes(const std::vector<SwitchCrashSpec>& crashes) {
+  for (const SwitchCrashSpec& spec : crashes) {
+    SDNBUF_CHECK_MSG(spec.switch_index < n_switches(), "crash switch index out of range");
+    SDNBUF_CHECK_MSG(spec.restart_at > spec.crash_at, "restart must follow the crash");
+    const unsigned si = spec.switch_index;
+    sim_.schedule_at(spec.crash_at, [this, si]() { switches_[si]->crash(); });
+    sim_.schedule_at(spec.restart_at, [this, si]() { switches_[si]->restart(); });
+    if (spec.restart_at > last_fault_clear_) last_fault_clear_ = spec.restart_at;
+  }
+}
+
+std::uint64_t FabricTestbed::total_link_fault_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& link : data_links_) {
+    n += link->forward().fault_drops() + link->reverse().fault_drops();
+  }
+  return n;
 }
 
 void FabricTestbed::wire_ports() {
@@ -132,8 +184,17 @@ void FabricTestbed::inject_from_host(unsigned host_index, const net::Packet& pac
     observers_[si]->on_packet_injected(packet, sim_.now());
   }
   const std::uint16_t in_port = att.peer_port;
-  uplink.send(packet.frame_size,
-              [this, si, in_port, packet]() { switches_[si]->receive(in_port, packet); });
+  const auto sent = uplink.send_frame(
+      packet.frame_size, [this, si, in_port, packet]() { switches_[si]->receive(in_port, packet); });
+  if (sent != net::Link::SendResult::Sent) {
+    // The injection was already opened in the switch's registry above; close
+    // it so conservation still balances when the access link eats the frame.
+    if (!observers_.empty() && observers_[si] != nullptr) {
+      observers_[si]->on_packet_dropped(
+          packet, sent == net::Link::SendResult::FaultDrop ? "link-down" : "link-queue",
+          sim_.now());
+    }
+  }
 }
 
 std::uint64_t FabricTestbed::total_pkt_ins() const {
@@ -236,6 +297,13 @@ void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
                          [this]() { return static_cast<double>(total_control_bytes()); });
   registry.register_poll("fabric.packets_delivered",
                          [this]() { return static_cast<double>(total_delivered()); });
+  registry.register_poll("fabric.link_fault_drops",
+                         [this]() { return static_cast<double>(total_link_fault_drops()); });
+  registry.register_poll("fabric.rules_invalidated", [this]() {
+    return static_cast<double>(controller_->counters().rules_invalidated);
+  });
+  registry.register_poll("fabric.links_down",
+                         [this]() { return static_cast<double>(router_->links_down()); });
 }
 
 void FabricTestbed::stop() {

@@ -54,6 +54,25 @@ enum class FabricRouting {
 
 [[nodiscard]] const char* fabric_routing_name(FabricRouting routing);
 
+// One data-plane link with a fault schedule: the duplex link at
+// `link_index` (index into topology.links()) drops in-flight frames during
+// the schedule's outage windows, and both endpoint switches flip the
+// matching port down/up at the window boundaries (host endpoints have no
+// switch-side port to flip and are skipped).
+struct LinkFaultSpec {
+  std::size_t link_index = 0;
+  net::LinkFaultSchedule schedule;
+};
+
+// One switch crash window: at `crash_at` the switch loses its flow table,
+// buffers and control-channel state; at `restart_at` it comes back empty and
+// re-handshakes with the controller over PR 2's hello machinery.
+struct SwitchCrashSpec {
+  unsigned switch_index = 0;
+  sim::SimTime crash_at;
+  sim::SimTime restart_at;
+};
+
 struct FabricConfig {
   topo::Topology topology;  // must pass validate()
   FabricRouting routing = FabricRouting::TopologyPerHop;
@@ -68,6 +87,11 @@ struct FabricConfig {
   // Per-switch invariant observers: empty (no checking) or exactly one entry
   // per switch, indexed by switch index. Owned by the caller.
   std::vector<verify::InvariantObserver*> observers;
+  // Data-plane fault plane — both empty by default, and a fault-free
+  // configuration is byte-identical to one built before the fault plane
+  // existed (schedules attach after construction, arming no events).
+  std::vector<LinkFaultSpec> link_faults;
+  std::vector<SwitchCrashSpec> switch_crashes;
 };
 
 class FabricTestbed {
@@ -84,6 +108,12 @@ class FabricTestbed {
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] const topo::Router& router() const { return *router_; }
   [[nodiscard]] FabricRouting routing() const { return routing_; }
+
+  // Frames lost to link outages, summed over both halves of every data link.
+  [[nodiscard]] std::uint64_t total_link_fault_drops() const;
+  // When the last armed fault (outage window or restart) clears; zero when
+  // the configuration is fault-free. Recovery measurements start here.
+  [[nodiscard]] sim::SimTime last_fault_clear() const { return last_fault_clear_; }
 
   [[nodiscard]] unsigned n_switches() const { return static_cast<unsigned>(switches_.size()); }
   [[nodiscard]] unsigned n_hosts() const { return static_cast<unsigned>(sinks_.size()); }
@@ -126,6 +156,8 @@ class FabricTestbed {
 
  private:
   void wire_ports();
+  void arm_link_faults(const std::vector<LinkFaultSpec>& faults);
+  void arm_switch_crashes(const std::vector<SwitchCrashSpec>& crashes);
 
   sim::Simulator sim_;
   topo::Topology topo_;
@@ -138,6 +170,9 @@ class FabricTestbed {
   std::vector<std::unique_ptr<net::DuplexLink>> control_links_;  // per switch
   std::vector<std::unique_ptr<of::Channel>> channels_;           // per switch
   std::vector<verify::InvariantObserver*> observers_;            // empty or per switch
+  // Fault schedules live here because the links hold raw pointers into them.
+  std::vector<std::unique_ptr<net::LinkFaultSchedule>> fault_schedules_;
+  sim::SimTime last_fault_clear_;
   std::vector<verify::PayloadId> delivered_;
   util::Samples first_packet_ms_;
   sim::SimTime measurement_start_;

@@ -1,0 +1,77 @@
+#include "host/reliable_sender.hpp"
+
+#include "util/check.hpp"
+
+namespace sdnbuf::host {
+
+ReliableSender::ReliableSender(sim::Simulator& sim, ReliableSenderConfig config, SendFn send)
+    : sim_(sim), config_(config), send_(std::move(send)) {
+  SDNBUF_CHECK_MSG(config_.rto > sim::SimTime::zero(), "need a positive RTO");
+  SDNBUF_CHECK_MSG(config_.backoff >= 1.0, "backoff must not shrink the RTO");
+  SDNBUF_CHECK(send_ != nullptr);
+}
+
+void ReliableSender::offer(unsigned src, const net::Packet& packet) {
+  const std::uint64_t key = key_of(packet);
+  SDNBUF_CHECK_MSG(outstanding_.count(key) == 0, "packet offered twice");
+  Pending& p = outstanding_[key];
+  p.src = src;
+  p.packet = packet;
+  p.next_rto = config_.rto;
+  ++counters_.offered;
+  ++counters_.sent;
+  send_(src, packet);
+  arm_timer(key);
+}
+
+void ReliableSender::acknowledge(const net::Packet& packet) {
+  const std::uint64_t key = key_of(packet);
+  auto apply = [this, key]() {
+    const auto it = outstanding_.find(key);
+    if (it == outstanding_.end()) {
+      // Already acked (duplicate delivery) or abandoned: feedback for a
+      // packet the sender stopped tracking.
+      ++counters_.spurious_acks;
+      return;
+    }
+    it->second.timer.cancel();
+    outstanding_.erase(it);
+    ++counters_.acked;
+  };
+  if (config_.ack_delay > sim::SimTime::zero()) {
+    sim_.schedule(config_.ack_delay, std::move(apply));
+  } else {
+    apply();
+  }
+}
+
+void ReliableSender::arm_timer(std::uint64_t key) {
+  Pending& p = outstanding_.at(key);
+  p.timer = sim_.schedule(p.next_rto, [this, key]() {
+    sim::ScopedProfileTag tag{"reliable_sender"};
+    on_timeout(key);
+  });
+}
+
+void ReliableSender::on_timeout(std::uint64_t key) {
+  const auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) return;  // raced with a cancel
+  Pending& p = it->second;
+  if (p.retransmits >= config_.max_retransmits) {
+    ++counters_.abandoned;
+    outstanding_.erase(it);
+    return;
+  }
+  ++p.retransmits;
+  p.next_rto = p.next_rto.scaled(config_.backoff);
+  ++counters_.sent;
+  ++counters_.retransmits;
+  send_(p.src, p.packet);
+  arm_timer(key);
+}
+
+void ReliableSender::stop() {
+  for (auto& [key, p] : outstanding_) p.timer.cancel();
+}
+
+}  // namespace sdnbuf::host

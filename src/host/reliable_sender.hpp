@@ -1,0 +1,95 @@
+// Closed-loop reliable sender (ROADMAP item 4).
+//
+// The open-loop traffic generators emit packets and forget them — a lost
+// frame is simply gone, so a fault run measures loss but not the load that
+// loss would re-offer in a real deployment. `ReliableSender` closes the
+// loop: every offered packet stays outstanding until the receiving sink
+// acknowledges its first copy, and an un-acked packet is retransmitted on a
+// per-packet retransmission timeout with exponential backoff, up to a cap.
+// Retransmits re-enter the fabric like fresh injections, so a link outage
+// turns into re-offered load — exactly the amplification the failover
+// benchmark wants to measure.
+//
+// Determinism: timers derive only from offer/ack times and the configured
+// RTO sequence; there is no randomness in the sender itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdnbuf::host {
+
+struct ReliableSenderConfig {
+  // Initial retransmission timeout; doubles (times `backoff`) per attempt.
+  sim::SimTime rto = sim::SimTime::milliseconds(50);
+  double backoff = 2.0;
+  // Retransmits per packet before it is abandoned (bounds fault-time work so
+  // a permanently-dead destination cannot spin forever).
+  unsigned max_retransmits = 8;
+  // Delay between the sink receiving a packet and the sender learning it
+  // (models the reverse ack path; zero = instantaneous feedback).
+  sim::SimTime ack_delay = sim::SimTime::zero();
+};
+
+struct ReliableSenderCounters {
+  std::uint64_t offered = 0;        // unique packets offered
+  std::uint64_t sent = 0;           // injections incl. retransmits
+  std::uint64_t retransmits = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t spurious_acks = 0;  // acks for packets no longer outstanding
+  std::uint64_t abandoned = 0;      // retransmit cap exhausted
+};
+
+class ReliableSender {
+ public:
+  // `send` injects one packet from source host `src` into the fabric.
+  using SendFn = std::function<void(unsigned src, const net::Packet& packet)>;
+
+  ReliableSender(sim::Simulator& sim, ReliableSenderConfig config, SendFn send);
+
+  ReliableSender(const ReliableSender&) = delete;
+  ReliableSender& operator=(const ReliableSender&) = delete;
+
+  // Offers one packet for reliable delivery from host `src`: sends it now
+  // and retransmits until acknowledged or the cap is reached.
+  void offer(unsigned src, const net::Packet& packet);
+
+  // Delivery feedback, keyed by (flow_id, seq_in_flow) — wire this to the
+  // destination sinks' first-copy callbacks. Applies after `ack_delay`.
+  void acknowledge(const net::Packet& packet);
+
+  [[nodiscard]] const ReliableSenderCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_.size(); }
+
+  // Cancels every pending retransmission timer (without acking anything) so
+  // a finished simulation can drain.
+  void stop();
+
+ private:
+  struct Pending {
+    unsigned src = 0;
+    net::Packet packet;
+    unsigned retransmits = 0;
+    sim::SimTime next_rto;
+    sim::EventHandle timer;
+  };
+
+  [[nodiscard]] static std::uint64_t key_of(const net::Packet& packet) {
+    return packet.flow_id << 20 | packet.seq_in_flow;
+  }
+
+  void arm_timer(std::uint64_t key);
+  void on_timeout(std::uint64_t key);
+
+  sim::Simulator& sim_;
+  ReliableSenderConfig config_;
+  SendFn send_;
+  ReliableSenderCounters counters_;
+  std::unordered_map<std::uint64_t, Pending> outstanding_;
+};
+
+}  // namespace sdnbuf::host

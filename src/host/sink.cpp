@@ -10,7 +10,9 @@ void HostSink::receive(const net::Packet& packet) {
   if (recorder_ != nullptr) recorder_->on_packet_delivered(packet.flow_id, sim_->now());
   if (packet.flow_id != metrics::kUntrackedFlow) {
     auto& per_seq = seen_[packet.flow_id];
-    if (++per_seq[packet.seq_in_flow] > 1) ++duplicates_;
+    const bool first_copy = ++per_seq[packet.seq_in_flow] == 1;
+    if (!first_copy) ++duplicates_;
+    if (first_copy && on_receive_) on_receive_(packet);
   }
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "metrics/delay_recorder.hpp"
@@ -18,6 +19,11 @@ class HostSink {
   explicit HostSink(sim::Simulator& sim) : sim_(&sim) {}
 
   void set_delay_recorder(metrics::DelayRecorder* recorder) { recorder_ = recorder; }
+
+  // Delivery feedback for closed-loop senders: fires on every first-copy
+  // arrival of a tracked packet (duplicates from spurious retransmits are
+  // counted but not re-reported).
+  void set_on_receive(std::function<void(const net::Packet&)> cb) { on_receive_ = std::move(cb); }
 
   // Delivery callback (wired to the far end of the switch->host link).
   void receive(const net::Packet& packet);
@@ -38,6 +44,7 @@ class HostSink {
  private:
   sim::Simulator* sim_;
   metrics::DelayRecorder* recorder_ = nullptr;
+  std::function<void(const net::Packet&)> on_receive_;
   std::uint64_t packets_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t duplicates_ = 0;

@@ -20,19 +20,27 @@ Link::Link(sim::Simulator& sim, std::string name, double bandwidth_bps,
   SDNBUF_CHECK_MSG(bandwidth_bps_ > 0, "link bandwidth must be positive");
 }
 
-bool Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
+Link::SendResult Link::send_frame(std::uint64_t bytes, std::function<void()> on_delivered) {
   SDNBUF_CHECK_MSG(bytes > 0, "cannot send an empty frame");
   if (backlog_bytes_ + bytes > queue_limit_bytes_) {
     ++drops_;
-    return false;
+    return SendResult::QueueDrop;
   }
-  tap_.record(bytes);
-  backlog_bytes_ += bytes;
   const sim::SimTime start =
       transmitter_free_at_ > sim_.now() ? transmitter_free_at_ : sim_.now();
   const sim::SimTime done_sending = start + sim::transmission_time(bytes, bandwidth_bps_);
-  transmitter_free_at_ = done_sending;
   const sim::SimTime arrival = done_sending + propagation_delay_;
+  // Fault-plane loss is decided at send time over the whole flight interval:
+  // a frame that would be on the wire during any outage window is dropped,
+  // covering in-flight loss without cancelling events. The frame never
+  // occupies the transmitter, so the serialization clock is unaffected.
+  if (faults_ != nullptr && faults_->down_during(start, arrival)) {
+    ++fault_drops_;
+    return SendResult::FaultDrop;
+  }
+  tap_.record(bytes);
+  backlog_bytes_ += bytes;
+  transmitter_free_at_ = done_sending;
   // The backlog counts bytes not yet clocked onto the wire.
   sim_.schedule_at(done_sending, [this, bytes]() {
     SDNBUF_CHECK(backlog_bytes_ >= bytes);
@@ -42,7 +50,7 @@ bool Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
     sim::ScopedProfileTag tag{name_.c_str()};
     if (on_delivered) on_delivered();
   });
-  return true;
+  return SendResult::Sent;
 }
 
 }  // namespace sdnbuf::net

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "net/link_fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -52,10 +53,34 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  enum class SendResult : std::uint8_t {
+    Sent,       // frame scheduled for delivery
+    QueueDrop,  // transmit queue byte limit exceeded
+    FaultDrop,  // link down for part of the frame's flight interval
+  };
+
   // Queues `bytes` for transmission; `on_delivered` fires at the receiver
   // once the last bit has propagated. Returns false (and counts a drop)
-  // if the transmit queue byte limit would be exceeded.
-  bool send(std::uint64_t bytes, std::function<void()> on_delivered);
+  // if the transmit queue byte limit would be exceeded or the link's fault
+  // schedule has it down during the frame's flight.
+  bool send(std::uint64_t bytes, std::function<void()> on_delivered) {
+    return send_frame(bytes, std::move(on_delivered)) == SendResult::Sent;
+  }
+
+  // As send(), but distinguishes the drop cause — callers that account
+  // per-packet fates (egress scheduler, fabric injection) need to know
+  // whether a lost frame died to the fault plane or to queue exhaustion.
+  SendResult send_frame(std::uint64_t bytes, std::function<void()> on_delivered);
+
+  // Attaches a fault schedule (owned by the caller, may be null). The
+  // zero-schedule path is byte-identical to a link without one.
+  void set_fault_schedule(const LinkFaultSchedule* faults) { faults_ = faults; }
+  [[nodiscard]] const LinkFaultSchedule* fault_schedule() const { return faults_; }
+
+  // Is the link up at instant `t` under its fault schedule?
+  [[nodiscard]] bool up_at(sim::SimTime t) const {
+    return faults_ == nullptr || !faults_->down_at(t);
+  }
 
   // Caps the untransmitted backlog; unlimited by default.
   void set_queue_limit_bytes(std::uint64_t limit) { queue_limit_bytes_ = limit; }
@@ -64,6 +89,7 @@ class Link {
   [[nodiscard]] double bandwidth_bps() const { return bandwidth_bps_; }
   [[nodiscard]] sim::SimTime propagation_delay() const { return propagation_delay_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
   [[nodiscard]] std::uint64_t backlog_bytes() const { return backlog_bytes_; }
 
   [[nodiscard]] ByteTap& tap() { return tap_; }
@@ -78,6 +104,8 @@ class Link {
   std::uint64_t queue_limit_bytes_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t backlog_bytes_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t fault_drops_ = 0;
+  const LinkFaultSchedule* faults_ = nullptr;
   ByteTap tap_;
 };
 
@@ -91,6 +119,13 @@ class DuplexLink {
 
   [[nodiscard]] Link& forward() { return forward_; }
   [[nodiscard]] Link& reverse() { return reverse_; }
+
+  // Both directions fail together: a physical link outage takes down the
+  // whole duplex pair.
+  void set_fault_schedule(const LinkFaultSchedule* faults) {
+    forward_.set_fault_schedule(faults);
+    reverse_.set_fault_schedule(faults);
+  }
 
  private:
   Link forward_;

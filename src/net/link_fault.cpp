@@ -1,0 +1,67 @@
+#include "net/link_fault.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdnbuf::net {
+
+void LinkFaultSchedule::add_outage(sim::SimTime start, sim::SimTime end) {
+  SDNBUF_CHECK_MSG(start < end, "outage window must have positive length");
+  OutageWindow w{start, end};
+  // Find the insertion point, then absorb every window the new one overlaps
+  // or touches.
+  auto first = std::lower_bound(
+      windows_.begin(), windows_.end(), w,
+      [](const OutageWindow& a, const OutageWindow& b) { return a.start < b.start; });
+  while (first != windows_.begin() && std::prev(first)->end >= w.start) --first;
+  auto last = first;
+  while (last != windows_.end() && last->start <= w.end) {
+    w.start = std::min(w.start, last->start);
+    w.end = std::max(w.end, last->end);
+    ++last;
+  }
+  windows_.erase(first, last);
+  windows_.insert(std::lower_bound(windows_.begin(), windows_.end(), w,
+                                   [](const OutageWindow& a, const OutageWindow& b) {
+                                     return a.start < b.start;
+                                   }),
+                  w);
+}
+
+LinkFaultSchedule LinkFaultSchedule::flap(std::uint64_t seed, sim::SimTime start,
+                                          sim::SimTime horizon, double mean_up_s,
+                                          double mean_down_s) {
+  SDNBUF_CHECK_MSG(mean_up_s > 0 && mean_down_s > 0, "flap holding times must be positive");
+  LinkFaultSchedule schedule;
+  util::Rng rng{seed};
+  sim::SimTime t = start;
+  while (t < horizon) {
+    t += sim::SimTime::from_seconds(rng.exponential(mean_up_s));
+    if (t >= horizon) break;
+    sim::SimTime down_until = t + sim::SimTime::from_seconds(rng.exponential(mean_down_s));
+    if (down_until > horizon) down_until = horizon;
+    if (t < down_until) schedule.add_outage(t, down_until);
+    t = down_until;
+  }
+  return schedule;
+}
+
+bool LinkFaultSchedule::down_at(sim::SimTime t) const { return down_during(t, t); }
+
+bool LinkFaultSchedule::down_during(sim::SimTime from, sim::SimTime to) const {
+  // Only the window with the largest start <= `to` can overlap [from, to]:
+  // earlier windows end before it starts (sorted + disjoint).
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), to,
+      [](sim::SimTime t, const OutageWindow& w) { return t < w.start; });
+  if (it == windows_.begin()) return false;
+  return std::prev(it)->end > from;
+}
+
+sim::SimTime LinkFaultSchedule::last_recovery() const {
+  return windows_.empty() ? sim::SimTime::zero() : windows_.back().end;
+}
+
+}  // namespace sdnbuf::net

@@ -36,6 +36,7 @@ struct Packet {
   std::uint64_t flow_id = 0;    // dense experiment-assigned flow index
   std::uint32_t seq_in_flow = 0;
   sim::SimTime created_at;      // when the source emitted the first bit
+  std::uint16_t hops = 0;       // switches visited, against SwitchConfig::max_hops
 
   [[nodiscard]] FlowKey flow_key() const;
 

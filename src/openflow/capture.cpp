@@ -74,6 +74,14 @@ struct Dissector {
        << dissect_match(m.match);
     return os.str();
   }
+  std::string operator()(const PortStatus& m) {
+    os << "port_status "
+       << (m.reason == PortStatusReason::Add      ? "add"
+           : m.reason == PortStatusReason::Delete ? "delete"
+                                                  : "modify")
+       << " port=" << m.desc.port_no << (m.desc.link_down ? " link_down" : "");
+    return os.str();
+  }
   std::string operator()(const FlowStatsRequest& m) {
     os << "flow_stats_request " << dissect_match(m.match);
     return os.str();

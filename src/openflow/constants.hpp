@@ -23,6 +23,7 @@ enum class MsgType : std::uint8_t {
   FeaturesReply = 6,
   PacketIn = 10,
   FlowRemoved = 11,
+  PortStatus = 12,
   PacketOut = 13,
   FlowMod = 14,
   StatsRequest = 16,
@@ -113,6 +114,16 @@ enum class FlowRemovedReason : std::uint8_t {
   Eviction = 0x80,
 };
 
+// ofp_port_status reason
+enum class PortStatusReason : std::uint8_t {
+  Add = 0,     // the port exists (sent when a dead port comes back up)
+  Delete = 1,  // the port is gone (link down / switch-side failure)
+  Modify = 2,  // attribute change
+};
+
+// ofp_port_state: the link-down bit of the phy-port `state` word.
+inline constexpr std::uint32_t kPortStateLinkDown = 1u << 0;
+
 // ofp_flow_mod flags
 inline constexpr std::uint16_t kFlowModSendFlowRem = 1 << 0;
 
@@ -124,6 +135,7 @@ inline constexpr std::size_t kPacketOutFixedSize = kHeaderSize + 8;   // 16
 inline constexpr std::size_t kFlowModFixedSize = kHeaderSize + kMatchSize + 24;  // 72
 inline constexpr std::size_t kFlowRemovedSize = kHeaderSize + kMatchSize + 40;   // 88
 inline constexpr std::size_t kPhyPortSize = 48;
+inline constexpr std::size_t kPortStatusSize = kHeaderSize + 8 + kPhyPortSize;  // 64
 inline constexpr std::size_t kFeaturesReplyFixedSize = kHeaderSize + 24;
 inline constexpr std::size_t kStatsHeaderSize = kHeaderSize + 4;  // + type/flags
 inline constexpr std::size_t kErrorFixedSize = kHeaderSize + 4;   // + type/code

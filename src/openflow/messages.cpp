@@ -25,6 +25,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::FeaturesReply: return "features_reply";
     case MsgType::PacketIn: return "packet_in";
     case MsgType::FlowRemoved: return "flow_removed";
+    case MsgType::PortStatus: return "port_status";
     case MsgType::PacketOut: return "packet_out";
     case MsgType::FlowMod: return "flow_mod";
     case MsgType::StatsRequest: return "stats_request";
@@ -56,6 +57,7 @@ MsgType message_type(const OfMessage& msg) {
     MsgType operator()(const PacketOut&) const { return MsgType::PacketOut; }
     MsgType operator()(const FlowMod&) const { return MsgType::FlowMod; }
     MsgType operator()(const FlowRemoved&) const { return MsgType::FlowRemoved; }
+    MsgType operator()(const PortStatus&) const { return MsgType::PortStatus; }
     MsgType operator()(const FlowStatsRequest&) const { return MsgType::StatsRequest; }
     MsgType operator()(const FlowStatsReply&) const { return MsgType::StatsReply; }
     MsgType operator()(const AggregateStatsRequest&) const { return MsgType::StatsRequest; }
@@ -90,6 +92,7 @@ std::size_t encoded_size(const OfMessage& msg) {
       return kFlowModFixedSize + encoded_size(m.actions);
     }
     std::size_t operator()(const FlowRemoved&) const { return kFlowRemovedSize; }
+    std::size_t operator()(const PortStatus&) const { return kPortStatusSize; }
     std::size_t operator()(const FlowStatsRequest&) const {
       return kStatsHeaderSize + kFlowStatsRequestBodySize;
     }
@@ -131,10 +134,10 @@ void encode_port(std::vector<std::uint8_t>& out, const PortDesc& p) {
   char name[16] = {};
   std::copy_n(p.name.data(), std::min<std::size_t>(p.name.size(), 15), name);
   out.insert(out.end(), name, name + 16);
-  // config, state, curr, advertised, supported are not modelled; store the
-  // current speed in the "curr" word and zero the rest.
+  // config, advertised, supported are not modelled; store the current speed
+  // in the "curr" word, the link-down bit in "state", and zero the rest.
   put_be32(out, 0);
-  put_be32(out, 0);
+  put_be32(out, p.link_down ? kPortStateLinkDown : 0);
   put_be32(out, p.curr_speed_mbps);
   put_be32(out, 0);
   put_be32(out, 0);
@@ -151,6 +154,7 @@ std::optional<PortDesc> decode_port(std::span<const std::uint8_t> in) {
   const auto* name_begin = reinterpret_cast<const char*>(in.data() + 8);
   const auto* name_end = std::find(name_begin, name_begin + 16, '\0');
   p.name.assign(name_begin, name_end);
+  p.link_down = (get_be32(in, 28) & kPortStateLinkDown) != 0;
   p.curr_speed_mbps = get_be32(in, 32);
   return p;
 }
@@ -223,6 +227,11 @@ void encode_message_into(const OfMessage& msg, std::vector<std::uint8_t>& out) {
       put_pad(out, 2);
       put_be64(out, m.packet_count);
       put_be64(out, m.byte_count);
+    }
+    void operator()(const PortStatus& m) const {
+      out.push_back(static_cast<std::uint8_t>(m.reason));
+      put_pad(out, 7);
+      encode_port(out, m.desc);
     }
     void operator()(const FlowStatsRequest& m) const {
       put_be16(out, static_cast<std::uint16_t>(StatsType::Flow));
@@ -410,6 +419,16 @@ std::optional<OfMessage> decode_message(std::span<const std::uint8_t> in) {
       m.idle_timeout_s = get_be16(body, off + 20);
       m.packet_count = get_be64(body, off + 24);
       m.byte_count = get_be64(body, off + 32);
+      return m;
+    }
+    case MsgType::PortStatus: {
+      if (body.size() < kPortStatusSize - kHeaderSize) return std::nullopt;
+      PortStatus m;
+      m.xid = xid;
+      m.reason = static_cast<PortStatusReason>(body[0]);
+      auto p = decode_port(body.subspan(8));
+      if (!p) return std::nullopt;
+      m.desc = std::move(*p);
       return m;
     }
     case MsgType::StatsRequest: {

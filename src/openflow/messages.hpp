@@ -45,6 +45,7 @@ struct PortDesc {
   net::MacAddress hw_addr;
   std::string name;  // <= 15 chars on the wire
   std::uint32_t curr_speed_mbps = 100;
+  bool link_down = false;  // OFPPS_LINK_DOWN bit of the phy-port state word
 
   bool operator==(const PortDesc&) const = default;
 };
@@ -112,6 +113,19 @@ struct FlowRemoved {
   std::uint64_t byte_count = 0;
 
   bool operator==(const FlowRemoved&) const = default;
+};
+
+// OFPT_PORT_STATUS: asynchronous switch -> controller notification that a
+// port's state changed. The data-plane fault plane sends Delete when a link
+// goes down (or a peer switch crashes) and Add when it comes back; the
+// controller reacts by invalidating rules routed over the dead link and
+// recomputing paths (DESIGN.md §13).
+struct PortStatus {
+  std::uint32_t xid = 0;
+  PortStatusReason reason = PortStatusReason::Modify;
+  PortDesc desc;
+
+  bool operator==(const PortStatus&) const = default;
 };
 
 // --- statistics (OFPT_STATS_REQUEST/REPLY, OF 1.0 subset) ---
@@ -216,7 +230,7 @@ struct BarrierReply {
 
 using OfMessage =
     std::variant<Hello, Error, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply, PacketIn,
-                 PacketOut, FlowMod, FlowRemoved, FlowStatsRequest, FlowStatsReply,
+                 PacketOut, FlowMod, FlowRemoved, PortStatus, FlowStatsRequest, FlowStatsReply,
                  AggregateStatsRequest, AggregateStatsReply, PortStatsRequest, PortStatsReply,
                  BarrierRequest, BarrierReply>;
 

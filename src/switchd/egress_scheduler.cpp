@@ -119,9 +119,17 @@ void EgressScheduler::transmit(unsigned service_class) {
   }
 
   busy_ = true;
-  link_.send(item.packet.frame_size, [deliver = deliver_, packet = item.packet]() {
-    if (deliver) deliver(packet);
-  });
+  const auto sent =
+      link_.send_frame(item.packet.frame_size, [deliver = deliver_, packet = item.packet]() {
+        if (deliver) deliver(packet);
+      });
+  if (sent != net::Link::SendResult::Sent) {
+    ++queue.stats.link_dropped;
+    if (on_drop_) {
+      on_drop_(item.packet,
+               sent == net::Link::SendResult::FaultDrop ? "link-down" : "link-queue");
+    }
+  }
   // The transmitter frees after the serialization time; queueing beyond that
   // happens here per class, not invisibly inside the link.
   const sim::SimTime tx = sim::transmission_time(item.packet.frame_size, link_.bandwidth_bps());

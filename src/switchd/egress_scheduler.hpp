@@ -62,6 +62,12 @@ class EgressScheduler {
   // is full.
   bool enqueue(const net::Packet& packet);
 
+  // Fires when a dequeued packet is lost at the link (fault-plane outage, or
+  // a link transmit-queue drop); `where` is the drop site label the
+  // invariant registry uses ("link-down" / "link-queue"). Null = unobserved.
+  using DropFn = std::function<void(const net::Packet& packet, const char* where)>;
+  void set_drop_handler(DropFn on_drop) { on_drop_ = std::move(on_drop); }
+
   // Maps a packet to its service class under this configuration.
   [[nodiscard]] unsigned classify(const net::Packet& packet) const;
 
@@ -69,6 +75,7 @@ class EgressScheduler {
     std::uint64_t enqueued = 0;
     std::uint64_t dequeued = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t link_dropped = 0;  // lost at the link after dequeue
     std::uint64_t bytes_sent = 0;
     util::Summary queue_delay_ms;  // enqueue -> start of transmission
   };
@@ -102,6 +109,7 @@ class EgressScheduler {
   EgressSchedulerConfig config_;
   net::Link& link_;
   DeliverFn deliver_;
+  DropFn on_drop_;
   obs::EgressInstruments instr_;
   std::vector<ClassQueue> queues_;
   unsigned drr_cursor_ = 0;

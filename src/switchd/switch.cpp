@@ -24,6 +24,15 @@ const char* fail_mode_name(ConnectionFailMode mode) {
   return "?";
 }
 
+const char* port_down_policy_name(PortDownPolicy policy) {
+  switch (policy) {
+    case PortDownPolicy::RePktIn: return "re-pktin";
+    case PortDownPolicy::Drop: return "drop";
+    case PortDownPolicy::HoldUntilRecovery: return "hold";
+  }
+  return "?";
+}
+
 Switch::Switch(sim::Simulator& sim, SwitchConfig config, std::uint64_t rng_seed)
     : sim_(sim),
       config_(std::move(config)),
@@ -48,6 +57,14 @@ void Switch::attach_port(std::uint16_t port_no, net::Link& egress, DeliverFn del
   port.deliver = std::move(deliver);
   port.scheduler =
       std::make_unique<EgressScheduler>(sim_, config_.egress, egress, port.deliver);
+  // Frames the link's fault schedule eats after dequeue are this switch's
+  // loss to account: without this the payload would vanish from the
+  // conservation ledger.
+  port.scheduler->set_drop_handler([this](const net::Packet& packet, const char* where) {
+    ++counters_.link_dropped;
+    ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, where, sim_.now());
+  });
   ports_.emplace(port_no, std::move(port));
 }
 
@@ -104,6 +121,23 @@ sim::SimTime Switch::bus_time(std::size_t bytes) const {
 
 void Switch::receive(std::uint16_t in_port, net::Packet packet) {
   ++counters_.packets_received;
+  if (crashed_) {
+    // A dead switch forwards nothing; the frame dies at the ingress pipeline.
+    ++counters_.crash_dropped;
+    ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "switch-crashed", sim_.now());
+    return;
+  }
+  ++packet.hops;
+  if (packet.hops > config_.max_hops) {
+    // The frame has visited more switches than any loop-free path allows:
+    // it is circulating in a transient repair loop. Retire it here instead
+    // of letting it refresh the looped rules' idle timers forever.
+    ++counters_.hop_limit_dropped;
+    ++counters_.packets_dropped;
+    if (observer_ != nullptr) observer_->on_packet_dropped(packet, "hop-limit", sim_.now());
+    return;
+  }
   if (const auto it = ports_.find(in_port); it != ports_.end()) {
     ++it->second.rx_packets;
     it->second.rx_bytes += packet.frame_size;
@@ -261,6 +295,7 @@ void Switch::schedule_flow_resend_check(std::uint32_t buffer_id, std::uint16_t i
       // account its packets instead of probing a silent controller forever.
       ++counters_.resend_cap_expired;
       counters_.buffered_packets_expired += flow_buffer_->expire_unit(buffer_id);
+      ++counters_.buffer_units_expired;
       return;
     }
     // Algorithm 1, lines 12-13: the controller went silent; ask again.
@@ -311,9 +346,11 @@ void Switch::enter_degraded() {
     // Nothing will ever release these units while the controller is gone,
     // and fail-secure buffers no new misses: expire everything now.
     if (packet_buffer_ != nullptr) {
+      counters_.buffer_units_expired += packet_buffer_->units_in_use();
       counters_.buffered_packets_expired += packet_buffer_->expire_all();
     }
     if (flow_buffer_ != nullptr) {
+      counters_.buffer_units_expired += flow_buffer_->units_in_use();
       counters_.buffered_packets_expired += flow_buffer_->expire_all();
     }
   }
@@ -363,6 +400,7 @@ void Switch::complete_reconnect() {
     // Packet-granularity units are orphans: the controller's packet_outs for
     // them were lost in the outage and it will never re-issue one for an
     // unknown buffer_id. Expire them instead of leaking until the sweep.
+    counters_.buffer_units_expired += packet_buffer_->units_in_use();
     const std::size_t orphans = packet_buffer_->expire_all();
     counters_.reconcile_expired += orphans;
     counters_.buffered_packets_expired += orphans;
@@ -402,6 +440,7 @@ const Switch::PendingRequest* Switch::pending_for_xid(std::uint32_t xid) const {
 }
 
 void Switch::on_control_message(const of::OfMessage& msg) {
+  if (crashed_) return;  // a dead switch consumes nothing
   if (const auto* fm = std::get_if<of::FlowMod>(&msg)) {
     if (recorder_ != nullptr) {
       recorder_->on_response_arrival(flow_id_for_xid(fm->xid), sim_.now());
@@ -434,13 +473,7 @@ void Switch::on_control_message(const of::OfMessage& msg) {
                           : static_cast<std::uint32_t>(config_.buffer_capacity);
     reply.n_tables = 1;
     for (const auto& [port_no, port] : ports_) {
-      of::PortDesc desc;
-      desc.port_no = port_no;
-      desc.hw_addr = net::MacAddress::from_index(port_no);
-      desc.name = "eth" + std::to_string(port_no);
-      desc.curr_speed_mbps =
-          static_cast<std::uint32_t>(port.egress->bandwidth_bps() / 1e6);
-      reply.ports.push_back(std::move(desc));
+      reply.ports.push_back(port_desc(port_no, port));
     }
     channel_->send_from_switch(reply);
   } else if (const auto* fs = std::get_if<of::FlowStatsRequest>(&msg)) {
@@ -598,9 +631,9 @@ void Switch::execute_actions(const net::Packet& packet, const of::ActionList& ac
                        out->max_len != 0 ? out->max_len : current.frame_size,
                        of::PacketInReason::Action);
       } else if (out->port == of::kPortInPort) {
-        egress(current, in_port);
+        egress(current, in_port, in_port);
       } else {
-        egress(current, out->port);
+        egress(current, out->port, in_port);
       }
     } else if (const auto* src = std::get_if<of::SetDlSrcAction>(&action)) {
       current.eth.src = src->mac;
@@ -610,7 +643,7 @@ void Switch::execute_actions(const net::Packet& packet, const of::ActionList& ac
   }
 }
 
-void Switch::egress(const net::Packet& packet, std::uint16_t out_port) {
+void Switch::egress(const net::Packet& packet, std::uint16_t out_port, std::uint16_t in_port) {
   const auto it = ports_.find(out_port);
   if (it == ports_.end()) {
     ++counters_.packets_dropped;
@@ -619,6 +652,10 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port) {
     return;
   }
   Port& port = it->second;
+  if (!port.up) {
+    handle_port_down_packet(port, packet, in_port);
+    return;
+  }
   if (!port.scheduler->enqueue(packet)) {
     ++port.tx_dropped;
     ++counters_.packets_dropped;
@@ -636,6 +673,7 @@ void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {
   bool sent = false;
   for (auto& [port_no, port] : ports_) {
     if (port_no == in_port) continue;
+    if (!port.up) continue;  // a real switch never floods out a dead port
     sent = true;
     if (!port.scheduler->enqueue(packet)) {
       ++port.tx_dropped;
@@ -651,6 +689,125 @@ void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {
   if (!sent) {
     ++counters_.packets_dropped;
     if (observer_ != nullptr) observer_->on_packet_dropped(packet, "flood-no-ports", sim_.now());
+  }
+}
+
+void Switch::handle_port_down_packet(Port& port, const net::Packet& packet,
+                                     std::uint16_t in_port) {
+  switch (config_.port_down_policy) {
+    case PortDownPolicy::RePktIn:
+      // The forwarding decision is stale; treat the packet as a fresh table
+      // miss so the controller — which saw the port_status — answers with a
+      // repaired route. Under flow granularity the re-misses of one flow
+      // coalesce into a single buffer unit; under packet granularity each
+      // consumes its own.
+      ++counters_.port_down_repktin;
+      handle_miss(in_port, packet);
+      return;
+    case PortDownPolicy::Drop:
+      ++counters_.port_down_dropped;
+      ++counters_.packets_dropped;
+      if (observer_ != nullptr) observer_->on_packet_dropped(packet, "port-down", sim_.now());
+      return;
+    case PortDownPolicy::HoldUntilRecovery:
+      ++counters_.port_down_held;
+      port.held.push_back(HeldPacket{packet, in_port, sim_.now()});
+      return;
+  }
+}
+
+void Switch::set_port_state(std::uint16_t port_no, bool up) {
+  const auto it = ports_.find(port_no);
+  SDNBUF_CHECK_MSG(it != ports_.end(), "unknown port");
+  Port& port = it->second;
+  if (port.up == up) return;
+  port.up = up;
+  if (!crashed_) send_port_status(port_no, port, up);
+  if (up && !port.held.empty()) {
+    // Replay parked packets in arrival order through the normal egress path.
+    std::deque<HeldPacket> held = std::move(port.held);
+    port.held.clear();
+    for (auto& h : held) {
+      ++counters_.port_held_flushed;
+      egress(h.packet, port_no, h.in_port);
+    }
+  }
+}
+
+bool Switch::port_up(std::uint16_t port_no) const {
+  const auto it = ports_.find(port_no);
+  SDNBUF_CHECK_MSG(it != ports_.end(), "unknown port");
+  return it->second.up;
+}
+
+void Switch::send_port_status(std::uint16_t port_no, const Port& port, bool up) {
+  if (channel_ == nullptr) return;
+  of::PortStatus msg;
+  msg.xid = channel_->next_xid();
+  msg.reason = up ? of::PortStatusReason::Add : of::PortStatusReason::Delete;
+  msg.desc = port_desc(port_no, port);
+  ++counters_.port_status_sent;
+  channel_->send_from_switch(msg);
+}
+
+of::PortDesc Switch::port_desc(std::uint16_t port_no, const Port& port) const {
+  of::PortDesc desc;
+  desc.port_no = port_no;
+  desc.hw_addr = net::MacAddress::from_index(port_no);
+  desc.name = "eth" + std::to_string(port_no);
+  desc.curr_speed_mbps = static_cast<std::uint32_t>(port.egress->bandwidth_bps() / 1e6);
+  desc.link_down = !port.up;
+  return desc;
+}
+
+void Switch::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++counters_.crashes;
+  // Volatile state dies with the process. Buffered units expire through the
+  // managers so the invariant ledger records their packets as expired — no
+  // unit leaks across the crash.
+  if (packet_buffer_ != nullptr) {
+    counters_.buffer_units_expired += packet_buffer_->units_in_use();
+    counters_.buffered_packets_expired += packet_buffer_->expire_all();
+  }
+  if (flow_buffer_ != nullptr) {
+    counters_.buffer_units_expired += flow_buffer_->units_in_use();
+    counters_.buffered_packets_expired += flow_buffer_->expire_all();
+  }
+  for (auto& [port_no, port] : ports_) {
+    (void)port_no;
+    for (auto& h : port.held) {
+      ++counters_.port_held_expired;
+      ++counters_.packets_dropped;
+      if (observer_ != nullptr) {
+        observer_->on_packet_dropped(h.packet, "switch-crashed", sim_.now());
+      }
+    }
+    port.held.clear();
+  }
+  // The flow table is RAM: gone. No flow_removed — a dead switch sends
+  // nothing.
+  table_.remove(of::Match::wildcard_all(), std::nullopt, /*strict=*/false);
+  pending_requests_.clear();
+  outstanding_echo_xid_.reset();
+  pending_hello_xid_.reset();
+  echo_misses_ = 0;
+  echo_event_.cancel();
+  conn_state_ = ConnectionState::Degraded;  // the control connection died too
+}
+
+void Switch::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // Fresh process: rejoin through the hello re-handshake so the controller
+  // purges its stale per-datapath bookkeeping and re-learns us.
+  begin_reconnect();
+  if (running_ && config_.echo_interval > sim::SimTime::zero()) {
+    echo_event_ = sim_.schedule(config_.echo_interval, [this]() {
+      sim::ScopedProfileTag tag{config_.name.c_str()};
+      echo_tick();
+    });
   }
 }
 
@@ -724,10 +881,28 @@ void Switch::sweep() {
   const sim::SimTime cutoff = sim_.now() - config_.costs.buffer_expiry;
   if (cutoff > sim::SimTime::zero()) {
     if (packet_buffer_ != nullptr) {
+      const std::size_t units_before = packet_buffer_->units_in_use();
       counters_.buffered_packets_expired += packet_buffer_->expire_older_than(cutoff);
+      counters_.buffer_units_expired += units_before - packet_buffer_->units_in_use();
     }
     if (flow_buffer_ != nullptr) {
+      const std::size_t units_before = flow_buffer_->units_in_use();
       counters_.buffered_packets_expired += flow_buffer_->expire_older_than(cutoff);
+      counters_.buffer_units_expired += units_before - flow_buffer_->units_in_use();
+    }
+    // Packets parked by HoldUntilRecovery age out on the same clock as
+    // buffered units: a port that stays down past buffer_expiry will not
+    // deliver them anyway.
+    for (auto& [port_no, port] : ports_) {
+      (void)port_no;
+      while (!port.held.empty() && port.held.front().held_at <= cutoff) {
+        ++counters_.port_held_expired;
+        ++counters_.packets_dropped;
+        if (observer_ != nullptr) {
+          observer_->on_packet_dropped(port.held.front().packet, "port-hold-expired", sim_.now());
+        }
+        port.held.pop_front();
+      }
     }
   }
   if (running_) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -67,6 +68,26 @@ enum class ConnectionFailMode {
 
 [[nodiscard]] const char* fail_mode_name(ConnectionFailMode mode);
 
+// Fate of a packet whose egress port is down (data-plane fault plane,
+// DESIGN.md §13). Applies wherever a forwarding decision lands on a dead
+// port: installed-rule hits, packet_out releases, and buffered-unit
+// releases alike.
+enum class PortDownPolicy {
+  // Treat the packet as a fresh table miss: re-buffer and re-ask the
+  // controller, which (after the port_status) answers with a repaired
+  // route. This is what converts a link failure into a re-miss storm whose
+  // size depends on the buffer mechanism.
+  RePktIn,
+  // Drop with accounting ("port-down"), the hardware-switch default.
+  Drop,
+  // Park the packet beside the port and replay it in order when the port
+  // comes back; parked packets expire on the housekeeping sweep like
+  // buffered units do.
+  HoldUntilRecovery,
+};
+
+[[nodiscard]] const char* port_down_policy_name(PortDownPolicy policy);
+
 // Control-connection liveness state.
 enum class ConnectionState {
   Connected,     // normal operation
@@ -95,6 +116,14 @@ struct SwitchConfig {
   sim::SimTime echo_interval = sim::SimTime::zero();
   unsigned echo_miss_threshold = 3;
   ConnectionFailMode fail_mode = ConnectionFailMode::FailSecure;
+  // What happens to packets whose egress port is down (never triggers
+  // without a fault schedule, so the default is inert in fault-free runs).
+  PortDownPolicy port_down_policy = PortDownPolicy::RePktIn;
+  // Per-packet hop budget (IP TTL analogue). Asynchronous route repair can
+  // leave a transient forwarding loop between two rule generations; the
+  // budget bounds how long a frame can circulate. Far above any real fabric
+  // diameter, so it never fires on a loop-free path.
+  unsigned max_hops = 64;
   CostModel costs;
   // Egress scheduling for every port (§VII future work). The default Fifo
   // policy is behaviourally identical to sending straight to the link.
@@ -115,6 +144,7 @@ struct SwitchCounters {
   std::uint64_t pkt_outs_handled = 0;
   std::uint64_t unknown_buffer_releases = 0;
   std::uint64_t buffered_packets_expired = 0;
+  std::uint64_t buffer_units_expired = 0;  // units (not packets) those expiries retired
   std::uint64_t flow_removed_sent = 0;
   std::uint64_t stats_requests_handled = 0;
   // Liveness / degradation / recovery.
@@ -127,6 +157,17 @@ struct SwitchCounters {
   std::uint64_t resend_cap_expired = 0;    // flow units expired at max_flow_resends
   std::uint64_t reconcile_rerequests = 0;  // flow units re-requested after reconnect
   std::uint64_t reconcile_expired = 0;     // packet units expired as orphans after reconnect
+  // Data-plane fault plane.
+  std::uint64_t port_status_sent = 0;      // port up/down notifications emitted
+  std::uint64_t port_down_repktin = 0;     // packets re-missed off a dead port
+  std::uint64_t port_down_dropped = 0;     // packets dropped at a dead port
+  std::uint64_t port_down_held = 0;        // packets parked at a dead port
+  std::uint64_t port_held_flushed = 0;     // parked packets replayed on recovery
+  std::uint64_t port_held_expired = 0;     // parked packets expired by the sweep
+  std::uint64_t link_dropped = 0;          // frames lost at the link after dequeue
+  std::uint64_t crashes = 0;               // crash() calls
+  std::uint64_t crash_dropped = 0;         // ingress frames dropped while crashed
+  std::uint64_t hop_limit_dropped = 0;     // frames that exhausted max_hops
 };
 
 class Switch {
@@ -154,6 +195,23 @@ class Switch {
 
   // Ingress entry point: a packet arrived on `in_port`.
   void receive(std::uint16_t in_port, net::Packet packet);
+
+  // Data-plane fault plane (DESIGN.md §13). Marks a port up/down — driven
+  // by the platform at the boundaries of the attached link's outage
+  // windows. Going down emits of::PortStatus{Delete}; coming back emits
+  // PortStatus{Add} and replays packets parked by HoldUntilRecovery.
+  void set_port_state(std::uint16_t port_no, bool up);
+  [[nodiscard]] bool port_up(std::uint16_t port_no) const;
+
+  // Switch crash: all volatile state is lost — flow table, buffered units
+  // (expired with accounting), parked packets, pending packet_in
+  // bookkeeping — and every ingress frame is dropped until restart().
+  void crash();
+  // Restart after a crash: rejoins the controller through the hello
+  // re-handshake machinery (the controller purges its per-datapath
+  // bookkeeping when the hello arrives).
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   // Metrics sink (owned by the experiment); may be null.
   void set_delay_recorder(metrics::DelayRecorder* recorder) { recorder_ = recorder; }
@@ -190,10 +248,19 @@ class Switch {
   void reset_counters() { counters_ = SwitchCounters{}; }
 
  private:
+  struct HeldPacket {
+    net::Packet packet;
+    std::uint16_t in_port = 0;
+    sim::SimTime held_at;
+  };
+
   struct Port {
     net::Link* egress = nullptr;
     DeliverFn deliver;
     std::unique_ptr<EgressScheduler> scheduler;
+    bool up = true;
+    // Packets parked by PortDownPolicy::HoldUntilRecovery.
+    std::deque<HeldPacket> held;
     // Interface counters, reported via OFPST_PORT.
     std::uint64_t rx_packets = 0;
     std::uint64_t rx_bytes = 0;
@@ -234,8 +301,12 @@ class Switch {
   void handle_port_stats(const of::PortStatsRequest& msg);
   void execute_actions(const net::Packet& packet, const of::ActionList& actions,
                        std::uint16_t in_port);
-  void egress(const net::Packet& packet, std::uint16_t out_port);
+  void egress(const net::Packet& packet, std::uint16_t out_port, std::uint16_t in_port);
   void flood(const net::Packet& packet, std::uint16_t in_port);
+  // Fate policy entry point for a packet whose egress port is down.
+  void handle_port_down_packet(Port& port, const net::Packet& packet, std::uint16_t in_port);
+  void send_port_status(std::uint16_t port_no, const Port& port, bool up);
+  [[nodiscard]] of::PortDesc port_desc(std::uint16_t port_no, const Port& port) const;
 
   void sweep();
   void emit_flow_removed(const RemovedEntry& removed);
@@ -278,6 +349,8 @@ class Switch {
   // Cleared by stop(): silences housekeeping and the flow-granularity
   // resend timers so a drained simulator can terminate.
   bool running_ = true;
+  // Set by crash(), cleared by restart(); gates the whole datapath.
+  bool crashed_ = false;
 };
 
 }  // namespace sdnbuf::sw

@@ -11,6 +11,28 @@ namespace sdnbuf::topo {
 
 Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology), seed_(seed) {
   topo_->validate();
+  link_down_.assign(topo_->links().size(), 0);
+  rebuild();
+}
+
+void Router::set_link_state(std::size_t link_index, bool up) {
+  SDNBUF_CHECK_MSG(link_index < link_down_.size(), "unknown link index");
+  const char down = up ? 0 : 1;
+  if (link_down_[link_index] == down) return;
+  link_down_[link_index] = down;
+  rebuild();
+}
+
+bool Router::link_up(std::size_t link_index) const {
+  SDNBUF_CHECK_MSG(link_index < link_down_.size(), "unknown link index");
+  return link_down_[link_index] == 0;
+}
+
+std::size_t Router::links_down() const {
+  return static_cast<std::size_t>(std::count(link_down_.begin(), link_down_.end(), 1));
+}
+
+void Router::rebuild() {
   const unsigned n_hosts = topo_->n_hosts();
   const unsigned n_switches = topo_->n_switches();
   tables_.assign(n_hosts, {});
@@ -20,9 +42,14 @@ Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology),
     const NodeId host = topo_->host_id(hi);
     const Topology::Adjacency& attach = topo_->attachment(host);
     auto& dist = dists_[hi];
+    auto& table = tables_[hi];
+    table.assign(n_switches, {});
+    // A dead attachment link makes the host unreachable from everywhere.
+    if (link_down_[attach.link] != 0) continue;
 
     // BFS over the switch graph from the attachment switch; distance counts
-    // switches traversed (attachment switch = 1).
+    // switches traversed (attachment switch = 1). Down links do not exist
+    // for the traversal.
     std::deque<NodeId> queue{attach.peer};
     dist[topo_->index_of(attach.peer)] = 1;
     while (!queue.empty()) {
@@ -31,6 +58,7 @@ Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology),
       const unsigned d = dist[topo_->index_of(cur)];
       for (const Topology::Adjacency& adj : topo_->adjacency(cur)) {
         if (topo_->is_host(adj.peer)) continue;
+        if (link_down_[adj.link] != 0) continue;
         unsigned& pd = dist[topo_->index_of(adj.peer)];
         if (pd == 0) {
           pd = d + 1;
@@ -42,8 +70,6 @@ Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology),
     // Next hops: strictly-downhill neighbours (or the host itself at the
     // attachment switch), sorted by peer id so the candidate order — and
     // therefore the hash pick — is independent of link insertion order.
-    auto& table = tables_[hi];
-    table.assign(n_switches, {});
     for (unsigned si = 0; si < n_switches; ++si) {
       const NodeId sw = topo_->switch_id(si);
       const unsigned d = dist[si];
@@ -55,6 +81,7 @@ Router::Router(const Topology& topology, std::uint64_t seed) : topo_(&topology),
       }
       for (const Topology::Adjacency& adj : topo_->adjacency(sw)) {
         if (topo_->is_host(adj.peer)) continue;
+        if (link_down_[adj.link] != 0) continue;
         if (dist[topo_->index_of(adj.peer)] == d - 1) {
           hops.push_back(NextHop{adj.port, adj.peer});
         }

@@ -46,6 +46,16 @@ class Router {
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  // Data-plane fault repair: marks a topology link (index into
+  // Topology::links()) up or down and rebuilds the next-hop tables with
+  // down links excluded. The result is a pure function of the set of down
+  // links — independent of the order outages arrived — so failover paths
+  // are exactly reproducible, and restoring every link restores the
+  // original tables bit-for-bit.
+  void set_link_state(std::size_t link_index, bool up);
+  [[nodiscard]] bool link_up(std::size_t link_index) const;
+  [[nodiscard]] std::size_t links_down() const;
+
   // Equal-cost next hops of switch `sw` toward `dst_host`, sorted by peer
   // NodeId. Empty when the host is unreachable from `sw` (cannot happen in a
   // validated, connected topology).
@@ -68,8 +78,12 @@ class Router {
   [[nodiscard]] unsigned distance(NodeId sw, NodeId dst_host) const;
 
  private:
+  // Recomputes tables_/dists_ from scratch, skipping down links.
+  void rebuild();
+
   const Topology* topo_;
   std::uint64_t seed_;
+  std::vector<char> link_down_;  // indexed like Topology::links()
   // tables_[host_index][switch_index] = sorted equal-cost next hops.
   std::vector<std::vector<std::vector<NextHop>>> tables_;
   // dists_[host_index][switch_index] = hops to the host (0 = unreachable).

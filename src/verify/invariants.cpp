@@ -69,7 +69,13 @@ void InvariantRegistry::on_packet_injected(const net::Packet& packet, sim::SimTi
   auto* account = account_for(packet);
   if (account == nullptr) return;
   if (++account->injected > 1) {
-    violate(now, "double-injection", payload_str(packet) + " injected again");
+    // A revisit is only legal (and only when opted in) if every prior visit
+    // through this switch was closed out before the packet came back.
+    const bool closed_revisit =
+        allow_revisits_ && account->injected <= account->delivered + account->dropped + 1;
+    if (!closed_revisit) {
+      violate(now, "double-injection", payload_str(packet) + " injected again");
+    }
   }
 }
 
@@ -80,7 +86,10 @@ void InvariantRegistry::on_packet_delivered(const net::Packet& packet, sim::SimT
   if (account->injected == 0) {
     violate(now, "spurious-delivery", payload_str(packet) + " delivered but never injected");
   }
-  if (++account->delivered > 1 + account->dup_allowance) {
+  // With revisits allowed, each injection earns one delivery; otherwise the
+  // packet may leave the switch exactly once (plus any channel-dup slack).
+  const std::uint32_t visit_cap = allow_revisits_ ? account->injected : 1;
+  if (++account->delivered > visit_cap + account->dup_allowance) {
     violate(now, "duplicate-delivery",
             payload_str(packet) + " delivered " + std::to_string(account->delivered) +
                 " times (dup allowance " + std::to_string(account->dup_allowance) + ")");
@@ -273,7 +282,11 @@ void InvariantRegistry::on_control_message(bool to_controller, const of::OfMessa
   const std::uint32_t xid = of::message_xid(msg);
   if (const auto* fm = std::get_if<of::FlowMod>(&msg)) {
     if (allow_proactive_installs_) return;
-    if (packet_ins_.count(xid) == 0) {
+    // Deletes answer no packet_in by design: route repair invalidates rules
+    // over dead links with fresh xids, outside any request/response pair.
+    const bool is_delete = fm->command == of::FlowModCommand::Delete ||
+                           fm->command == of::FlowModCommand::DeleteStrict;
+    if (!is_delete && packet_ins_.count(xid) == 0) {
       violate(now, "unpaired-flow-mod", "xid " + std::to_string(xid) + " answers no packet_in");
     }
     if (fm->command == of::FlowModCommand::Add) {

@@ -67,6 +67,14 @@ class InvariantRegistry final : public InvariantObserver {
   // "rule-without-packet" checks; everything else still applies.
   void set_allow_proactive_installs(bool allow) { allow_proactive_installs_ = allow; }
 
+  // Under data-plane faults, route repair can legitimately steer a rerouted
+  // packet through a switch it already transited (forward, hit a now-dead
+  // egress downstream, re-packet-in, new path crosses the same switch).
+  // Setting this permits a re-injection as long as every earlier visit was
+  // closed out (delivered onward or dropped), and scales the delivery cap
+  // with the visit count; conservation in finalize() still has to balance.
+  void set_allow_revisits(bool allow) { allow_revisits_ = allow; }
+
   // --- InvariantObserver ---
   void on_packet_injected(const net::Packet& packet, sim::SimTime now) override;
   void on_packet_delivered(const net::Packet& packet, sim::SimTime now) override;
@@ -150,6 +158,7 @@ class InvariantRegistry final : public InvariantObserver {
   std::uint64_t events_ = 0;
   bool finalized_ = false;
   bool allow_proactive_installs_ = false;
+  bool allow_revisits_ = false;
 
   // Ordered map: deterministic iteration keeps reports and finalize output
   // reproducible across runs.

@@ -10,7 +10,8 @@
 
 namespace sdnbuf::verify {
 
-Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabric) {
+Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabric,
+                         bool force_link_faults) {
   // Decorrelate the sampling stream from the experiment's own seeded
   // streams (which derive from `seed` directly).
   util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1e);
@@ -59,12 +60,21 @@ Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabri
   // base scenario a seed maps to. The gate draw is always consumed; the
   // fault smoke (force_faults) keeps its run time by skipping fabrics.
   const bool want_fabric = rng.next_double() < 0.30;
-  if ((want_fabric || force_fabric) && !force_faults) {
+  if ((want_fabric || force_fabric || force_link_faults) && !force_faults) {
     s.fabric_kind = static_cast<unsigned>(rng.next_below(3));
     s.fabric_switches = static_cast<unsigned>(2 + rng.next_below(7));  // 2..8
     s.fabric_seed = rng.next_u64();
     s.fabric_pattern = static_cast<unsigned>(rng.next_below(3));
     s.fabric_full_path = rng.next_below(2) == 1;
+  }
+  // Data-plane link-fault draws come after the fabric draws (again: enabling
+  // them never perturbs the base scenario or the fabric shape a seed maps
+  // to). The gate draw is always consumed.
+  const bool want_link_faults = rng.next_double() < 0.25;
+  if (s.has_fabric() && (want_link_faults || force_link_faults)) {
+    s.fabric_flap_mean_up_s = rng.uniform(0.04, 0.12);
+    s.fabric_flap_mean_down_s = rng.uniform(0.005, 0.025);
+    s.fabric_fault_seed = rng.next_u64();
   }
   return s;
 }
@@ -131,6 +141,9 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
     for (unsigned sw_i = 0; sw_i < topology.n_switches(); ++sw_i) {
       registries.push_back(std::make_unique<InvariantRegistry>());
       if (scenario.fabric_full_path) registries.back()->set_allow_proactive_installs(true);
+      // Route repair after a flap can send a rerouted packet back through a
+      // switch it already transited; that revisit is legal under link faults.
+      if (scenario.has_link_faults()) registries.back()->set_allow_revisits(true);
       observers.push_back(registries.back().get());
     }
 
@@ -147,6 +160,23 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
     cfg.max_packets = 6;
     cfg.seed = scenario.seed;
     cfg.observers = observers;
+    if (scenario.has_link_faults()) {
+      // Seeded flap schedules on every inter-switch link, identical across
+      // the three mechanism runs. The horizon ends well inside the drain
+      // window so recovery is always reachable.
+      const sim::SimTime flap_start = sim::SimTime::milliseconds(20);
+      const sim::SimTime horizon = sim::SimTime::milliseconds(130);
+      for (std::size_t li = 0; li < topology.links().size(); ++li) {
+        if (topology.links()[li].host_edge) continue;
+        core::LinkFaultSpec spec;
+        spec.link_index = li;
+        spec.schedule = net::LinkFaultSchedule::flap(
+            scenario.fabric_fault_seed * 1000003 + li, flap_start, horizon,
+            scenario.fabric_flap_mean_up_s, scenario.fabric_flap_mean_down_s);
+        if (spec.schedule.empty()) continue;
+        cfg.link_faults.push_back(spec);
+      }
+    }
     const core::FabricExperimentResult r = run_fabric_experiment(cfg);
     delivered[i] = r.delivered;
     drained[i] = r.drained;
@@ -154,7 +184,11 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
 
     std::uint64_t events = 0;
     for (unsigned sw_i = 0; sw_i < registries.size(); ++sw_i) {
-      registries[sw_i]->finalize(/*expect_all_delivered=*/r.drained);
+      // Under link faults a frame can die on the wire after the switch
+      // forwarded it, so per-switch "all delivered" no longer holds even in
+      // a drained run — conservation is the contract there.
+      registries[sw_i]->finalize(
+          /*expect_all_delivered=*/r.drained && !scenario.has_link_faults());
       events += registries[sw_i]->events_observed();
       if (!registries[sw_i]->ok()) {
         out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) + " " +
@@ -167,20 +201,26 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
       out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
                              ": observers saw no events (hooks unwired?)");
     }
-    if (!r.drained) {
+    if (!r.drained && !scenario.has_link_faults()) {
+      // Link faults legitimately eat packets (no closed loop here), so the
+      // drained requirement only applies to fault-free fabrics.
       out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
                              ": undrained (" + std::to_string(r.packets_delivered) + "/" +
                              std::to_string(r.packets_sent) + " delivered, " +
                              std::to_string(r.duplicates) + " dup)");
     }
   }
-  // No fault plane on the fabric yet, so every mechanism must deliver the
-  // identical payload multiset.
-  for (std::size_t i = 1; i < 3; ++i) {
-    if (drained[i] && drained[0] && delivered[i] != delivered[0]) {
-      out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
-                             " delivered a different payload multiset than " +
-                             sw::buffer_mode_name(kModes[0]));
+  // Fault-free fabrics: every mechanism must deliver the identical payload
+  // multiset. Under link faults the mechanisms diverge (a re-raised miss
+  // takes a different path than a buffered release), so only per-switch
+  // conservation is checked there.
+  if (!scenario.has_link_faults()) {
+    for (std::size_t i = 1; i < 3; ++i) {
+      if (drained[i] && drained[0] && delivered[i] != delivered[0]) {
+        out.failures.push_back("fabric " + std::string(sw::buffer_mode_name(kModes[i])) +
+                               " delivered a different payload multiset than " +
+                               sw::buffer_mode_name(kModes[0]));
+      }
     }
   }
 }
@@ -204,6 +244,10 @@ std::string Scenario::describe() const {
     os << " fabric=" << kKinds[fabric_kind % 3] << " fabric_sw=" << fabric_switches
        << " fabric_seed=" << fabric_seed << " fabric_pattern=" << fabric_pattern
        << " fabric_install=" << (fabric_full_path ? "full-path" : "per-hop");
+    if (has_link_faults()) {
+      os << " link_flap=" << fabric_flap_mean_up_s << "s/" << fabric_flap_mean_down_s
+         << "s link_fault_seed=" << fabric_fault_seed;
+    }
   }
   return os.str();
 }

@@ -58,7 +58,15 @@ struct Scenario {
   unsigned fabric_pattern = 0;  // host::TrafficPattern index
   bool fabric_full_path = false;
 
+  // Data-plane link faults on the fabric cross-check: seeded flap schedules
+  // on every inter-switch link (DESIGN.md §13). Zero mean-up disables them.
+  double fabric_flap_mean_up_s = 0.0;
+  double fabric_flap_mean_down_s = 0.0;
+  std::uint64_t fabric_fault_seed = 0;
+
   [[nodiscard]] bool has_fabric() const { return fabric_switches > 0; }
+
+  [[nodiscard]] bool has_link_faults() const { return fabric_flap_mean_up_s > 0.0; }
 
   [[nodiscard]] bool has_channel_faults() const {
     return chan_loss_to_controller > 0.0 || chan_loss_to_switch > 0.0 ||
@@ -81,10 +89,12 @@ struct Scenario {
 // (loss/duplication/jitter/outage). `force_faults` guarantees the sampled
 // scenario exercises the channel fault plane (used by the CI smoke step);
 // `force_fabric` likewise guarantees the fabric cross-check fires (the two
-// forces are mutually exclusive — faults win, since the fabric has no fault
-// plane yet).
+// forces are mutually exclusive — faults win, and the fault smoke skips
+// fabrics to keep its run time). `force_link_faults` implies a fabric and
+// guarantees data-plane flap schedules on its inter-switch links.
 [[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false,
-                                       bool force_fabric = false);
+                                       bool force_fabric = false,
+                                       bool force_link_faults = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;

@@ -18,11 +18,11 @@
 int main(int argc, char** argv) {
   using namespace sdnbuf;
 
-  util::CliFlags flags(argc, argv,
-                       {"runs", "seed", "offset", "verbose", "force-faults", "force-fabric"});
+  util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose", "force-faults",
+                                    "force-fabric", "force-link-faults"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\nusage: fuzz_scenarios [--runs N] [--seed S] [--offset K] "
-                         "[--verbose] [--force-faults] [--force-fabric]\n",
+                         "[--verbose] [--force-faults] [--force-fabric] [--force-link-faults]\n",
                  flags.error().c_str());
     return 2;
   }
@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
   const bool verbose = flags.get_bool("verbose", false);
   const bool force_faults = flags.get_bool("force-faults", false);
   const bool force_fabric = flags.get_bool("force-fabric", false);
-  if (force_faults && force_fabric) {
-    std::fprintf(stderr, "fuzz_scenarios: --force-faults and --force-fabric are exclusive\n");
+  const bool force_link_faults = flags.get_bool("force-link-faults", false);
+  if (force_faults && (force_fabric || force_link_faults)) {
+    std::fprintf(stderr,
+                 "fuzz_scenarios: --force-faults excludes the fabric-forcing flags\n");
     return 2;
   }
   if (runs < 1) {
@@ -43,8 +45,9 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   for (long long i = offset; i < offset + runs; ++i) {
-    const verify::Scenario scenario = verify::sample_scenario(
-        static_cast<std::uint64_t>(base_seed + i), force_faults, force_fabric);
+    const verify::Scenario scenario =
+        verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i), force_faults,
+                                force_fabric, force_link_faults);
     const verify::ScenarioOutcome outcome = verify::run_scenario(scenario);
     if (outcome.ok()) {
       if (verbose) {
@@ -70,8 +73,9 @@ int main(int argc, char** argv) {
     for (const auto& failure : outcome.failures) {
       std::printf("      %s\n", failure.c_str());
     }
-    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s\n", base_seed + i,
-                force_faults ? " --force-faults" : "", force_fabric ? " --force-fabric" : "");
+    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s%s\n", base_seed + i,
+                force_faults ? " --force-faults" : "", force_fabric ? " --force-fabric" : "",
+                force_link_faults ? " --force-link-faults" : "");
   }
 
   std::printf("fuzz_scenarios: %lld scenario(s) x 3 modes, %d failure(s)\n", runs, failed);

@@ -264,6 +264,24 @@ TEST(Messages, FlowRemovedRoundTrip) {
   EXPECT_EQ(encoded_size(OfMessage{m}), kFlowRemovedSize);
 }
 
+TEST(Messages, PortStatusRoundTrip) {
+  PortStatus m;
+  m.xid = 77;
+  m.reason = PortStatusReason::Delete;
+  m.desc.port_no = 3;
+  m.desc.hw_addr = net::MacAddress::from_index(3);
+  m.desc.name = "eth3";
+  m.desc.curr_speed_mbps = 100;
+  m.desc.link_down = true;
+  expect_round_trip(m);
+  EXPECT_EQ(encoded_size(OfMessage{m}), kPortStatusSize);
+
+  // A recovered port reports with the link-down bit cleared.
+  m.reason = PortStatusReason::Add;
+  m.desc.link_down = false;
+  expect_round_trip(m);
+}
+
 TEST(Messages, DecodeRejectsBadInput) {
   EXPECT_FALSE(decode_message(std::vector<std::uint8_t>{}).has_value());
   auto wire = encode_message(Hello{1});
