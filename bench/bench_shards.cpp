@@ -1,0 +1,235 @@
+// Sharded-engine scaling benchmark (DESIGN.md §14).
+//
+// Runs the same fat-tree permutation workload on the sequential engine
+// (shards = 0, the legacy Simulator path) and on the sharded engine at
+// increasing shard counts, with the worker-thread count pinned to the
+// host's core count (or --threads). Two contracts are checked on the spot,
+// not just timed:
+//
+//   identity   every sharded configuration is run twice and the full result
+//              fingerprint (all counters, first-packet samples, delivered
+//              multiset) must be bit-identical across the repeats
+//   agreement  each sharded run must deliver the exact payload multiset of
+//              the sequential run, with the same flow and emission counts
+//
+// Speedup is min-wall(sequential) / min-wall(sharded). On a 1-core host the
+// threaded windows only add synchronization cost, so speedups below 1.0
+// there are expected — the JSON/CSV records host_cores so readers can tell
+// oversubscription from a real regression. Cases: fat-tree k=4 always,
+// k=8 added in full (non --quick) mode.
+//
+// Output: an aligned table on stdout and results/shards.csv.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fabric_experiment.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace core = sdnbuf::core;
+namespace topo = sdnbuf::topo;
+namespace sw = sdnbuf::sw;
+namespace host = sdnbuf::host;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Case {
+  std::string label;
+  topo::Topology topology;
+  double duration_s;
+  double flow_arrival_per_s;
+};
+
+core::FabricExperimentConfig make_config(const Case& c, unsigned shards, unsigned threads) {
+  core::FabricExperimentConfig config;
+  config.topology = c.topology;
+  config.routing = core::FabricRouting::TopologyPerHop;
+  config.mode = sw::BufferMode::PacketGranularity;
+  config.buffer_capacity = 256;
+  config.pattern = host::TrafficPattern::Permutation;
+  config.duration_s = c.duration_s;
+  config.flow_arrival_per_s = c.flow_arrival_per_s;
+  config.max_packets = 20;
+  config.seed = 11;
+  config.fabric.shards = shards;
+  config.fabric.shard_threads = threads;
+  return config;
+}
+
+// Everything that must be bit-identical at a fixed shard count, serialized
+// with full precision (mirrors tests/test_sharded.cpp).
+std::string fingerprint(const core::FabricExperimentResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.flows << ' ' << r.packets_sent << ' ' << r.packets_delivered << ' ' << r.duplicates
+     << ' ' << r.pkt_ins << ' ' << r.full_frame_pkt_ins << ' ' << r.flow_mods << ' '
+     << r.pkt_outs << ' ' << r.path_preinstalls << ' ' << r.control_msgs << ' '
+     << r.control_bytes << ' ' << r.buffer_avg_units << ' ' << r.buffer_max_units << ' '
+     << r.duration_s << ' ' << r.drained << '\n';
+  for (const double v : r.first_packet_ms.values()) os << v << ' ';
+  os << '\n';
+  for (const auto& [flow, seq] : r.delivered) os << flow << ':' << seq << ' ';
+  return os.str();
+}
+
+struct Point {
+  unsigned shards = 0;  // 0 = sequential engine
+  unsigned threads = 1;
+  double min_wall_s = 0.0;
+  double speedup = 1.0;       // vs the sequential point of the same case
+  bool identical = true;      // repeat fingerprints matched
+  bool agrees = true;         // delivered multiset == sequential run's
+  std::uint64_t packets = 0;
+};
+
+struct CaseScore {
+  std::string label;
+  unsigned hosts = 0;
+  unsigned switches = 0;
+  std::uint64_t flows = 0;
+  std::vector<Point> points;
+};
+
+CaseScore run_case(const Case& c, const std::vector<unsigned>& shard_counts, unsigned threads,
+                   int reps) {
+  CaseScore score;
+  score.label = c.label;
+  score.hosts = c.topology.n_hosts();
+  score.switches = c.topology.n_switches();
+
+  // Sequential reference: best-of-reps wall time plus the reference
+  // fingerprint every sharded configuration must agree with.
+  Point seq;
+  seq.shards = 0;
+  seq.threads = 1;
+  seq.min_wall_s = 1e300;
+  core::FabricExperimentResult reference;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::FabricExperimentResult r = core::run_fabric_experiment(make_config(c, 0, 1));
+    const double wall = seconds_since(t0);
+    if (wall < seq.min_wall_s) seq.min_wall_s = wall;
+    if (i == 0) {
+      reference = std::move(r);
+    } else if (fingerprint(r) != fingerprint(reference)) {
+      seq.identical = false;
+    }
+  }
+  seq.packets = reference.packets_delivered;
+  score.flows = reference.flows;
+  score.points.push_back(seq);
+
+  for (const unsigned shards : shard_counts) {
+    Point p;
+    p.shards = shards;
+    p.threads = threads;
+    p.min_wall_s = 1e300;
+    std::string first_print;
+    for (int i = 0; i < std::max(reps, 2); ++i) {  // >=2 runs: identity needs a repeat
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::FabricExperimentResult r =
+          core::run_fabric_experiment(make_config(c, shards, threads));
+      const double wall = seconds_since(t0);
+      if (wall < p.min_wall_s) p.min_wall_s = wall;
+      const std::string print = fingerprint(r);
+      if (i == 0) {
+        first_print = print;
+        p.packets = r.packets_delivered;
+        p.agrees = r.delivered == reference.delivered && r.flows == reference.flows &&
+                   r.packets_sent == reference.packets_sent;
+      } else if (print != first_print) {
+        p.identical = false;
+      }
+    }
+    p.speedup = seq.min_wall_s / p.min_wall_s;
+    score.points.push_back(p);
+  }
+  return score;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sdnbuf::util::CliFlags flags(argc, argv, {"quick", "threads", "reps", "csv-dir"});
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n"
+              << "usage: " << argv[0] << " [--quick] [--threads N] [--reps N] [--csv-dir DIR]\n";
+    return 1;
+  }
+  const bool quick = flags.get_bool("quick", false);
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  const auto threads =
+      static_cast<unsigned>(flags.get_int("threads", static_cast<long long>(host_cores)));
+  const int reps = static_cast<int>(flags.get_int("reps", quick ? 2 : 3));
+  const std::string csv_dir = flags.get_string("csv-dir", "results");
+
+  std::vector<Case> cases;
+  cases.push_back({"fat-tree-k4", topo::make_fat_tree(4), quick ? 0.05 : 0.3,
+                   quick ? 400.0 : 1000.0});
+  if (!quick) cases.push_back({"fat-tree-k8", topo::make_fat_tree(8), 0.25, 2000.0});
+
+  const std::vector<unsigned> shard_counts = quick ? std::vector<unsigned>{2, 4}
+                                                   : std::vector<unsigned>{2, 4, 8};
+
+  std::printf("bench_shards (%s, threads=%u, host_cores=%u, reps=%d)\n",
+              quick ? "quick" : "full", threads, host_cores, reps);
+
+  std::vector<CaseScore> scores;
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    CaseScore score = run_case(c, shard_counts, threads, reps);
+    std::printf("%s: %u switches, %u hosts, %llu flows\n", score.label.c_str(), score.switches,
+                score.hosts, static_cast<unsigned long long>(score.flows));
+    for (const Point& p : score.points) {
+      if (p.shards == 0) {
+        std::printf("  sequential          %8.3f s   %llu packets\n", p.min_wall_s,
+                    static_cast<unsigned long long>(p.packets));
+      } else {
+        std::printf("  shards=%u threads=%u %8.3f s   speedup %5.2fx   %s  %s\n", p.shards,
+                    p.threads, p.min_wall_s, p.speedup,
+                    p.identical ? "bit-identical" : "DIVERGED", p.agrees ? "agrees" : "DISAGREES");
+      }
+      all_ok = all_ok && p.identical && p.agrees;
+    }
+    scores.push_back(std::move(score));
+  }
+
+  std::filesystem::create_directories(csv_dir);
+  const std::string csv_path = csv_dir + "/shards.csv";
+  std::ofstream csv(csv_path);
+  if (!csv) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  csv << "case,switches,hosts,flows,shards,threads,host_cores,min_wall_s,speedup,"
+         "identical,agrees\n";
+  csv.precision(9);
+  for (const CaseScore& score : scores) {
+    for (const Point& p : score.points) {
+      csv << score.label << ',' << score.switches << ',' << score.hosts << ',' << score.flows
+          << ',' << p.shards << ',' << p.threads << ',' << host_cores << ',' << p.min_wall_s
+          << ',' << p.speedup << ',' << (p.identical ? 1 : 0) << ',' << (p.agrees ? 1 : 0)
+          << '\n';
+    }
+  }
+  std::printf("wrote %s\n", csv_path.c_str());
+
+  if (!all_ok) {
+    std::cerr << "determinism contract violated -- see DIVERGED/DISAGREES rows above\n";
+    return 1;
+  }
+  return 0;
+}

@@ -161,7 +161,7 @@ void Controller::poll_stats() {
 void Controller::request_flow_stats(const of::Match& match) {
   for (auto& [dpid, b] : switches_) {
     of::FlowStatsRequest req;
-    req.xid = b.channel->next_xid();
+    req.xid = b.channel->next_controller_xid();
     req.match = match;
     ++counters_.stats_requests_sent;
     b.channel->send_from_controller(req);
@@ -171,7 +171,7 @@ void Controller::request_flow_stats(const of::Match& match) {
 void Controller::request_aggregate_stats(const of::Match& match) {
   for (auto& [dpid, b] : switches_) {
     of::AggregateStatsRequest req;
-    req.xid = b.channel->next_xid();
+    req.xid = b.channel->next_controller_xid();
     req.match = match;
     ++counters_.stats_requests_sent;
     b.channel->send_from_controller(req);
@@ -181,7 +181,7 @@ void Controller::request_aggregate_stats(const of::Match& match) {
 void Controller::request_port_stats(std::uint16_t port_no) {
   for (auto& [dpid, b] : switches_) {
     of::PortStatsRequest req;
-    req.xid = b.channel->next_xid();
+    req.xid = b.channel->next_controller_xid();
     req.port_no = port_no;
     ++counters_.stats_requests_sent;
     b.channel->send_from_controller(req);
@@ -288,7 +288,7 @@ void Controller::send_rule_deletes(std::vector<InstalledRule> doomed) {
     for (const InstalledRule& rule : doomed) {
       SwitchBinding& b = binding(rule.datapath_id);
       of::FlowMod fm;
-      fm.xid = b.channel->next_xid();
+      fm.xid = b.channel->next_controller_xid();
       fm.match = rule.match;
       fm.command = of::FlowModCommand::DeleteStrict;
       fm.priority = rule.priority;
@@ -513,7 +513,7 @@ void Controller::install_remaining_hops(std::shared_ptr<const std::vector<PathHo
     // Proactive installs are not answering any packet_in on this channel, so
     // they carry a fresh xid (the per-switch invariant registries are told
     // to expect unpaired flow_mods in this mode).
-    fm.xid = b.channel->next_xid();
+    fm.xid = b.channel->next_controller_xid();
     fm.match = of::Match::exact_from(packet, hop.in_port);
     fm.command = of::FlowModCommand::Add;
     fm.idle_timeout_s = config_.rule_idle_timeout_s;

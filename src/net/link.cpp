@@ -20,7 +20,7 @@ Link::Link(sim::Simulator& sim, std::string name, double bandwidth_bps,
   SDNBUF_CHECK_MSG(bandwidth_bps_ > 0, "link bandwidth must be positive");
 }
 
-Link::SendResult Link::send_frame(std::uint64_t bytes, std::function<void()> on_delivered) {
+Link::SendResult Link::send_frame(std::uint64_t bytes, sim::EventFn on_delivered) {
   SDNBUF_CHECK_MSG(bytes > 0, "cannot send an empty frame");
   if (backlog_bytes_ + bytes > queue_limit_bytes_) {
     ++drops_;
@@ -46,10 +46,29 @@ Link::SendResult Link::send_frame(std::uint64_t bytes, std::function<void()> on_
     SDNBUF_CHECK(backlog_bytes_ >= bytes);
     backlog_bytes_ -= bytes;
   });
-  sim_.schedule_at(arrival, [this, on_delivered = std::move(on_delivered)]() {
-    sim::ScopedProfileTag tag{name_.c_str()};
-    if (on_delivered) on_delivered();
-  });
+  // Wrapping the callback in a profile tag costs a heap allocation (an
+  // EventFn nested inside an EventFn overflows the small buffer), so the
+  // per-link attribution wrapper only exists when the receiving simulator
+  // actually has a profile sink; otherwise the callback schedules as-is,
+  // allocation-free. The tag reads name_ at delivery time; the link
+  // outlives every in-flight frame and the name is immutable after setup.
+  sim::Simulator& receiver = engine_ == nullptr ? sim_ : engine_->shard(to_shard_);
+  sim::EventFn event;
+  if (receiver.profile_sink() != nullptr) {
+    event = [this, on_delivered = std::move(on_delivered)]() mutable {
+      sim::ScopedProfileTag tag{name_.c_str()};
+      if (on_delivered) on_delivered();
+    };
+  } else if (on_delivered) {
+    event = std::move(on_delivered);
+  } else {
+    event = []() {};  // keep the delivery event so the sequence is unchanged
+  }
+  if (engine_ == nullptr) {
+    sim_.schedule_at(arrival, std::move(event));
+  } else {
+    engine_->post(from_shard_, to_shard_, arrival, std::move(event));
+  }
   return SendResult::Sent;
 }
 

@@ -11,12 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "net/link_fault.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -62,15 +62,29 @@ class Link {
   // Queues `bytes` for transmission; `on_delivered` fires at the receiver
   // once the last bit has propagated. Returns false (and counts a drop)
   // if the transmit queue byte limit would be exceeded or the link's fault
-  // schedule has it down during the frame's flight.
-  bool send(std::uint64_t bytes, std::function<void()> on_delivered) {
+  // schedule has it down during the frame's flight. `on_delivered` is a
+  // move-only sim::EventFn so the per-hop path schedules without a heap
+  // allocation for typical captures.
+  bool send(std::uint64_t bytes, sim::EventFn on_delivered) {
     return send_frame(bytes, std::move(on_delivered)) == SendResult::Sent;
   }
 
   // As send(), but distinguishes the drop cause — callers that account
   // per-packet fates (egress scheduler, fabric injection) need to know
   // whether a lost frame died to the fault plane or to queue exhaustion.
-  SendResult send_frame(std::uint64_t bytes, std::function<void()> on_delivered);
+  SendResult send_frame(std::uint64_t bytes, sim::EventFn on_delivered);
+
+  // Marks this link as a shard-crossing edge: the transmitter lives on
+  // shard `from` of `engine` (whose Simulator must be this link's `sim`),
+  // the receiver on shard `to`. Deliveries then travel through the engine's
+  // mailboxes instead of the local event queue; serialization, backlog and
+  // tap accounting stay on the transmitter's shard.
+  void set_shard_crossing(sim::ShardedSimulator* engine, unsigned from, unsigned to) {
+    engine_ = engine;
+    from_shard_ = from;
+    to_shard_ = to;
+  }
+  [[nodiscard]] bool shard_crossing() const { return engine_ != nullptr; }
 
   // Attaches a fault schedule (owned by the caller, may be null). The
   // zero-schedule path is byte-identical to a link without one.
@@ -106,6 +120,9 @@ class Link {
   std::uint64_t drops_ = 0;
   std::uint64_t fault_drops_ = 0;
   const LinkFaultSchedule* faults_ = nullptr;
+  sim::ShardedSimulator* engine_ = nullptr;
+  unsigned from_shard_ = 0;
+  unsigned to_shard_ = 0;
   ByteTap tap_;
 };
 
@@ -116,6 +133,20 @@ class DuplexLink {
              sim::SimTime propagation_delay)
       : forward_(sim, name + ":fwd", bandwidth_bps, propagation_delay),
         reverse_(sim, name + ":rev", bandwidth_bps, propagation_delay) {}
+
+  // Shard-crossing duplex link: each half schedules on its transmitter's
+  // shard simulator. Call set_shard_crossing to route deliveries.
+  DuplexLink(sim::Simulator& forward_sim, sim::Simulator& reverse_sim, const std::string& name,
+             double bandwidth_bps, sim::SimTime propagation_delay)
+      : forward_(forward_sim, name + ":fwd", bandwidth_bps, propagation_delay),
+        reverse_(reverse_sim, name + ":rev", bandwidth_bps, propagation_delay) {}
+
+  // Declares the duplex pair a shard-crossing edge: forward() transmits from
+  // shard `a` to shard `b`, reverse() the other way.
+  void set_shard_crossing(sim::ShardedSimulator* engine, unsigned a, unsigned b) {
+    forward_.set_shard_crossing(engine, a, b);
+    reverse_.set_shard_crossing(engine, b, a);
+  }
 
   [[nodiscard]] Link& forward() { return forward_; }
   [[nodiscard]] Link& reverse() { return reverse_; }

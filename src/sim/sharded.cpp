@@ -1,0 +1,194 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::sim {
+
+namespace {
+// First allocation per mailbox; windows rarely carry more than a few dozen
+// frames per shard pair, so one reservation makes steady-state posting
+// allocation-free (the vector is cleared, not shrunk, on drain).
+constexpr std::size_t kMailboxReserve = 256;
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(unsigned n_shards) {
+  SDNBUF_CHECK_MSG(n_shards >= 1, "need at least one shard");
+  shards_.reserve(n_shards);
+  for (unsigned i = 0; i < n_shards; ++i) shards_.push_back(std::make_unique<Simulator>());
+  mail_.resize(static_cast<std::size_t>(n_shards) * n_shards);
+}
+
+void ShardedSimulator::set_lookahead(SimTime lookahead) {
+  SDNBUF_CHECK_MSG(lookahead > SimTime::zero(), "lookahead must be positive");
+  lookahead_ = lookahead;
+}
+
+void ShardedSimulator::set_threads(unsigned threads) {
+  SDNBUF_CHECK_MSG(threads >= 1, "need at least one thread");
+  threads_ = threads;
+}
+
+void ShardedSimulator::post(unsigned from, unsigned to, SimTime when, EventFn fn) {
+  SDNBUF_CHECK(from < n_shards() && to < n_shards() && from != to);
+  // The conservative contract: a message sent during a window lands at or
+  // after the window's end, so draining at the barrier can never deliver
+  // into a shard's past. Outside a window (setup code) the floor bounds it.
+  SDNBUF_CHECK_MSG(when >= (in_window_ ? window_end_ : floor_),
+                   "cross-shard message violates the lookahead contract");
+  Mailbox& box = mail_[static_cast<std::size_t>(from) * n_shards() + to];
+  if (box.messages.capacity() == 0) box.messages.reserve(kMailboxReserve);
+  box.messages.push_back(Message{when, box.next_seq++, from, to, std::move(fn)});
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  drain_scratch_.clear();
+  for (Mailbox& box : mail_) {
+    for (Message& m : box.messages) drain_scratch_.push_back(std::move(m));
+    box.messages.clear();
+  }
+  if (drain_scratch_.empty()) return;
+  messages_posted_ += drain_scratch_.size();
+  // Deterministic delivery order: (timestamp, from, to, per-pair sequence).
+  // The per-pair sequence ties off equal-timestamp messages from one sender;
+  // (from, to) orders pairs. The sort fixes the order in which messages
+  // enter each target shard's queue — and therefore the target's tie-break
+  // sequence numbers — independent of mailbox iteration order.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.seq < b.seq;
+            });
+  for (Message& m : drain_scratch_) {
+    shards_[m.to]->schedule_at(m.when, std::move(m.fn));
+  }
+  drain_scratch_.clear();
+}
+
+bool ShardedSimulator::plan_window(SimTime until, bool to_completion) {
+  drain_mailboxes();
+  SimTime earliest = SimTime::max();
+  for (auto& s : shards_) earliest = std::min(earliest, s->next_event_time());
+  if (to_completion) {
+    if (earliest == SimTime::max()) return false;  // queues and mailboxes empty
+    window_end_ = earliest + lookahead_;
+    return true;
+  }
+  if (earliest >= until) {
+    // Nothing left before the bound: jump every clock straight to it.
+    for (auto& s : shards_) s->run_before(until);
+    floor_ = until;
+    return false;
+  }
+  // Idle-jump: the window starts at the earliest pending event, not at the
+  // floor, so sparse phases (drain timeouts, settle periods) cost one window
+  // per event cluster instead of one per lookahead quantum.
+  window_end_ = std::min(earliest + lookahead_, until);
+  return true;
+}
+
+std::size_t ShardedSimulator::run_windows(SimTime until, bool to_completion) {
+  SDNBUF_CHECK_MSG(lookahead_ > SimTime::zero(),
+                   "multi-shard runs need set_lookahead() first");
+  const std::uint64_t executed0 = executed_events();
+  const unsigned workers =
+      std::min(threads_, static_cast<unsigned>(shards_.size()));
+  if (workers <= 1) {
+    while (plan_window(until, to_completion)) {
+      in_window_ = true;
+      for (auto& s : shards_) s->run_before(window_end_);
+      in_window_ = false;
+      floor_ = window_end_;
+      ++windows_;
+    }
+  } else {
+    run_windows_threaded(until, to_completion, workers);
+  }
+  return executed_events() - executed0;
+}
+
+void ShardedSimulator::run_windows_threaded(SimTime until, bool to_completion,
+                                            unsigned workers) {
+  // Persistent workers, two barriers per window: the coordinator (this
+  // thread) plans the window, releases the start gate, workers execute their
+  // shards' slice of it, and the end gate hands control back. Barriers give
+  // the memory ordering: everything a worker wrote (shard state, mailboxes)
+  // is visible to the coordinator at the end gate and vice versa.
+  std::barrier<> start_gate(workers + 1);
+  std::barrier<> end_gate(workers + 1);
+  bool stop = false;
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([this, w, workers, &start_gate, &end_gate, &stop]() {
+      for (;;) {
+        start_gate.arrive_and_wait();
+        if (stop) return;
+        for (unsigned i = w; i < n_shards(); i += workers) {
+          shards_[i]->run_before(window_end_);
+        }
+        end_gate.arrive_and_wait();
+      }
+    });
+  }
+
+  while (plan_window(until, to_completion)) {
+    in_window_ = true;
+    start_gate.arrive_and_wait();
+    end_gate.arrive_and_wait();
+    in_window_ = false;
+    floor_ = window_end_;
+    ++windows_;
+  }
+  stop = true;
+  start_gate.arrive_and_wait();
+  for (auto& t : pool) t.join();
+}
+
+std::size_t ShardedSimulator::run_until(SimTime until) {
+  SDNBUF_CHECK(until >= floor_);
+  if (n_shards() == 1) {
+    // Single shard: the legacy engine verbatim (inclusive bound and all).
+    const std::size_t n = shards_[0]->run_until(until);
+    floor_ = until;
+    return n;
+  }
+  return run_windows(until, /*to_completion=*/false);
+}
+
+std::size_t ShardedSimulator::run() {
+  if (n_shards() == 1) {
+    const std::size_t n = shards_[0]->run();
+    floor_ = shards_[0]->now();
+    return n;
+  }
+  const std::size_t n = run_windows(SimTime::max(), /*to_completion=*/true);
+  floor_ = window_end_ > floor_ ? window_end_ : floor_;
+  return n;
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->executed_events();
+  return n;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->pending_events();
+  return n;
+}
+
+std::size_t ShardedSimulator::messages_pending() const {
+  std::size_t n = 0;
+  for (const auto& box : mail_) n += box.messages.size();
+  return n;
+}
+
+}  // namespace sdnbuf::sim

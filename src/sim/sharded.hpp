@@ -1,0 +1,124 @@
+// Sharded parallel discrete-event engine with conservative lookahead sync.
+//
+// A `ShardedSimulator` owns N independent `Simulator` shards and advances
+// them in lockstep time windows. The safety argument is the classic
+// conservative (bounded-lag) one: if every cross-shard interaction is
+// carried by a link with propagation delay >= L (the engine's lookahead),
+// then an event executing at time t on one shard can only affect another
+// shard at t + L or later. So all shards may execute the window
+// [floor, floor + L) in parallel without ever seeing a message from the
+// past: a message sent during the window arrives at >= floor + L, i.e. in a
+// future window.
+//
+// Cross-shard traffic travels through per-(from, to) mailboxes. During a
+// window only shard `from`'s worker appends to the (from, to) mailbox and
+// nobody reads it — single-producer/single-consumer by construction, with
+// the window barrier standing in for the usual ring indices. At each window
+// boundary the coordinator drains every mailbox in one deterministic order —
+// sorted by (timestamp, from shard, to shard, per-pair sequence) — into the
+// target shards' event queues.
+//
+// Determinism contract: at a fixed shard count the run is bit-identical
+// across repeats and thread counts, because the threaded and sequential
+// paths execute the identical algorithm (same windows, same drain order;
+// threads only change which core executes a shard's window). Different
+// shard counts produce the same physics (identical event timestamps) but
+// may order equal-timestamp events differently, so cross-shard-count checks
+// compare delivered multisets, not byte streams.
+//
+// With one shard the engine degenerates to the legacy `Simulator` — calls
+// forward directly, no windows, no mailboxes — which is what makes
+// `--shards 1` byte-identical to the sequential engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sdnbuf::sim {
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(unsigned n_shards);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] unsigned n_shards() const { return static_cast<unsigned>(shards_.size()); }
+  [[nodiscard]] Simulator& shard(unsigned i) { return *shards_.at(i); }
+
+  // The conservative lookahead: the minimum propagation delay over all
+  // shard-crossing links. Must be positive before a multi-shard run; the
+  // testbed derives it from its link delays.
+  void set_lookahead(SimTime lookahead);
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  // Worker threads for window execution (1 = run windows on the calling
+  // thread). Results are bit-identical for any value; this only buys
+  // wall-clock time. Clamped to the shard count at run time.
+  void set_threads(unsigned threads);
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  // Posts `fn` to run at absolute time `when` on shard `to`. Callable from
+  // shard `from`'s execution context during a window (the link layer's
+  // shard-crossing delivery) — `when` must respect the lookahead contract,
+  // i.e. land at or after the current window's end.
+  void post(unsigned from, unsigned to, SimTime when, EventFn fn);
+
+  // Advances every shard to exactly `until`, executing all events with
+  // t < until. (Strictly before: events at `until` belong to the next
+  // window, unlike Simulator::run_until's inclusive bound.) Returns the
+  // number of events executed.
+  std::size_t run_until(SimTime until);
+
+  // Runs to completion: until every shard queue and every mailbox is empty.
+  std::size_t run();
+
+  // The global completed-up-to time: every event before it has executed.
+  [[nodiscard]] SimTime now() const { return floor_; }
+
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::size_t pending_events() const;
+  // Cross-shard messages drained so far / still waiting in mailboxes.
+  [[nodiscard]] std::uint64_t messages_posted() const { return messages_posted_; }
+  [[nodiscard]] std::size_t messages_pending() const;
+  // Windows executed (multi-shard runs only; diagnostics for tests/benches).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  struct Message {
+    SimTime when;
+    std::uint64_t seq;  // per-(from, to) pair, monotonic
+    unsigned from;
+    unsigned to;
+    EventFn fn;
+  };
+  struct Mailbox {
+    std::vector<Message> messages;
+    std::uint64_t next_seq = 0;
+  };
+
+  std::size_t run_windows(SimTime until, bool to_completion);
+  void run_windows_threaded(SimTime until, bool to_completion, unsigned workers);
+  // One coordinator step: drains mailboxes, picks the next window and stores
+  // it in window_end_. Returns false when the run is over (queues empty, or
+  // nothing left before `until`).
+  bool plan_window(SimTime until, bool to_completion);
+  void drain_mailboxes();
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<Mailbox> mail_;  // index from * n_shards + to
+  std::vector<Message> drain_scratch_;
+  SimTime floor_;
+  SimTime lookahead_;
+  SimTime window_end_;
+  bool in_window_ = false;
+  unsigned threads_ = 1;
+  std::uint64_t windows_ = 0;
+  std::uint64_t messages_posted_ = 0;
+};
+
+}  // namespace sdnbuf::sim

@@ -119,10 +119,26 @@ void EgressScheduler::transmit(unsigned service_class) {
   }
 
   busy_ = true;
-  const auto sent =
-      link_.send_frame(item.packet.frame_size, [deliver = deliver_, packet = item.packet]() {
-        if (deliver) deliver(packet);
-      });
+  net::Link::SendResult sent;
+  if (!link_.shard_crossing()) {
+    // Hot path: the delivery closure captures only `this` and pops the
+    // in-flight FIFO, so it fits EventFn's inline buffer — no allocation
+    // per hop. The packet is pushed only on Sent (dropped frames schedule
+    // no delivery), keeping the ring in lockstep with the wire.
+    sent = link_.send_frame(item.packet.frame_size, [this]() {
+      net::Packet packet = std::move(inflight_.front());
+      inflight_.pop_front();
+      if (deliver_) deliver_(packet);
+    });
+    if (sent == net::Link::SendResult::Sent) inflight_.push_back(item.packet);
+  } else {
+    // Shard-crossing port: the callback runs on the receiver's shard, which
+    // must not touch this scheduler's queues — carry the packet by value
+    // (one allocation per crossing; crossings are the fabric minority).
+    sent = link_.send_frame(item.packet.frame_size, [this, packet = item.packet]() {
+      if (deliver_) deliver_(packet);
+    });
+  }
   if (sent != net::Link::SendResult::Sent) {
     ++queue.stats.link_dropped;
     if (on_drop_) {

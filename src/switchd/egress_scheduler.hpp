@@ -111,6 +111,14 @@ class EgressScheduler {
   DeliverFn deliver_;
   DropFn on_drop_;
   obs::EgressInstruments instr_;
+  // Packets on the wire, in transmission order. Link deliveries are strictly
+  // FIFO (each frame's arrival time exceeds the previous frame's), so the
+  // delivery callback can pop the front instead of capturing the packet —
+  // which keeps the per-hop closure inside EventFn's inline buffer: the
+  // steady-state forwarding path performs no heap allocation. Only valid
+  // for same-shard links; shard-crossing deliveries run on the receiver's
+  // shard and capture the packet by value instead of touching this state.
+  std::deque<net::Packet> inflight_;
   std::vector<ClassQueue> queues_;
   unsigned drr_cursor_ = 0;
   // Whether the queue under the cursor already received its quantum during

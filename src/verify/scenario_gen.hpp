@@ -64,6 +64,12 @@ struct Scenario {
   double fabric_flap_mean_down_s = 0.0;
   std::uint64_t fabric_fault_seed = 0;
 
+  // Sharded-engine cross-check (DESIGN.md §14): re-run each fabric mechanism
+  // on the sharded engine with this many shards and compare against the
+  // sequential run — same per-switch conservation, and (fault-free, drained)
+  // the identical delivered payload multiset. 0 disables it.
+  unsigned fabric_shards = 0;
+
   [[nodiscard]] bool has_fabric() const { return fabric_switches > 0; }
 
   [[nodiscard]] bool has_link_faults() const { return fabric_flap_mean_up_s > 0.0; }
@@ -92,9 +98,13 @@ struct Scenario {
 // forces are mutually exclusive — faults win, and the fault smoke skips
 // fabrics to keep its run time). `force_link_faults` implies a fabric and
 // guarantees data-plane flap schedules on its inter-switch links.
+// `force_shards` implies a fabric and guarantees the sharded-engine
+// cross-check fires; its draws are appended last so forcing it never
+// perturbs the scenario a seed already maps to.
 [[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false,
                                        bool force_fabric = false,
-                                       bool force_link_faults = false);
+                                       bool force_link_faults = false,
+                                       bool force_shards = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;

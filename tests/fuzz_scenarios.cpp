@@ -19,10 +19,11 @@ int main(int argc, char** argv) {
   using namespace sdnbuf;
 
   util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose", "force-faults",
-                                    "force-fabric", "force-link-faults"});
+                                    "force-fabric", "force-link-faults", "force-shards"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\nusage: fuzz_scenarios [--runs N] [--seed S] [--offset K] "
-                         "[--verbose] [--force-faults] [--force-fabric] [--force-link-faults]\n",
+                         "[--verbose] [--force-faults] [--force-fabric] [--force-link-faults] "
+                         "[--force-shards]\n",
                  flags.error().c_str());
     return 2;
   }
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   const bool force_faults = flags.get_bool("force-faults", false);
   const bool force_fabric = flags.get_bool("force-fabric", false);
   const bool force_link_faults = flags.get_bool("force-link-faults", false);
-  if (force_faults && (force_fabric || force_link_faults)) {
+  const bool force_shards = flags.get_bool("force-shards", false);
+  if (force_faults && (force_fabric || force_link_faults || force_shards)) {
     std::fprintf(stderr,
                  "fuzz_scenarios: --force-faults excludes the fabric-forcing flags\n");
     return 2;
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
   for (long long i = offset; i < offset + runs; ++i) {
     const verify::Scenario scenario =
         verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i), force_faults,
-                                force_fabric, force_link_faults);
+                                force_fabric, force_link_faults, force_shards);
     const verify::ScenarioOutcome outcome = verify::run_scenario(scenario);
     if (outcome.ok()) {
       if (verbose) {
@@ -73,9 +75,10 @@ int main(int argc, char** argv) {
     for (const auto& failure : outcome.failures) {
       std::printf("      %s\n", failure.c_str());
     }
-    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s%s\n", base_seed + i,
+    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s%s%s\n", base_seed + i,
                 force_faults ? " --force-faults" : "", force_fabric ? " --force-fabric" : "",
-                force_link_faults ? " --force-link-faults" : "");
+                force_link_faults ? " --force-link-faults" : "",
+                force_shards ? " --force-shards" : "");
   }
 
   std::printf("fuzz_scenarios: %lld scenario(s) x 3 modes, %d failure(s)\n", runs, failed);

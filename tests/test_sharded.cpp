@@ -1,0 +1,225 @@
+// Sharded-engine tests: window mechanics of the ShardedSimulator itself,
+// the determinism hard contract (bit-identical results at a fixed shard
+// count across repeats and thread counts; --shards 1 indistinguishable from
+// the legacy sequential engine), cross-shard-count delivered-multiset
+// equality on leaf-spine and fat-tree fabrics, per-switch invariant
+// registries under sharding, and the per-shard profiler merge.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fabric_experiment.hpp"
+#include "obs/profiler.hpp"
+#include "sim/sharded.hpp"
+#include "topo/topology.hpp"
+#include "verify/invariants.hpp"
+
+namespace sdnbuf {
+namespace {
+
+using sim::SimTime;
+
+TEST(ShardedSimulator, CrossShardPostDeliversInOrder) {
+  sim::ShardedSimulator eng(2);
+  eng.set_lookahead(SimTime::milliseconds(1));
+  std::vector<int> order;
+  eng.shard(0).schedule_at(SimTime::microseconds(10), [&]() {
+    order.push_back(0);
+    eng.post(0, 1, eng.shard(0).now() + SimTime::milliseconds(1),
+             [&]() { order.push_back(1); });
+  });
+  eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(eng.executed_events(), 2u);
+  EXPECT_EQ(eng.messages_posted(), 1u);
+  EXPECT_EQ(eng.messages_pending(), 0u);
+}
+
+TEST(ShardedSimulator, RunUntilIsStrictlyBefore) {
+  sim::ShardedSimulator eng(2);
+  eng.set_lookahead(SimTime::milliseconds(1));
+  bool ran = false;
+  eng.shard(1).schedule_at(SimTime::milliseconds(5), [&]() { ran = true; });
+  eng.run_until(SimTime::milliseconds(5));
+  EXPECT_FALSE(ran);  // events at the bound belong to the next window
+  EXPECT_EQ(eng.now(), SimTime::milliseconds(5));
+  EXPECT_EQ(eng.shard(1).now(), SimTime::milliseconds(5));
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedSimulator, IdleJumpSkipsEmptyWindows) {
+  // Two events 10 s apart with a 1 ms lookahead: idle-jumping windows visit
+  // each event cluster once instead of burning ~10000 empty windows.
+  sim::ShardedSimulator eng(2);
+  eng.set_lookahead(SimTime::milliseconds(1));
+  int fired = 0;
+  eng.shard(0).schedule_at(SimTime::milliseconds(1), [&]() { ++fired; });
+  eng.shard(1).schedule_at(SimTime::seconds(10), [&]() { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_LE(eng.windows_run(), 4u);
+}
+
+TEST(ShardedSimulator, EqualTimestampDrainOrderIsByShardPair) {
+  // Two shards post to shard 2 at the same timestamp: drain order must be
+  // fixed by (when, from, to, seq) regardless of posting order.
+  for (const bool reverse_posting : {false, true}) {
+    sim::ShardedSimulator eng(3);
+    eng.set_lookahead(SimTime::milliseconds(1));
+    std::vector<int> order;
+    const SimTime when = SimTime::milliseconds(2);
+    eng.shard(reverse_posting ? 1 : 0)
+        .schedule_at(SimTime::milliseconds(1), [&eng, &order, when, reverse_posting]() {
+          eng.post(reverse_posting ? 1 : 0, 2, when,
+                   [&order, reverse_posting]() { order.push_back(reverse_posting ? 1 : 0); });
+        });
+    eng.shard(reverse_posting ? 0 : 1)
+        .schedule_at(SimTime::milliseconds(1), [&eng, &order, when, reverse_posting]() {
+          eng.post(reverse_posting ? 0 : 1, 2, when,
+                   [&order, reverse_posting]() { order.push_back(reverse_posting ? 0 : 1); });
+        });
+    eng.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);  // lower from-shard first, both posting orders
+    EXPECT_EQ(order[1], 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-level determinism contract.
+
+core::FabricExperimentConfig small_experiment(topo::Topology topology, unsigned shards,
+                                              unsigned threads) {
+  core::FabricExperimentConfig config;
+  config.topology = std::move(topology);
+  config.routing = core::FabricRouting::TopologyPerHop;
+  config.mode = sw::BufferMode::PacketGranularity;
+  config.buffer_capacity = 256;
+  config.pattern = host::TrafficPattern::Permutation;
+  config.duration_s = 0.05;
+  config.flow_arrival_per_s = 400.0;
+  config.max_packets = 10;
+  config.seed = 7;
+  config.fabric.shards = shards;
+  config.fabric.shard_threads = threads;
+  return config;
+}
+
+// Every field that must be bit-identical at a fixed shard count, serialized
+// with full precision; inequality anywhere shows up as a string diff.
+std::string fingerprint(const core::FabricExperimentResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.flows << ' ' << r.packets_sent << ' ' << r.packets_delivered << ' ' << r.duplicates
+     << ' ' << r.pkt_ins << ' ' << r.full_frame_pkt_ins << ' ' << r.flow_mods << ' '
+     << r.pkt_outs << ' ' << r.path_preinstalls << ' ' << r.control_msgs << ' '
+     << r.control_bytes << ' ' << r.buffer_avg_units << ' ' << r.buffer_max_units << ' '
+     << r.duration_s << ' ' << r.drained << '\n';
+  for (const double v : r.first_packet_ms.values()) os << v << ' ';
+  os << '\n';
+  for (const auto& [flow, seq] : r.delivered) os << flow << ':' << seq << ' ';
+  return os.str();
+}
+
+TEST(ShardedFabric, FixedShardCountIsBitIdenticalAcrossRepeats) {
+  const auto run = [&]() {
+    return core::run_fabric_experiment(
+        small_experiment(topo::make_leaf_spine(2, 2, 2), /*shards=*/3, /*threads=*/1));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_TRUE(a.drained);
+  EXPECT_GT(a.packets_delivered, 0u);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(ShardedFabric, ThreadCountDoesNotChangeResults) {
+  std::vector<std::string> prints;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const auto r = core::run_fabric_experiment(
+        small_experiment(topo::make_fat_tree(4), /*shards=*/4, threads));
+    EXPECT_TRUE(r.drained) << "threads=" << threads;
+    prints.push_back(fingerprint(r));
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+}
+
+TEST(ShardedFabric, OneShardMatchesLegacySequentialEngine) {
+  // shards = 0 is the legacy construction (plain sequential Simulator path);
+  // shards = 1 must be indistinguishable from it, field for field.
+  const auto legacy = core::run_fabric_experiment(
+      small_experiment(topo::make_leaf_spine(2, 2, 2), /*shards=*/0, /*threads=*/1));
+  const auto one = core::run_fabric_experiment(
+      small_experiment(topo::make_leaf_spine(2, 2, 2), /*shards=*/1, /*threads=*/4));
+  EXPECT_TRUE(legacy.drained);
+  EXPECT_EQ(fingerprint(legacy), fingerprint(one));
+}
+
+// Shard counts change how equal-timestamp events interleave, so byte
+// identity is out of scope across counts — but the physics must agree:
+// same flows, same emissions, same delivered payload multiset.
+void expect_cross_shard_count_agreement(const topo::Topology& topology) {
+  std::vector<core::FabricExperimentResult> results;
+  for (const unsigned shards : {0u, 2u, 3u}) {
+    results.push_back(
+        core::run_fabric_experiment(small_experiment(topology, shards, /*threads=*/2)));
+    EXPECT_TRUE(results.back().drained) << "shards=" << shards;
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].flows, results[i].flows);
+    EXPECT_EQ(results[0].packets_sent, results[i].packets_sent);
+    EXPECT_EQ(results[0].delivered, results[i].delivered);
+  }
+}
+
+TEST(ShardedFabric, ShardCountsAgreeOnLeafSpine) {
+  expect_cross_shard_count_agreement(topo::make_leaf_spine(2, 2, 2));
+}
+
+TEST(ShardedFabric, ShardCountsAgreeOnFatTree) {
+  expect_cross_shard_count_agreement(topo::make_fat_tree(4));
+}
+
+TEST(ShardedFabric, InvariantRegistriesStayCleanUnderSharding) {
+  const topo::Topology topology = topo::make_fat_tree(4);
+  std::vector<std::unique_ptr<verify::InvariantRegistry>> registries;
+  core::FabricExperimentConfig config = small_experiment(topology, /*shards=*/3, /*threads=*/4);
+  for (unsigned i = 0; i < topology.n_switches(); ++i) {
+    registries.push_back(std::make_unique<verify::InvariantRegistry>());
+    config.observers.push_back(registries.back().get());
+  }
+  const auto r = core::run_fabric_experiment(config);
+  EXPECT_TRUE(r.drained);
+  for (unsigned i = 0; i < registries.size(); ++i) {
+    registries[i]->finalize(/*expect_all_delivered=*/true);
+    EXPECT_TRUE(registries[i]->ok()) << "switch " << i << "\n" << registries[i]->report();
+  }
+}
+
+TEST(Profiler, MergeFoldsPerShardRows) {
+  obs::EventLoopProfiler a;
+  obs::EventLoopProfiler b;
+  a.on_event("switch", 0.010);
+  a.on_event("switch", 0.002);
+  a.on_event("link", 0.001);
+  b.on_event("switch", 0.004);
+  b.on_event("channel", 0.003);
+  a.merge_from(b);
+  EXPECT_EQ(a.total_events(), 5u);
+  EXPECT_NEAR(a.total_seconds(), 0.020, 1e-12);
+  const auto rows = a.table();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].tag, "switch");
+  EXPECT_EQ(rows[0].events, 3u);
+  EXPECT_NEAR(rows[0].total_s, 0.016, 1e-12);
+  EXPECT_NEAR(rows[0].max_s, 0.010, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdnbuf
