@@ -1,0 +1,223 @@
+// Telemetry-plane benchmark (DESIGN.md §15): what does measurement cost?
+//
+// Section A — controller contention. NetFlow-style sampling ships one vendor
+// FlowSample per sampled packet over the same channel, and the controller
+// pays sample_parse + flow_cache_update on the same cores that answer
+// packet_ins. Sweeping the sampling period (off, 1-in-64, 1-in-16, 1-in-4)
+// across the three buffer mechanisms shows how aggressively a deployment can
+// sample before measurement traffic moves the paper's flow-setup-delay
+// curves: the no-buffer mechanism is hit hardest (its full-frame pkt_ins
+// already saturate the channel), the flow-granularity buffer least.
+//
+// Section B — a leaf-spine incast run with INT stamping on, producing the
+// per-switch queue-depth heatmap, fate ledger and per-flow path CSVs
+// (results/bench_telemetry_*.csv) that scripts/validate_trace.py checks.
+//
+// Every cell runs in a pre-assigned slot and the CSV is written after a
+// sequential merge, so output is bit-identical for any --jobs value.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/fabric_experiment.hpp"
+#include "obs/fabric_observatory.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace core = sdnbuf::core;
+namespace obs = sdnbuf::obs;
+namespace sw = sdnbuf::sw;
+namespace util = sdnbuf::util;
+namespace host = sdnbuf::host;
+namespace topo = sdnbuf::topo;
+
+struct Mechanism {
+  std::string label;
+  sw::BufferMode mode;
+  std::size_t capacity;
+};
+
+struct CellResult {
+  core::ExperimentResult r;
+};
+
+// Fixed-point formatting keeps the CSV byte-identical across platforms.
+std::string fixed3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv, {"quick", "jobs", "reps", "csv-dir", "seed"});
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n"
+              << "usage: " << argv[0] << " [--quick] [--jobs N] [--reps N] [--csv-dir DIR]\n";
+    return 1;
+  }
+  const bool quick = flags.get_bool("quick", false);
+  const int reps = static_cast<int>(flags.get_int("reps", quick ? 2 : 10));
+  const unsigned jobs = static_cast<unsigned>(
+      flags.get_int("jobs", static_cast<long long>(util::ThreadPool::default_parallelism())));
+  const std::string csv_dir = flags.get_string("csv-dir", "results");
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::error_code ec;
+  std::filesystem::create_directories(csv_dir, ec);
+
+  const std::vector<Mechanism> mechanisms{
+      {"no-buffer", sw::BufferMode::NoBuffer, 0},
+      {"buffer-256", sw::BufferMode::PacketGranularity, 256},
+      {"flow-256", sw::BufferMode::FlowGranularity, 256},
+  };
+  const std::vector<std::uint32_t> periods{0, 64, 16, 4};
+  const std::uint64_t n_flows = quick ? 200 : 1000;
+
+  std::printf("bench_telemetry (%s, reps=%d, jobs=%u)\n", quick ? "quick" : "full", reps, jobs);
+
+  // --- Section A: sampling-rate x mechanism contention grid ---
+  const std::size_t n_cells = mechanisms.size() * periods.size() * static_cast<std::size_t>(reps);
+  std::vector<CellResult> cells(n_cells);
+  {
+    util::ThreadPool pool(jobs);
+    std::size_t slot = 0;
+    for (const Mechanism& mech : mechanisms) {
+      for (const std::uint32_t period : periods) {
+        for (int rep = 0; rep < reps; ++rep, ++slot) {
+          pool.submit([&cells, slot, &mech, period, rep, base_seed, n_flows]() {
+            core::ExperimentConfig config;
+            config.mode = mech.mode;
+            config.buffer_capacity = mech.capacity;
+            config.rate_mbps = 50.0;
+            config.frame_size = 1000;
+            config.n_flows = n_flows;
+            config.packets_per_flow = 1;
+            config.seed = base_seed + static_cast<std::uint64_t>(rep);
+            config.testbed.switch_config.telemetry_sample_period = period;
+            config.testbed.controller_config.flow_monitor_enabled = period != 0;
+            cells[slot].r = core::run_experiment(config);
+          });
+        }
+      }
+    }
+    pool.wait_idle();
+  }
+
+  const std::string contention_path = csv_dir + "/bench_telemetry_contention.csv";
+  std::ofstream csv(contention_path);
+  csv << "mechanism,sample_period,reps,setup_ms_mean,setup_ms_std,setup_ms_p99,"
+         "controller_cpu_pct,flow_samples,pkt_ins,to_controller_mbps\n";
+  std::printf("%-11s %8s %14s %14s %10s %12s\n", "mechanism", "period", "setup_ms", "cpu_pct",
+              "samples", "pkt_ins");
+  std::size_t slot = 0;
+  for (const Mechanism& mech : mechanisms) {
+    for (const std::uint32_t period : periods) {
+      util::Summary setup_means;
+      util::Samples all_setup;
+      util::Summary cpu;
+      util::Summary mbps;
+      std::uint64_t samples_total = 0;
+      std::uint64_t pkt_ins_total = 0;
+      for (int rep = 0; rep < reps; ++rep, ++slot) {
+        const core::ExperimentResult& r = cells[slot].r;
+        setup_means.add(r.setup_ms.mean());
+        for (const double v : r.setup_ms.values()) all_setup.add(v);
+        cpu.add(r.controller_cpu_pct);
+        mbps.add(r.to_controller_mbps);
+        samples_total += r.flow_samples;
+        pkt_ins_total += r.pkt_ins_sent;
+      }
+      csv << mech.label << ',' << period << ',' << reps << ',' << fixed3(setup_means.mean())
+          << ',' << fixed3(setup_means.stddev()) << ',' << fixed3(all_setup.percentile(99.0))
+          << ',' << fixed3(cpu.mean()) << ',' << samples_total << ',' << pkt_ins_total << ','
+          << fixed3(mbps.mean()) << '\n';
+      std::printf("%-11s %8u %8.3f ms %10.1f %10llu %12llu\n", mech.label.c_str(), period,
+                  setup_means.mean(), cpu.mean(),
+                  static_cast<unsigned long long>(samples_total),
+                  static_cast<unsigned long long>(pkt_ins_total));
+    }
+  }
+  csv.close();
+  std::printf("wrote %s\n", contention_path.c_str());
+
+  // --- Section B: leaf-spine incast with INT stamping -> observatory CSVs ---
+  obs::FabricObservatory obsy;
+  core::FabricExperimentConfig fc;
+  fc.topology = topo::make_leaf_spine(2, 4, 4);  // 2 spines, 4 leaves, 4 hosts/leaf
+  fc.routing = core::FabricRouting::TopologyPerHop;
+  fc.mode = sw::BufferMode::PacketGranularity;
+  fc.buffer_capacity = 256;
+  fc.pattern = host::TrafficPattern::Incast;
+  fc.incast_target = 0;
+  fc.incast_fanin = quick ? 6 : 12;
+  fc.duration_s = quick ? 0.1 : 0.4;
+  fc.flow_arrival_per_s = quick ? 300.0 : 800.0;
+  fc.seed = base_seed;
+  fc.observatory = &obsy;
+  fc.fabric.switch_config.telemetry_int_depth = 8;
+  fc.fabric.switch_config.telemetry_sample_period = 8;
+  fc.fabric.controller_config.flow_monitor_enabled = true;
+  const core::FabricExperimentResult fr = core::run_fabric_experiment(fc);
+
+  std::printf(
+      "incast    : %llu/%llu packets delivered, %llu INT stamps, %llu samples "
+      "(%llu seen), ledger fated %llu stranded %llu\n",
+      static_cast<unsigned long long>(fr.packets_delivered),
+      static_cast<unsigned long long>(fr.packets_sent),
+      static_cast<unsigned long long>(fr.int_stamps),
+      static_cast<unsigned long long>(fr.flow_samples),
+      static_cast<unsigned long long>(fr.flow_samples_seen),
+      static_cast<unsigned long long>(obsy.fated()),
+      static_cast<unsigned long long>(obsy.stranded()));
+
+  // Ledger totality is this benchmark's self-check: every emitted packet is
+  // delivered, fated or stranded — nothing may go missing silently.
+  if (obsy.injected() != fr.packets_sent ||
+      obsy.injected() != obsy.delivered() + obsy.fated() + obsy.stranded()) {
+    std::fprintf(stderr, "LEDGER MISMATCH: injected=%llu sent=%llu delivered+fated+stranded=%llu\n",
+                 static_cast<unsigned long long>(obsy.injected()),
+                 static_cast<unsigned long long>(fr.packets_sent),
+                 static_cast<unsigned long long>(obsy.delivered() + obsy.fated() + obsy.stranded()));
+    return 1;
+  }
+
+  const std::string heatmap_path = csv_dir + "/bench_telemetry_heatmap.csv";
+  const std::string fates_path = csv_dir + "/bench_telemetry_fates.csv";
+  const std::string paths_path = csv_dir + "/bench_telemetry_paths.csv";
+  const std::string summary_path = csv_dir + "/bench_telemetry_summary.json";
+  {
+    std::ofstream f(heatmap_path);
+    obsy.write_heatmap_csv(f);
+  }
+  {
+    std::ofstream f(fates_path);
+    obsy.write_fates_csv(f);
+  }
+  {
+    std::ofstream f(paths_path);
+    obsy.write_paths_csv(f);
+  }
+  {
+    std::ofstream f(summary_path);
+    obsy.write_summary_json(f);
+  }
+  std::printf("wrote %s, %s, %s, %s\n", heatmap_path.c_str(), fates_path.c_str(),
+              paths_path.c_str(), summary_path.c_str());
+
+  for (const obs::FabricObservatory::Hotspot& h : obsy.hotspots(5)) {
+    std::printf("hotspot   : switch %llu port %u  qdepth_max %u  residence %.1f us\n",
+                static_cast<unsigned long long>(h.switch_id), h.port, h.queue_depth_max,
+                h.residence_us_mean);
+  }
+  return 0;
+}

@@ -59,6 +59,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L model
 # the sequential run, putting the mailbox drain and window machinery under
 # ASan/UBSan.
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-shards
+# Sixth pass with the telemetry plane forced on: every scenario attaches the
+# fabric observatory (INT stamping, deterministic sampling, fate ledger) and
+# cross-checks the drop-attribution ledger against the invariant registry's
+# own accounting under the sanitizers.
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-telemetry
 # Data-fault unit/integration suite, explicitly (it is part of ctest above,
 # but run it by name so a label change can't silently drop the coverage).
 "$BUILD_DIR/tests/test_data_fault"
@@ -79,4 +84,4 @@ export TSAN_OPTIONS="halt_on_error=1"
 # and the determinism tests drive them at 1/2/4 worker threads.
 "$TSAN_DIR/tests/test_sharded"
 
-echo "sanitize_check: OK (5 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"
+echo "sanitize_check: OK (6 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"

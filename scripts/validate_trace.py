@@ -12,7 +12,13 @@ Checks (stdlib only, loadable into Perfetto / chrome://tracing unchanged):
   - optionally (--metrics FILE) a metrics JSON snapshot file is well-formed,
     its rows match the declared columns, and snapshot times are monotonic;
   - optionally (--min-spans N) at least N completed spans exist, so a CI run
-    can assert the trace is not trivially empty.
+    can assert the trace is not trivially empty;
+  - optionally, the telemetry observatory's artifacts (obs::FabricObservatory
+    writers): --telemetry-summary checks the ledger identity (injected ==
+    delivered + fated + stranded, fated == sum of the fate taxonomy),
+    --telemetry-heatmap / --telemetry-fates / --telemetry-paths check the CSV
+    schemas and internal consistency (means <= maxes, hop counts match the
+    rendered path, fate totals match the summary when both are given).
 
 Exit code 0 on success, 1 on any violation (violations are printed).
 """
@@ -151,27 +157,184 @@ def validate_metrics(path):
                     "histograms": len(histograms)}
 
 
+def read_csv_rows(path, expected_header):
+    """Returns (errors, rows) where rows are lists of string fields."""
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [ln.rstrip("\n") for ln in fh if ln.strip()]
+    if not lines or lines[0] != expected_header:
+        fail(errors, f"header is {lines[0] if lines else '<empty>'!r}, "
+                     f"expected {expected_header!r}")
+        return errors, []
+    n_cols = len(expected_header.split(","))
+    rows = []
+    for i, ln in enumerate(lines[1:], start=2):
+        parts = ln.split(",")
+        if len(parts) != n_cols:
+            if not fail(errors, f"line {i}: {len(parts)} fields, expected {n_cols}"):
+                break
+            continue
+        rows.append(parts)
+    return errors, rows
+
+
+def validate_telemetry_summary(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    ledger = doc.get("ledger")
+    if not isinstance(ledger, dict):
+        fail(errors, 'missing "ledger" object')
+        return errors, {}
+    totals = {}
+    for key in ("injected", "delivered", "fated", "stranded",
+                "retracted_fates", "discarded_reports"):
+        v = ledger.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(errors, f'ledger.{key} is {v!r}, expected a non-negative integer')
+            return errors, {}
+        totals[key] = v
+    if totals["injected"] != totals["delivered"] + totals["fated"] + totals["stranded"]:
+        fail(errors, f"ledger identity broken: injected {totals['injected']} != "
+                     f"delivered {totals['delivered']} + fated {totals['fated']} "
+                     f"+ stranded {totals['stranded']}")
+    fates = ledger.get("fates")
+    if not isinstance(fates, dict):
+        fail(errors, 'ledger.fates is not an object')
+    else:
+        fate_sum = sum(v for v in fates.values() if isinstance(v, int))
+        if fate_sum != totals["fated"]:
+            fail(errors, f"fate taxonomy sums to {fate_sum}, ledger says "
+                         f"fated {totals['fated']}")
+        totals["fates"] = fates
+    intd = doc.get("int", {})
+    if isinstance(intd, dict):
+        stamped = intd.get("stamped_deliveries", 0)
+        if isinstance(stamped, int) and stamped > totals["delivered"]:
+            fail(errors, f"int.stamped_deliveries {stamped} exceeds "
+                         f"delivered {totals['delivered']}")
+    return errors, totals
+
+
+def validate_telemetry_heatmap(path):
+    errors, rows = read_csv_rows(
+        path, "switch_id,port,samples,qdepth_max,qdepth_mean,"
+              "residence_us_max,residence_us_mean,buffer_units_max")
+    seen = set()
+    for i, row in enumerate(rows, start=2):
+        try:
+            sw, port, samples = int(row[0]), int(row[1]), int(row[2])
+            qmax, qmean = float(row[3]), float(row[4])
+            rmax, rmean = float(row[5]), float(row[6])
+            float(row[7])
+        except ValueError:
+            if not fail(errors, f"line {i}: non-numeric field in {row}"):
+                break
+            continue
+        if (sw, port) in seen:
+            if not fail(errors, f"line {i}: duplicate cell ({sw}, {port})"):
+                break
+            continue
+        seen.add((sw, port))
+        if samples <= 0:
+            fail(errors, f"line {i}: cell ({sw}, {port}) has {samples} samples")
+        if qmean > qmax + 1e-9 or rmean > rmax + 1e-9:
+            fail(errors, f"line {i}: cell ({sw}, {port}) mean exceeds max")
+    return errors, {"cells": len(rows)}
+
+
+def validate_telemetry_fates(path, summary_totals):
+    errors, rows = read_csv_rows(path, "fate,count")
+    total = 0
+    for i, row in enumerate(rows, start=2):
+        try:
+            count = int(row[1])
+        except ValueError:
+            if not fail(errors, f"line {i}: non-integer count {row[1]!r}"):
+                break
+            continue
+        if count < 0:
+            fail(errors, f"line {i}: negative count for {row[0]!r}")
+        if row[0] in ("injected", "delivered", "stranded"):
+            # Ledger-total rows appended after the fate taxonomy.
+            expected = summary_totals.get(row[0]) if summary_totals else None
+            if expected is not None and expected != count:
+                fail(errors, f"line {i}: {row[0]} {count} != summary {expected}")
+            continue
+        total += count
+        expected = summary_totals.get("fates", {}).get(row[0]) if summary_totals else None
+        if expected is not None and expected != count:
+            fail(errors, f"line {i}: fate {row[0]!r} count {count} != "
+                         f"summary {expected}")
+    if summary_totals and total != summary_totals.get("fated", total):
+        fail(errors, f"fate counts sum to {total}, summary says "
+                     f"fated {summary_totals['fated']}")
+    return errors, {"fates": len(rows), "total": total}
+
+
+def validate_telemetry_paths(path):
+    errors, rows = read_csv_rows(
+        path, "flow_id,packets,hops,multipath,path,e2e_us_mean,e2e_us_max,hop_us_mean")
+    prev_flow = -1
+    for i, row in enumerate(rows, start=2):
+        try:
+            flow, packets, hops = int(row[0]), int(row[1]), int(row[2])
+            multipath = int(row[3])
+            e2e_mean, e2e_max = float(row[5]), float(row[6])
+        except ValueError:
+            if not fail(errors, f"line {i}: non-numeric field in {row}"):
+                break
+            continue
+        if flow <= prev_flow:
+            fail(errors, f"line {i}: flow ids not strictly increasing at {flow}")
+        prev_flow = flow
+        if packets <= 0 or hops <= 0:
+            fail(errors, f"line {i}: flow {flow} has {packets} packets, {hops} hops")
+        if multipath not in (0, 1):
+            fail(errors, f"line {i}: multipath flag is {multipath}")
+        if row[4] and hops != len(row[4].split(">")):
+            fail(errors, f"line {i}: flow {flow} claims {hops} hops but path "
+                         f"is {row[4]!r}")
+        if e2e_mean > e2e_max + 1e-9:
+            fail(errors, f"line {i}: flow {flow} e2e mean exceeds max")
+    return errors, {"flows": len(rows)}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace", help="trace JSON file (obs::TraceWriter output)")
+    ap.add_argument("trace", nargs="?",
+                    help="trace JSON file (obs::TraceWriter output)")
     ap.add_argument("--metrics", help="also validate a metrics JSON file")
     ap.add_argument("--min-spans", type=int, default=0,
                     help="require at least N completed spans (default 0)")
+    ap.add_argument("--telemetry-summary",
+                    help="validate an observatory summary JSON (ledger identity)")
+    ap.add_argument("--telemetry-heatmap",
+                    help="validate an observatory heatmap CSV")
+    ap.add_argument("--telemetry-fates",
+                    help="validate an observatory fate-taxonomy CSV")
+    ap.add_argument("--telemetry-paths",
+                    help="validate an observatory per-flow path CSV")
     args = ap.parse_args()
+    if not args.trace and not (args.telemetry_summary or args.telemetry_heatmap
+                               or args.telemetry_fates or args.telemetry_paths):
+        ap.error("nothing to validate: give a trace file or --telemetry-* options")
 
-    try:
-        errors, stats = validate_trace(args.trace, args.min_spans)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"validate_trace: {args.trace}: {exc}", file=sys.stderr)
-        return 1
-    for msg in errors:
-        print(f"validate_trace: {args.trace}: {msg}", file=sys.stderr)
-    ok = not errors
-    if ok:
-        cats = ", ".join(f"{c}={n}" for c, n in sorted(stats["by_cat"].items()))
-        print(f"validate_trace: {args.trace}: OK "
-              f"({stats['events']} events, {stats['spans']} spans"
-              f"{', ' + cats if cats else ''}, {stats['instants']} instants)")
+    ok = True
+    if args.trace:
+        try:
+            errors, stats = validate_trace(args.trace, args.min_spans)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"validate_trace: {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        for msg in errors:
+            print(f"validate_trace: {args.trace}: {msg}", file=sys.stderr)
+        ok = not errors
+        if ok:
+            cats = ", ".join(f"{c}={n}" for c, n in sorted(stats["by_cat"].items()))
+            print(f"validate_trace: {args.trace}: OK "
+                  f"({stats['events']} events, {stats['spans']} spans"
+                  f"{', ' + cats if cats else ''}, {stats['instants']} instants)")
 
     if args.metrics:
         try:
@@ -187,6 +350,36 @@ def main():
             print(f"validate_trace: {args.metrics}: OK "
                   f"({mstats['snapshots']} snapshots x {mstats['columns']} columns, "
                   f"{mstats['histograms']} histograms)")
+
+    summary_totals = {}
+    telemetry_jobs = [
+        (args.telemetry_summary, validate_telemetry_summary, "summary"),
+        (args.telemetry_heatmap, validate_telemetry_heatmap, "heatmap"),
+        (args.telemetry_fates,
+         lambda p: validate_telemetry_fates(p, summary_totals), "fates"),
+        (args.telemetry_paths, validate_telemetry_paths, "paths"),
+    ]
+    for path, validator, kind in telemetry_jobs:
+        if not path:
+            continue
+        try:
+            terrors, tstats = validator(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"validate_trace: {path}: {exc}", file=sys.stderr)
+            return 1
+        for msg in terrors:
+            print(f"validate_trace: {path}: {msg}", file=sys.stderr)
+        if terrors:
+            ok = False
+            continue
+        if kind == "summary":
+            summary_totals = tstats
+            print(f"validate_trace: {path}: OK (ledger closes: "
+                  f"{tstats['injected']} injected = {tstats['delivered']} delivered "
+                  f"+ {tstats['fated']} fated + {tstats['stranded']} stranded)")
+        else:
+            detail = ", ".join(f"{k}={v}" for k, v in tstats.items())
+            print(f"validate_trace: {path}: OK ({detail})")
 
     return 0 if ok else 1
 

@@ -19,7 +19,9 @@ Controller::Controller(sim::Simulator& sim, ControllerConfig config, std::uint64
     : sim_(sim),
       config_(std::move(config)),
       rng_(rng_seed),
-      cpu_(sim, config_.name + ":cpu", config_.cpu_cores) {}
+      cpu_(sim, config_.name + ":cpu", config_.cpu_cores) {
+  if (config_.flow_monitor_enabled) enable_flow_monitor(config_.flow_monitor);
+}
 
 void Controller::connect(of::Channel& channel, std::uint64_t datapath_id) {
   SDNBUF_CHECK_MSG(switches_.count(datapath_id) == 0, "datapath already connected");
@@ -134,7 +136,12 @@ verify::InvariantObserver* Controller::observer_for(std::uint64_t datapath_id) {
   return observer_;
 }
 
+void Controller::enable_flow_monitor(const FlowMonitorConfig& config) {
+  monitor_ = std::make_unique<FlowMonitor>(sim_, config);
+}
+
 void Controller::start() {
+  if (monitor_ != nullptr) monitor_->start();
   if (config_.stats_poll_interval <= sim::SimTime::zero()) return;
   polling_ = true;
   poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() {
@@ -146,10 +153,19 @@ void Controller::start() {
 void Controller::stop() {
   polling_ = false;
   poll_event_.cancel();
+  if (monitor_ != nullptr) monitor_->stop();
+  // Requests still outstanding at shutdown will never be answered.
+  counters_.stats_requests_expired += outstanding_stats_.size();
+  outstanding_stats_.clear();
 }
 
 void Controller::poll_stats() {
   if (!polling_) return;
+  // A reply that has not arrived by the time the next cycle starts is
+  // written off: the xid leaves the outstanding set so a lost reply cannot
+  // accumulate state forever.
+  counters_.stats_requests_expired += outstanding_stats_.size();
+  outstanding_stats_.clear();
   request_aggregate_stats(of::Match::wildcard_all());
   request_port_stats();
   poll_event_ = sim_.schedule(config_.stats_poll_interval, [this]() {
@@ -164,6 +180,7 @@ void Controller::request_flow_stats(const of::Match& match) {
     req.xid = b.channel->next_controller_xid();
     req.match = match;
     ++counters_.stats_requests_sent;
+    outstanding_stats_.emplace(dpid, req.xid);
     b.channel->send_from_controller(req);
   }
 }
@@ -174,6 +191,7 @@ void Controller::request_aggregate_stats(const of::Match& match) {
     req.xid = b.channel->next_controller_xid();
     req.match = match;
     ++counters_.stats_requests_sent;
+    outstanding_stats_.emplace(dpid, req.xid);
     b.channel->send_from_controller(req);
   }
 }
@@ -184,6 +202,7 @@ void Controller::request_port_stats(std::uint16_t port_no) {
     req.xid = b.channel->next_controller_xid();
     req.port_no = port_no;
     ++counters_.stats_requests_sent;
+    outstanding_stats_.emplace(dpid, req.xid);
     b.channel->send_from_controller(req);
   }
 }
@@ -202,14 +221,24 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
   } else if (std::holds_alternative<of::Error>(msg)) {
     ++counters_.errors_seen;
   } else if (const auto* flow_stats = std::get_if<of::FlowStatsReply>(&msg)) {
-    ++counters_.stats_replies_seen;
+    account_stats_reply(datapath_id, flow_stats->xid);
     last_flow_stats_ = *flow_stats;
   } else if (const auto* agg = std::get_if<of::AggregateStatsReply>(&msg)) {
-    ++counters_.stats_replies_seen;
+    account_stats_reply(datapath_id, agg->xid);
     last_aggregate_stats_ = *agg;
   } else if (const auto* port_stats = std::get_if<of::PortStatsReply>(&msg)) {
-    ++counters_.stats_replies_seen;
+    account_stats_reply(datapath_id, port_stats->xid);
     last_port_stats_ = *port_stats;
+  } else if (const auto* sample = std::get_if<of::FlowSample>(&msg)) {
+    ++counters_.flow_samples_seen;
+    if (monitor_ != nullptr) {
+      // Ingestion is paid on the shared cores before the cache is touched,
+      // so telemetry volume competes with reactive forwarding for CPU.
+      const double ingest_us = config_.costs.sample_parse_us + config_.costs.flow_cache_update_us;
+      cpu_.submit(cost_us(ingest_us), [this, datapath_id, record = *sample]() {
+        monitor_->on_sample(datapath_id, record, sim_.now());
+      });
+    }
   } else if (const auto* removed = std::get_if<of::FlowRemoved>(&msg)) {
     ++counters_.flow_removed_seen;
     // Timed-out (or deleted) rules leave the bookkeeping so route repair
@@ -230,6 +259,17 @@ void Controller::on_message(std::uint64_t datapath_id, const of::OfMessage& msg)
     binding(datapath_id).channel->send_from_controller(of::EchoReply{echo->xid});
   }
   // EchoReply / FeaturesReply / BarrierReply need no reaction here.
+}
+
+void Controller::account_stats_reply(std::uint64_t datapath_id, std::uint32_t xid) {
+  // A reply is "seen" only if it answers a request still outstanding; a
+  // channel-duplicated (or expired-then-arriving) reply is unmatched. Both
+  // still refresh last_*_stats_ — stale data beats no data for monitoring.
+  if (outstanding_stats_.erase({datapath_id, xid}) > 0) {
+    ++counters_.stats_replies_seen;
+  } else {
+    ++counters_.stats_replies_unmatched;
+  }
 }
 
 void Controller::handle_port_status(std::uint64_t datapath_id, const of::PortStatus& msg) {

@@ -17,9 +17,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "controller/flow_monitor.hpp"
 #include "net/packet.hpp"
 #include "obs/instruments.hpp"
 #include "openflow/channel.hpp"
@@ -55,6 +58,11 @@ struct CostModel {
   double encode_flow_mod_us = 15.0;
   double encode_pkt_out_base_us = 10.0;
   double encode_pkt_out_per_byte_us = 0.06;  // frame re-encapsulation (no-buffer)
+  // Telemetry flow-sample ingestion (vendor message): parse plus flow-cache
+  // update. Paid on the same cores as reactive forwarding, so aggressive
+  // sampling competes with flow setup (bench_telemetry).
+  double sample_parse_us = 6.0;
+  double flow_cache_update_us = 4.0;
   double jitter_sigma = 0.15;
 };
 
@@ -89,6 +97,12 @@ struct ControllerConfig {
   // received packet_in is silently dropped before processing (models an
   // overloaded or lossy controller; exercises Algorithm 1's re-request).
   double drop_pkt_in_probability = 0.0;
+  // NetFlow-style measurement application (DESIGN.md §15): when enabled the
+  // controller owns a FlowMonitor fed by the switches' telemetry flow
+  // samples. Off by default — the buffer experiments see only reactive
+  // traffic, and a disabled monitor costs nothing.
+  bool flow_monitor_enabled = false;
+  FlowMonitorConfig flow_monitor;
   CostModel costs;
 };
 
@@ -105,7 +119,10 @@ struct ControllerCounters {
   std::uint64_t path_preinstalls = 0;     // proactive downstream flow_mods
   std::uint64_t unroutable_drops = 0;     // topology mode: no route / foreign MAC
   std::uint64_t stats_requests_sent = 0;
-  std::uint64_t stats_replies_seen = 0;
+  std::uint64_t stats_replies_seen = 0;       // replies matching an outstanding request xid
+  std::uint64_t stats_replies_unmatched = 0;  // duplicated / already-answered xids
+  std::uint64_t stats_requests_expired = 0;   // requests unanswered by the next poll cycle
+  std::uint64_t flow_samples_seen = 0;        // telemetry vendor records received
   std::uint64_t errors_seen = 0;
   std::uint64_t hellos_seen = 0;          // handshakes + re-handshakes answered
   std::uint64_t echo_requests_seen = 0;   // liveness probes answered
@@ -181,7 +198,13 @@ class Controller {
   [[nodiscard]] std::size_t installed_rule_count() const { return installed_rules_.size(); }
   [[nodiscard]] std::size_t installed_rules_on_link(std::size_t link_index) const;
 
-  void reset_counters() { counters_ = ControllerCounters{}; }
+  void reset_counters() {
+    counters_ = ControllerCounters{};
+    // Requests from before the reset no longer have a `sent` on the books;
+    // forgetting their xids keeps seen + expired == sent within the
+    // measurement window (late replies count as unmatched instead).
+    outstanding_stats_.clear();
+  }
 
   // Invariant-checking observer (owned by the caller; may be null). Reports
   // fault-injected packet_in drops so conservation accounting stays closed.
@@ -194,6 +217,14 @@ class Controller {
 
   // Metrics instruments (default-null bundle = disabled).
   void set_instruments(const obs::ControllerInstruments& instruments) { instr_ = instruments; }
+
+  // Attaches the NetFlow-style measurement application (DESIGN.md §15).
+  // Sampled records arriving on the OpenFlow channels are parsed on the
+  // controller CPU and fed into the monitor's flow cache; start()/stop()
+  // also start/stop its timeout sweep. Without this call, telemetry vendor
+  // messages are counted and discarded.
+  void enable_flow_monitor(const FlowMonitorConfig& config);
+  [[nodiscard]] FlowMonitor* flow_monitor() { return monitor_.get(); }
 
  private:
   [[nodiscard]] sim::SimTime cost_us(double nominal_us);
@@ -251,6 +282,8 @@ class Controller {
   void install_remaining_hops(std::shared_ptr<const std::vector<PathHop>> hops, std::size_t idx,
                               std::uint64_t origin_dpid, of::PacketIn msg, net::Packet packet);
   [[nodiscard]] verify::InvariantObserver* observer_for(std::uint64_t datapath_id);
+  // Matches a stats reply against outstanding_stats_ (seen vs unmatched).
+  void account_stats_reply(std::uint64_t datapath_id, std::uint32_t xid);
   void poll_stats();
   [[nodiscard]] SwitchBinding& binding(std::uint64_t datapath_id);
   [[nodiscard]] const SwitchBinding* find_binding(std::uint64_t datapath_id) const;
@@ -266,6 +299,12 @@ class Controller {
   ControllerCounters counters_;
   verify::InvariantObserver* observer_ = nullptr;
   obs::ControllerInstruments instr_;
+  std::unique_ptr<FlowMonitor> monitor_;
+  // Stats requests awaiting a reply, keyed (datapath_id, xid). Replies erase
+  // their entry (matched) or count as unmatched; each poll cycle expires
+  // whatever the previous cycle left behind, so channel faults can never
+  // wedge the request/reply accounting.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> outstanding_stats_;
   bool polling_ = false;
   sim::EventHandle poll_event_;
   std::optional<of::AggregateStatsReply> last_aggregate_stats_;

@@ -1,0 +1,143 @@
+#include "controller/flow_monitor.hpp"
+
+#include <ostream>
+
+#include "net/address.hpp"
+
+namespace sdnbuf::ctrl {
+
+FlowMonitor::FlowMonitor(sim::Simulator& sim, FlowMonitorConfig config)
+    : sim_(sim), config_(config) {}
+
+void FlowMonitor::start() {
+  if (config_.sweep_interval <= sim::SimTime::zero()) return;
+  running_ = true;
+  sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() {
+    sim::ScopedProfileTag tag{"flow_monitor"};
+    sweep();
+  });
+}
+
+void FlowMonitor::stop() {
+  running_ = false;
+  sweep_event_.cancel();
+}
+
+void FlowMonitor::on_sample(std::uint64_t datapath_id, const of::FlowSample& sample,
+                            sim::SimTime now) {
+  ++counters_.samples_seen;
+  // Sequence accounting: the switch numbers its samples densely, so a jump
+  // past the expected value measures records the channel ate. Reordering
+  // does not occur on the FIFO channel; a duplicate (seq < expected) counts
+  // as neither progress nor loss.
+  auto [seq_it, first_sample] = next_seq_.try_emplace(datapath_id, 0);
+  if (sample.sample_seq >= seq_it->second) {
+    counters_.samples_lost += sample.sample_seq - seq_it->second;
+    seq_it->second = sample.sample_seq + 1;
+  }
+  (void)first_sample;
+
+  net::FlowKey key;
+  key.src_ip = net::Ipv4Address{sample.src_ip};
+  key.dst_ip = net::Ipv4Address{sample.dst_ip};
+  key.src_port = sample.src_port;
+  key.dst_port = sample.dst_port;
+  key.protocol = sample.protocol;
+  const CacheKey cache_key{datapath_id, key};
+  auto it = cache_.find(cache_key);
+  if (it == cache_.end()) {
+    if (cache_.size() >= config_.cache_capacity) evict_lru();
+    CacheEntry entry;
+    entry.first_seen = now;
+    ++counters_.cache_inserts;
+    it = cache_.emplace(cache_key, entry).first;
+  } else {
+    ++counters_.cache_updates;
+  }
+  ++it->second.sampled_packets;
+  it->second.sampled_bytes += sample.frame_bytes;
+  it->second.last_seen = now;
+}
+
+void FlowMonitor::export_entry(const CacheKey& key, const CacheEntry& entry, const char* reason,
+                               std::uint64_t& counter) {
+  FlowRecord record;
+  record.datapath_id = key.first;
+  record.key = key.second;
+  record.sampled_packets = entry.sampled_packets;
+  record.sampled_bytes = entry.sampled_bytes;
+  record.first_seen = entry.first_seen;
+  record.last_seen = entry.last_seen;
+  record.reason = reason;
+  exported_.push_back(record);
+  ++counter;
+}
+
+void FlowMonitor::evict_lru() {
+  if (cache_.empty()) return;
+  // Oldest last_seen loses; the ordered map breaks ties by key, so the
+  // choice is deterministic.
+  auto lru = cache_.begin();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->second.last_seen < lru->second.last_seen) lru = it;
+  }
+  export_entry(lru->first, lru->second, "evicted", counters_.exports_evicted);
+  cache_.erase(lru);
+}
+
+void FlowMonitor::sweep() {
+  const sim::SimTime now = sim_.now();
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (config_.idle_timeout > sim::SimTime::zero() &&
+        now - it->second.last_seen >= config_.idle_timeout) {
+      export_entry(it->first, it->second, "idle-timeout", counters_.exports_idle);
+      it = cache_.erase(it);
+      continue;
+    }
+    if (config_.active_timeout > sim::SimTime::zero() &&
+        now - it->second.first_seen >= config_.active_timeout) {
+      // Active export keeps the entry but restarts its reporting interval
+      // with the counters it has not yet reported.
+      export_entry(it->first, it->second, "active-timeout", counters_.exports_active);
+      it->second.sampled_packets = 0;
+      it->second.sampled_bytes = 0;
+      it->second.first_seen = now;
+    }
+    ++it;
+  }
+  if (running_) {
+    sweep_event_ = sim_.schedule(config_.sweep_interval, [this]() {
+      sim::ScopedProfileTag tag{"flow_monitor"};
+      sweep();
+    });
+  }
+}
+
+void FlowMonitor::flush(sim::SimTime now) {
+  (void)now;
+  for (const auto& [key, entry] : cache_) {
+    export_entry(key, entry, "final", counters_.exports_final);
+  }
+  cache_.clear();
+}
+
+void FlowMonitor::write_exports_csv(std::ostream& out) const {
+  out << "datapath_id,src_ip,dst_ip,src_port,dst_port,protocol,packets,bytes,first_us,last_us,"
+         "reason\n";
+  for (const FlowRecord& r : exported_) {
+    out << r.datapath_id << ',' << r.key.src_ip.to_string() << ',' << r.key.dst_ip.to_string()
+        << ',' << r.key.src_port << ',' << r.key.dst_port << ','
+        << static_cast<unsigned>(r.key.protocol) << ',' << r.sampled_packets << ','
+        << r.sampled_bytes << ',' << r.first_seen.ns() / 1000 << ',' << r.last_seen.ns() / 1000
+        << ',' << r.reason << '\n';
+  }
+}
+
+void FlowMonitor::reset() {
+  counters_ = FlowMonitorCounters{};
+  cache_.clear();
+  next_seq_.clear();
+  exported_.clear();
+}
+
+}  // namespace sdnbuf::ctrl

@@ -69,6 +69,15 @@ void install_metrics(obs::MetricsRegistry& registry, Testbed& bed,
   registry.register_poll("sink.packets_delivered", [&bed]() {
     return static_cast<double>(bed.sink2().packets_received());
   });
+  // True per-port high-water marks (updated at every enqueue), alongside the
+  // polled egress.queue_depth gauge which can alias past transient bursts.
+  registry.register_poll("egress.highwater_packets.port1", [&bed]() {
+    return static_cast<double>(bed.ovs().port_scheduler(Testbed::kHost1Port).highwater_packets());
+  });
+  registry.register_poll("egress.highwater_packets.port2", [&bed]() {
+    return static_cast<double>(bed.ovs().port_scheduler(Testbed::kHost2Port).highwater_packets());
+  });
+  if (config.observatory != nullptr) config.observatory->install_metrics(registry);
 }
 
 }  // namespace
@@ -89,7 +98,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                              : config.tracer;
   }
 
+  // Drop-attribution ledger: a FateObserver adapter joins the observer chain
+  // (injections + terminal fates); deliveries arrive via the sink taps below
+  // so duplicates collapse to one first-copy delivery per payload.
+  std::optional<obs::FateObserver> fate;
+  std::optional<obs::TeeObserver> fate_tee;
+  if (config.observatory != nullptr) {
+    fate.emplace(*config.observatory, "s1", /*endpoint_injections=*/true);
+    if (tb.observer != nullptr) {
+      fate_tee.emplace(tb.observer, &*fate);
+      tb.observer = &*fate_tee;
+    } else {
+      tb.observer = &*fate;
+    }
+  }
+
   Testbed bed{tb};
+  if (config.observatory != nullptr) {
+    auto tap = [obsy = config.observatory](const net::Packet& p, sim::SimTime now) {
+      obsy->on_delivered(p, now);
+    };
+    bed.sink1().set_telemetry_tap(tap);
+    bed.sink2().set_telemetry_tap(tap);
+  }
   if (config.capture != nullptr) config.capture->attach(bed.channel());
   if (config.profiler != nullptr) bed.sim().set_profile_sink(config.profiler);
   bed.warm_up();
@@ -175,6 +206,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.pkt_outs = cc.pkt_outs_sent;
   r.stats_requests = cc.stats_requests_sent;
   r.pkt_ins_dropped = cc.pkt_ins_dropped;
+  r.int_stamps = sc.int_stamps_applied;
+  // Fold the telemetry event log inside the measured run — the collector
+  // cost is part of what the overhead benchmark charges telemetry for.
+  if (config.observatory != nullptr) config.observatory->flush();
 
   const auto& up = bed.channel().to_controller_counters();
   const auto& down = bed.channel().to_switch_counters();
@@ -186,6 +221,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                 down.count(of::MsgType::EchoRequest) + down.count(of::MsgType::EchoReply);
   r.hello_msgs = up.count(of::MsgType::Hello) + down.count(of::MsgType::Hello);
   r.error_msgs = up.count(of::MsgType::Error) + down.count(of::MsgType::Error);
+  r.flow_samples = up.count(of::MsgType::Vendor);
 
   const auto& fc = bed.channel().fault_counters();
   r.channel_lost_msgs = fc.total_lost();

@@ -7,6 +7,7 @@
 
 #include "core/testbed.hpp"
 #include "host/traffic_gen.hpp"
+#include "obs/fabric_observatory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -63,6 +64,11 @@ struct ExperimentConfig {
   obs::FlowTracer* tracer = nullptr;
   // Event-loop profiler (wall-clock callback attribution).
   obs::EventLoopProfiler* profiler = nullptr;
+  // In-fabric telemetry plane (DESIGN.md §15): drop-attribution ledger and
+  // INT stamp harvesting. Null = off; the per-switch INT/sampling knobs live
+  // in testbed.switch_config (telemetry_int_depth / telemetry_sample_period)
+  // and the NetFlow app in testbed.controller_config.flow_monitor_enabled.
+  obs::FabricObservatory* observatory = nullptr;
 };
 
 struct ExperimentResult {
@@ -98,6 +104,10 @@ struct ExperimentResult {
   std::uint64_t to_switch_bytes = 0;
   std::uint64_t stats_requests = 0;
   std::uint64_t pkt_ins_dropped = 0;  // controller fault injection
+
+  // Telemetry plane (DESIGN.md §15).
+  std::uint64_t flow_samples = 0;  // vendor flow-sample records on the wire
+  std::uint64_t int_stamps = 0;    // INT hop stamps applied by the switch
 
   // Liveness / handshake traffic (both directions summed).
   std::uint64_t echo_msgs = 0;   // echo_request + echo_reply

@@ -21,6 +21,7 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   fc.observers = config.observers;
   fc.link_faults = config.link_faults;
   fc.switch_crashes = config.switch_crashes;
+  fc.observatory = config.observatory;
 
   FabricTestbed bed(fc);
   const bool sharded = bed.n_shards() > 1;
@@ -30,11 +31,12 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   SDNBUF_CHECK_MSG(!(sharded && config.closed_loop),
                    "closed-loop mode requires the sequential engine (shards <= 1)");
   if (sharded && (!config.observers.empty() || config.metrics != nullptr ||
+                  config.observatory != nullptr ||
                   config.delivery_bin > sim::SimTime::zero())) {
     // Observers span shard boundaries (cross-switch handoffs touch two
-    // registries) and metrics/delivery bins write shared aggregates. Keep
-    // the sharded schedule — windows and results are bit-identical either
-    // way — but execute its windows on one thread.
+    // registries) and metrics/delivery bins/the observatory write shared
+    // aggregates. Keep the sharded schedule — windows and results are
+    // bit-identical either way — but execute its windows on one thread.
     bed.engine().set_threads(1);
   }
   // Topology routing needs no learning warm-up; the measurement window opens
@@ -205,7 +207,13 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
   for (unsigned i = 0; i < bed.n_switches(); ++i) {
     r.switch_crashes += bed.switch_at(i).counters().crashes;
     r.buffer_units_expired += bed.switch_at(i).counters().buffer_units_expired;
+    r.flow_samples += bed.switch_at(i).counters().flow_samples_sent;
+    r.int_stamps += bed.switch_at(i).counters().int_stamps_applied;
   }
+  r.flow_samples_seen = cc.flow_samples_seen;
+  // Fold the telemetry event log inside the measured run — the collector
+  // cost is part of what the overhead benchmark charges telemetry for.
+  if (config.observatory != nullptr) config.observatory->flush();
   r.delivered_per_bin = std::move(delivered_per_bin);
   r.last_fault_clear = bed.last_fault_clear();
   if (sender) {

@@ -52,6 +52,11 @@ struct FabricExperimentConfig {
   obs::MetricsRegistry* metrics = nullptr;
   sim::SimTime metrics_interval = sim::SimTime::milliseconds(10);
 
+  // Optional telemetry observatory (forwarded into FabricConfig). Sharded
+  // runs with an observatory fall back to one worker thread — the ledger and
+  // heatmap are shared aggregates.
+  obs::FabricObservatory* observatory = nullptr;
+
   // --- data-plane fault plane (all inert by default) ---
   // Forwarded into FabricConfig; empty = fault-free, byte-identical runs.
   std::vector<LinkFaultSpec> link_faults;
@@ -85,6 +90,11 @@ struct FabricExperimentResult {
   std::uint64_t control_msgs = 0;
   std::uint64_t control_bytes = 0;
   double control_mbps = 0.0;  // control_bytes over the measurement window
+
+  // Telemetry plane (DESIGN.md §15).
+  std::uint64_t flow_samples = 0;      // sampled records sent by switches
+  std::uint64_t flow_samples_seen = 0; // records received at the controller
+  std::uint64_t int_stamps = 0;        // INT hop stamps applied fabric-wide
 
   // Flow setup delay at fabric scale: first-packet injection-to-delivery.
   util::Samples first_packet_ms;

@@ -118,19 +118,47 @@ FabricTestbed::FabricTestbed(const FabricConfig& config)
   }
   engine_.set_threads(config.shard_threads);
 
+  // Observer chains: per switch, the invariant registry (if any) teed with a
+  // FateObserver adapter into the shared observatory (if any). Injections
+  // into the observatory's global ledger are endpoint events only — the
+  // adapters pass endpoint_injections=false so cross-switch handoffs (which
+  // re-inject per-switch) do not double count; inject_from_host and the sink
+  // telemetry taps feed the global ledger directly.
+  observatory_ = config.observatory;
+  chain_.resize(topo_.n_switches(), nullptr);
+  for (unsigned i = 0; i < topo_.n_switches(); ++i) {
+    chain_[i] = observers_.empty() ? nullptr : observers_[i];
+    if (observatory_ == nullptr) continue;
+    fate_adapters_.push_back(std::make_unique<obs::FateObserver>(
+        *observatory_, topo_.name(topo_.switch_id(i)), /*endpoint_injections=*/false));
+    if (chain_[i] != nullptr) {
+      fate_tees_.push_back(
+          std::make_unique<obs::TeeObserver>(chain_[i], fate_adapters_.back().get()));
+      chain_[i] = fate_tees_.back().get();
+    } else {
+      chain_[i] = fate_adapters_.back().get();
+    }
+  }
+
   wire_ports();
 
-  if (!observers_.empty()) {
-    for (unsigned i = 0; i < n_switches(); ++i) {
-      verify::InvariantObserver* obs = observers_[i];
-      if (obs == nullptr) continue;
-      switches_[i]->set_invariant_observer(obs);
-      controller_->set_invariant_observer_for(i + 1, obs);
-      channels_[i]->set_verify_tap(
-          [obs](bool to_controller, const of::OfMessage& msg, std::size_t, sim::SimTime when) {
-            obs->on_control_message(to_controller, msg, when);
-          });
+  if (observatory_ != nullptr) {
+    for (unsigned h = 0; h < topo_.n_hosts(); ++h) {
+      sinks_[h]->set_telemetry_tap([obsy = observatory_](const net::Packet& p, sim::SimTime now) {
+        obsy->on_delivered(p, now);
+      });
     }
+  }
+
+  for (unsigned i = 0; i < n_switches(); ++i) {
+    verify::InvariantObserver* obs = chain_[i];
+    if (obs == nullptr) continue;
+    switches_[i]->set_invariant_observer(obs);
+    controller_->set_invariant_observer_for(i + 1, obs);
+    channels_[i]->set_verify_tap(
+        [obs](bool to_controller, const of::OfMessage& msg, std::size_t, sim::SimTime when) {
+          obs->on_control_message(to_controller, msg, when);
+        });
   }
 
   if (routing_ != FabricRouting::L2Learning) {
@@ -219,8 +247,8 @@ void FabricTestbed::wire_ports() {
         ShardDeliveries* slot = &shard_deliveries_[shard];
         switches_[si]->attach_port(adj.port, egress,
                                    [this, si, hi, ssim, slot](const net::Packet& p) {
-          if (!observers_.empty() && observers_[si] != nullptr) {
-            observers_[si]->on_packet_delivered(p, ssim->now());
+          if (chain_[si] != nullptr) {
+            chain_[si]->on_packet_delivered(p, ssim->now());
           }
           if (p.flow_id != metrics::kUntrackedFlow) {
             slot->delivered.emplace_back(p.flow_id, p.seq_in_flow);
@@ -236,11 +264,10 @@ void FabricTestbed::wire_ports() {
         switches_[si]->attach_port(adj.port, egress,
                                    [this, si, pi, peer_port, psim](const net::Packet& p) {
           // Cross-switch handoff: the sender's registry closes its account,
-          // the receiver's opens one.
-          if (!observers_.empty()) {
-            if (observers_[si] != nullptr) observers_[si]->on_packet_delivered(p, psim->now());
-            if (observers_[pi] != nullptr) observers_[pi]->on_packet_injected(p, psim->now());
-          }
+          // the receiver's opens one (the observatory's fate adapters ignore
+          // both — its ledger is endpoint-to-endpoint).
+          if (chain_[si] != nullptr) chain_[si]->on_packet_delivered(p, psim->now());
+          if (chain_[pi] != nullptr) chain_[pi]->on_packet_injected(p, psim->now());
           switches_[pi]->receive(peer_port, p);
         });
       }
@@ -257,8 +284,9 @@ void FabricTestbed::inject_from_host(unsigned host_index, const net::Packet& pac
   // Injection happens on the host's shard clock (== its edge switch's); a
   // sharded driver must call this from an event on that shard.
   sim::Simulator& hsim = shard_sim(host_shard_[host_index]);
-  if (!observers_.empty() && observers_[si] != nullptr) {
-    observers_[si]->on_packet_injected(packet, hsim.now());
+  if (observatory_ != nullptr) observatory_->on_injected(packet, hsim.now());
+  if (chain_[si] != nullptr) {
+    chain_[si]->on_packet_injected(packet, hsim.now());
   }
   const std::uint16_t in_port = att.peer_port;
   const auto sent = uplink.send_frame(
@@ -266,8 +294,8 @@ void FabricTestbed::inject_from_host(unsigned host_index, const net::Packet& pac
   if (sent != net::Link::SendResult::Sent) {
     // The injection was already opened in the switch's registry above; close
     // it so conservation still balances when the access link eats the frame.
-    if (!observers_.empty() && observers_[si] != nullptr) {
-      observers_[si]->on_packet_dropped(
+    if (chain_[si] != nullptr) {
+      chain_[si]->on_packet_dropped(
           packet, sent == net::Link::SendResult::FaultDrop ? "link-down" : "link-queue",
           hsim.now());
     }
@@ -378,6 +406,15 @@ void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
     });
     registry.register_poll(prefix + ".pkt_ins_sent",
                            [s]() { return static_cast<double>(s->counters().pkt_ins_sent); });
+    // True per-port high-water mark, reported as the max across the switch's
+    // ports (the full per-port breakdown lives in the observatory heatmap).
+    registry.register_poll(prefix + ".egress.highwater_packets", [this, i]() {
+      std::uint64_t hw = 0;
+      for (const topo::Topology::Adjacency& adj : topo_.adjacency(topo_.switch_id(i))) {
+        hw = std::max(hw, switches_[i]->port_scheduler(adj.port).highwater_packets());
+      }
+      return static_cast<double>(hw);
+    });
   }
   registry.register_poll("fabric.pkt_ins_sent",
                          [this]() { return static_cast<double>(total_pkt_ins()); });
@@ -392,6 +429,7 @@ void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
   });
   registry.register_poll("fabric.links_down",
                          [this]() { return static_cast<double>(router_->links_down()); });
+  if (observatory_ != nullptr) observatory_->install_metrics(registry);
 }
 
 void FabricTestbed::stop() {
@@ -418,6 +456,8 @@ void FabricTestbed::reset_statistics() {
   }
   controller_->cpu().reset_stats();
   controller_->reset_counters();
+  if (controller_->flow_monitor() != nullptr) controller_->flow_monitor()->reset();
+  if (observatory_ != nullptr) observatory_->reset();
   for (auto& s : sinks_) s->reset();
   for (auto& slot : shard_deliveries_) slot = ShardDeliveries{};
   measurement_start_ = sim_.now();

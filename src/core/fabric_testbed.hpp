@@ -28,7 +28,9 @@
 #include "controller/controller.hpp"
 #include "host/sink.hpp"
 #include "net/link.hpp"
+#include "obs/fabric_observatory.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "openflow/channel.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
@@ -104,6 +106,12 @@ struct FabricConfig {
   // existed (schedules attach after construction, arming no events).
   std::vector<LinkFaultSpec> link_faults;
   std::vector<SwitchCrashSpec> switch_crashes;
+  // In-fabric telemetry plane (DESIGN.md §15): drop-attribution ledger + INT
+  // harvest. Owned by the caller; null = off. The observatory is a single
+  // shared aggregate, so sharded runs with an observatory must execute on
+  // one thread (run_fabric_experiment enforces this). Per-switch INT and
+  // sampling knobs live in switch_config.
+  obs::FabricObservatory* observatory = nullptr;
 };
 
 class FabricTestbed {
@@ -202,6 +210,14 @@ class FabricTestbed {
   std::vector<std::unique_ptr<net::DuplexLink>> control_links_;  // per switch
   std::vector<std::unique_ptr<of::Channel>> channels_;           // per switch
   std::vector<verify::InvariantObserver*> observers_;            // empty or per switch
+  // Telemetry plane: per-switch fate adapters into the shared observatory,
+  // teed with the per-switch registries when both are present. chain_[i] is
+  // the observer every wiring point for switch i actually talks to (null
+  // when neither a registry nor an observatory is attached).
+  obs::FabricObservatory* observatory_ = nullptr;
+  std::vector<std::unique_ptr<obs::FateObserver>> fate_adapters_;
+  std::vector<std::unique_ptr<obs::TeeObserver>> fate_tees_;
+  std::vector<verify::InvariantObserver*> chain_;
   // Fault schedules live here because the links hold raw pointers into them.
   std::vector<std::unique_ptr<net::LinkFaultSchedule>> fault_schedules_;
   sim::SimTime last_fault_clear_;

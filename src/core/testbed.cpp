@@ -138,6 +138,7 @@ void Testbed::reset_statistics() {
   }
   sink1_.reset();
   sink2_.reset();
+  if (controller_->flow_monitor() != nullptr) controller_->flow_monitor()->reset();
   measurement_start_ = sim_.now();
 }
 

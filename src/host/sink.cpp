@@ -12,6 +12,7 @@ void HostSink::receive(const net::Packet& packet) {
     auto& per_seq = seen_[packet.flow_id];
     const bool first_copy = ++per_seq[packet.seq_in_flow] == 1;
     if (!first_copy) ++duplicates_;
+    if (first_copy && telemetry_tap_) telemetry_tap_(packet, sim_->now());
     if (first_copy && on_receive_) on_receive_(packet);
   }
 }

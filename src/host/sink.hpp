@@ -25,6 +25,14 @@ class HostSink {
   // counted but not re-reported).
   void set_on_receive(std::function<void(const net::Packet&)> cb) { on_receive_ = std::move(cb); }
 
+  // Telemetry harvest point: fires once per first-copy tracked delivery with
+  // the packet (including its INT hop-stamp stack) and the arrival time. A
+  // std::function rather than a FabricObservatory* keeps the host layer free
+  // of an obs-trace link dependency.
+  void set_telemetry_tap(std::function<void(const net::Packet&, sim::SimTime)> tap) {
+    telemetry_tap_ = std::move(tap);
+  }
+
   // Delivery callback (wired to the far end of the switch->host link).
   void receive(const net::Packet& packet);
 
@@ -45,6 +53,7 @@ class HostSink {
   sim::Simulator* sim_;
   metrics::DelayRecorder* recorder_ = nullptr;
   std::function<void(const net::Packet&)> on_receive_;
+  std::function<void(const net::Packet&, sim::SimTime)> telemetry_tap_;
   std::uint64_t packets_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t duplicates_ = 0;

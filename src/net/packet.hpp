@@ -21,6 +21,22 @@
 
 namespace sdnbuf::net {
 
+// One INT-style per-hop telemetry record, appended by a switch at egress
+// when its SwitchConfig::telemetry_int_depth is non-zero. The stack rides
+// the packet's simulator metadata (not the wire), so it crosses shard
+// boundaries by value with the packet — no shared mutable state.
+struct HopStamp {
+  std::uint64_t switch_id = 0;      // datapath id of the stamping switch
+  std::uint16_t in_port = 0;        // ingress port the packet arrived on
+  std::uint16_t out_port = 0;       // egress port chosen by the pipeline
+  std::uint32_t queue_depth = 0;    // egress backlog (packets) at enqueue
+  std::uint32_t buffer_units = 0;   // switch buffer-pool units in use
+  sim::SimTime arrived_at;          // switch ingress time
+  sim::SimTime departed_at;         // egress enqueue time
+
+  [[nodiscard]] sim::SimTime residence() const { return departed_at - arrived_at; }
+};
+
 struct Packet {
   EthernetHeader eth;
   Ipv4Header ip;
@@ -37,6 +53,12 @@ struct Packet {
   std::uint32_t seq_in_flow = 0;
   sim::SimTime created_at;      // when the source emitted the first bit
   std::uint16_t hops = 0;       // switches visited, against SwitchConfig::max_hops
+
+  // INT telemetry (DESIGN.md §15): per-hop stamps, bounded by the stamping
+  // switch's telemetry_int_depth. Empty — and never touched — when telemetry
+  // is off, so the default packet copies exactly as before.
+  std::vector<HopStamp> tstack;
+  sim::SimTime hop_arrived_at;  // ingress time at the current switch (scratch)
 
   [[nodiscard]] FlowKey flow_key() const;
 

@@ -110,6 +110,11 @@ struct Dissector {
   }
   std::string operator()(const BarrierRequest&) { return "barrier_request"; }
   std::string operator()(const BarrierReply&) { return "barrier_reply"; }
+  std::string operator()(const FlowSample& m) {
+    os << "flow_sample seq=" << m.sample_seq << " bytes=" << m.frame_bytes << " proto="
+       << static_cast<unsigned>(m.protocol);
+    return os.str();
+  }
 };
 
 }  // namespace

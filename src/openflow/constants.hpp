@@ -19,6 +19,7 @@ enum class MsgType : std::uint8_t {
   Error = 1,
   EchoRequest = 2,
   EchoReply = 3,
+  Vendor = 4,
   FeaturesRequest = 5,
   FeaturesReply = 6,
   PacketIn = 10,
@@ -127,6 +128,12 @@ inline constexpr std::uint32_t kPortStateLinkDown = 1u << 0;
 // ofp_flow_mod flags
 inline constexpr std::uint16_t kFlowModSendFlowRem = 1 << 0;
 
+// Vendor (experimenter) extension carrying sampled flow records to the
+// controller's FlowMonitor (DESIGN.md §15). The vendor id is a private-use
+// value; subtype 1 is the only message defined so far.
+inline constexpr std::uint32_t kSdnbufVendorId = 0x00005db1;
+inline constexpr std::uint16_t kFlowSampleSubtype = 1;
+
 // Fixed part sizes (bytes) of the OF 1.0 wire structures.
 inline constexpr std::size_t kHeaderSize = 8;
 inline constexpr std::size_t kMatchSize = 40;
@@ -144,6 +151,10 @@ inline constexpr std::size_t kFlowStatsEntrySize = 88;
 inline constexpr std::size_t kAggregateStatsReplyBodySize = 24;
 inline constexpr std::size_t kPortStatsRequestBodySize = 8;
 inline constexpr std::size_t kPortStatsEntrySize = 104;
+// Vendor flow-sample body: vendor_id(4) + subtype(2) + pad(2) + sample_seq(4)
+// + src_ip(4) + dst_ip(4) + src_port(2) + dst_port(2) + in_port(2) +
+// frame_bytes(2) + protocol(1) + pad(3) = 32.
+inline constexpr std::size_t kVendorFlowSampleSize = kHeaderSize + 32;  // 40
 
 // Bytes added around each OpenFlow message on the control path: the channel
 // runs over TCP/IP/Ethernet, and the paper measures control-path load with

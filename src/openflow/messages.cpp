@@ -21,6 +21,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::Error: return "error";
     case MsgType::EchoRequest: return "echo_request";
     case MsgType::EchoReply: return "echo_reply";
+    case MsgType::Vendor: return "vendor";
     case MsgType::FeaturesRequest: return "features_request";
     case MsgType::FeaturesReply: return "features_reply";
     case MsgType::PacketIn: return "packet_in";
@@ -66,6 +67,7 @@ MsgType message_type(const OfMessage& msg) {
     MsgType operator()(const PortStatsReply&) const { return MsgType::StatsReply; }
     MsgType operator()(const BarrierRequest&) const { return MsgType::BarrierRequest; }
     MsgType operator()(const BarrierReply&) const { return MsgType::BarrierReply; }
+    MsgType operator()(const FlowSample&) const { return MsgType::Vendor; }
   };
   return std::visit(Visitor{}, msg);
 }
@@ -113,6 +115,7 @@ std::size_t encoded_size(const OfMessage& msg) {
     }
     std::size_t operator()(const BarrierRequest&) const { return kHeaderSize; }
     std::size_t operator()(const BarrierReply&) const { return kHeaderSize; }
+    std::size_t operator()(const FlowSample&) const { return kVendorFlowSampleSize; }
   };
   return std::visit(Visitor{}, msg);
 }
@@ -299,6 +302,20 @@ void encode_message_into(const OfMessage& msg, std::vector<std::uint8_t>& out) {
     }
     void operator()(const BarrierRequest&) const {}
     void operator()(const BarrierReply&) const {}
+    void operator()(const FlowSample& m) const {
+      put_be32(out, kSdnbufVendorId);
+      put_be16(out, kFlowSampleSubtype);
+      put_pad(out, 2);
+      put_be32(out, m.sample_seq);
+      put_be32(out, m.src_ip);
+      put_be32(out, m.dst_ip);
+      put_be16(out, m.src_port);
+      put_be16(out, m.dst_port);
+      put_be16(out, m.in_port);
+      put_be16(out, m.frame_bytes);
+      out.push_back(m.protocol);
+      put_pad(out, 3);
+    }
   };
 
   put_header(out, type, total, xid);
@@ -513,6 +530,22 @@ std::optional<OfMessage> decode_message(std::span<const std::uint8_t> in) {
       return BarrierRequest{xid};
     case MsgType::BarrierReply:
       return BarrierReply{xid};
+    case MsgType::Vendor: {
+      if (body.size() != kVendorFlowSampleSize - kHeaderSize) return std::nullopt;
+      if (get_be32(body, 0) != kSdnbufVendorId) return std::nullopt;
+      if (get_be16(body, 4) != kFlowSampleSubtype) return std::nullopt;
+      FlowSample m;
+      m.xid = xid;
+      m.sample_seq = get_be32(body, 8);
+      m.src_ip = get_be32(body, 12);
+      m.dst_ip = get_be32(body, 16);
+      m.src_port = get_be16(body, 20);
+      m.dst_port = get_be16(body, 22);
+      m.in_port = get_be16(body, 24);
+      m.frame_bytes = get_be16(body, 26);
+      m.protocol = body[28];
+      return m;
+    }
     default:
       return std::nullopt;
   }

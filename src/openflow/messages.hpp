@@ -218,6 +218,25 @@ struct Error {
   bool operator==(const Error&) const = default;
 };
 
+// OFPT_VENDOR (experimenter) flow sample: one NetFlow-style sampled packet
+// record emitted by a switch whose telemetry_sample_period is non-zero and
+// consumed by the controller's FlowMonitor (DESIGN.md §15). Carries the
+// 5-tuple plus arrival context; `sample_seq` is the switch's running sample
+// counter, so the controller can detect channel loss of sample records.
+struct FlowSample {
+  std::uint32_t xid = 0;
+  std::uint32_t sample_seq = 0;
+  std::uint32_t src_ip = 0;  // raw nw_src/nw_dst, matching ofp_match encoding
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t in_port = 0;
+  std::uint16_t frame_bytes = 0;  // frame size of the sampled packet
+  std::uint8_t protocol = 0;      // IP protocol of the sampled packet
+
+  bool operator==(const FlowSample&) const = default;
+};
+
 struct BarrierRequest {
   std::uint32_t xid = 0;
   bool operator==(const BarrierRequest&) const = default;
@@ -232,7 +251,7 @@ using OfMessage =
     std::variant<Hello, Error, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply, PacketIn,
                  PacketOut, FlowMod, FlowRemoved, PortStatus, FlowStatsRequest, FlowStatsReply,
                  AggregateStatsRequest, AggregateStatsReply, PortStatsRequest, PortStatsReply,
-                 BarrierRequest, BarrierReply>;
+                 BarrierRequest, BarrierReply, FlowSample>;
 
 [[nodiscard]] MsgType message_type(const OfMessage& msg);
 [[nodiscard]] std::uint32_t message_xid(const OfMessage& msg);

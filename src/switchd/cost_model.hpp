@@ -58,6 +58,11 @@ struct CostModel {
   double stats_base_us = 25.0;
   double stats_per_entry_us = 1.0;
 
+  // Encoding one telemetry flow-sample record (vendor message) on the
+  // switch CPU — cheap, but at aggressive sampling periods it visibly
+  // competes with miss handling for the same cores.
+  double sample_encode_us = 8.0;
+
   // Lognormal jitter sigma applied to every drawn cost.
   double jitter_sigma = 0.15;
 

@@ -45,6 +45,12 @@ bool EgressScheduler::enqueue(const net::Packet& packet) {
   queue.packets.push_back(Queued{packet, sim_.now()});
   queue.backlog_bytes += packet.frame_size;
   ++queue.stats.enqueued;
+  // Pure counters (no sim-state reads, no scheduling), so maintaining them
+  // unconditionally cannot perturb the event sequence.
+  const std::uint64_t backlog_pkts = total_backlog_packets();
+  if (backlog_pkts > highwater_packets_) highwater_packets_ = backlog_pkts;
+  const std::uint64_t backlog_b = total_backlog_bytes();
+  if (backlog_b > highwater_bytes_) highwater_bytes_ = backlog_b;
   if (instr_.queue_depth != nullptr) {
     instr_.queue_depth->record(static_cast<double>(total_backlog_packets()));
   }
@@ -169,6 +175,12 @@ std::uint64_t EgressScheduler::backlog_bytes(unsigned service_class) const {
 std::uint64_t EgressScheduler::total_backlog_packets() const {
   std::uint64_t n = 0;
   for (const auto& q : queues_) n += q.packets.size();
+  return n;
+}
+
+std::uint64_t EgressScheduler::total_backlog_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& q : queues_) n += q.backlog_bytes;
   return n;
 }
 

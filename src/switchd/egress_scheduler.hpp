@@ -86,6 +86,11 @@ class EgressScheduler {
   [[nodiscard]] const ClassStats& class_stats(unsigned service_class) const;
   [[nodiscard]] std::uint64_t backlog_bytes(unsigned service_class) const;
   [[nodiscard]] std::uint64_t total_backlog_packets() const;
+  [[nodiscard]] std::uint64_t total_backlog_bytes() const;
+  // True high-water marks, updated at every enqueue — unlike the 10ms polled
+  // gauge these cannot alias past a transient burst between snapshots.
+  [[nodiscard]] std::uint64_t highwater_packets() const { return highwater_packets_; }
+  [[nodiscard]] std::uint64_t highwater_bytes() const { return highwater_bytes_; }
   [[nodiscard]] const EgressSchedulerConfig& config() const { return config_; }
 
  private:
@@ -125,6 +130,8 @@ class EgressScheduler {
   // this visit (reset whenever the cursor advances).
   bool drr_topped_up_ = false;
   bool busy_ = false;
+  std::uint64_t highwater_packets_ = 0;
+  std::uint64_t highwater_bytes_ = 0;
 };
 
 }  // namespace sdnbuf::sw

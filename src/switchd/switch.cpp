@@ -143,6 +143,9 @@ void Switch::receive(std::uint16_t in_port, net::Packet packet) {
     it->second.rx_bytes += packet.frame_size;
   }
   if (recorder_ != nullptr) recorder_->on_first_packet_arrival(packet.flow_id, sim_.now());
+  // Telemetry hooks, both inert (one integer compare) when disabled.
+  if (config_.telemetry_int_depth != 0) packet.hop_arrived_at = sim_.now();
+  if (config_.telemetry_sample_period != 0) maybe_sample(in_port, packet);
 
   // ASIC match stage: a fixed-latency hardware pipeline — deterministic, so
   // simultaneously arriving packets keep their arrival order.
@@ -422,7 +425,8 @@ void Switch::send_packet_in(const net::Packet& packet, std::uint16_t in_port,
     instr_.pkt_in_bytes->record(static_cast<double>(data_bytes));
   }
   pending_requests_[msg.xid] =
-      PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at};
+      PendingRequest{packet.flow_id, packet.seq_in_flow, packet.created_at, packet.tstack,
+                     packet.hop_arrived_at};
   ++counters_.pkt_ins_sent;
   if (observer_ != nullptr) observer_->on_packet_in_sent(msg.xid, packet, buffer_id, sim_.now());
   channel_->send_from_switch(msg);
@@ -558,6 +562,8 @@ void Switch::handle_packet_out(const of::PacketOut& msg) {
         parsed->flow_id = pending->flow_id;
         parsed->seq_in_flow = pending->seq_in_flow;
         parsed->created_at = pending->created_at;
+        parsed->tstack = pending->tstack;
+        parsed->hop_arrived_at = pending->hop_arrived_at;
       }
       bus_.submit(bus_time(msg.data.size()), [this, packet = *parsed, msg]() {
         execute_actions(packet, msg.actions, msg.in_port);
@@ -656,6 +662,27 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port, std::uint
     handle_port_down_packet(port, packet, in_port);
     return;
   }
+  if (config_.telemetry_int_depth != 0 && packet.tstack.size() < config_.telemetry_int_depth) {
+    // INT stamping: one copy, one stamp, bounded by the configured depth.
+    // The queue depth is read before this packet joins the backlog.
+    net::Packet stamped = packet;
+    net::HopStamp stamp;
+    stamp.switch_id = config_.datapath_id;
+    stamp.in_port = in_port;
+    stamp.out_port = out_port;
+    stamp.queue_depth = static_cast<std::uint32_t>(port.scheduler->total_backlog_packets());
+    stamp.buffer_units = static_cast<std::uint32_t>(buffer_units_in_use());
+    stamp.arrived_at = packet.hop_arrived_at;
+    stamp.departed_at = sim_.now();
+    stamped.tstack.push_back(stamp);
+    ++counters_.int_stamps_applied;
+    enqueue_egress(port, stamped);
+    return;
+  }
+  enqueue_egress(port, packet);
+}
+
+void Switch::enqueue_egress(Port& port, const net::Packet& packet) {
   if (!port.scheduler->enqueue(packet)) {
     ++port.tx_dropped;
     ++counters_.packets_dropped;
@@ -666,6 +693,45 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port, std::uint
   if (recorder_ != nullptr) recorder_->on_packet_departure(packet.flow_id, sim_.now());
   ++port.tx_packets;
   port.tx_bytes += packet.frame_size;
+}
+
+bool Switch::sample_hit(const net::Packet& packet) const {
+  // splitmix64 finalizer over (flow hash, sequence, salt): deterministic for
+  // a fixed salt, independent of arrival order, host, and shard layout.
+  std::uint64_t h = packet.flow_key().hash() ^
+                    (std::uint64_t{packet.seq_in_flow} * 0x9e3779b97f4a7c15ULL) ^
+                    config_.telemetry_sample_salt;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h % config_.telemetry_sample_period == 0;
+}
+
+void Switch::maybe_sample(std::uint16_t in_port, const net::Packet& packet) {
+  if (channel_ == nullptr || conn_state_ != ConnectionState::Connected) return;
+  if (!sample_hit(packet)) return;
+  // Build the record now (arrival context), pay the encode cost on the
+  // shared switch CPU, then ship it — the same contention path packet_ins
+  // take, which is what makes aggressive sampling measurably expensive.
+  of::FlowSample record;
+  const net::FlowKey key = packet.flow_key();
+  record.src_ip = key.src_ip.value();
+  record.dst_ip = key.dst_ip.value();
+  record.src_port = key.src_port;
+  record.dst_port = key.dst_port;
+  record.protocol = key.protocol;
+  record.in_port = in_port;
+  record.frame_bytes = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(packet.frame_size, 0xffff));
+  cpu_.submit(cost_us(config_.costs.sample_encode_us), [this, record]() mutable {
+    if (channel_ == nullptr || conn_state_ != ConnectionState::Connected) return;
+    record.xid = channel_->next_xid();
+    record.sample_seq = static_cast<std::uint32_t>(counters_.flow_samples_sent);
+    ++counters_.flow_samples_sent;
+    channel_->send_from_switch(record);
+  });
 }
 
 void Switch::flood(const net::Packet& packet, std::uint16_t in_port) {

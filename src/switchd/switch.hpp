@@ -128,6 +128,17 @@ struct SwitchConfig {
   // Egress scheduling for every port (§VII future work). The default Fifo
   // policy is behaviourally identical to sending straight to the link.
   EgressSchedulerConfig egress;
+  // --- In-fabric telemetry (DESIGN.md §15); both knobs default off, and an
+  // off switch executes a bit-identical instruction stream. ---
+  // INT-style per-hop stamping: append a net::HopStamp at egress while the
+  // packet's stack holds fewer than this many entries (0 = no stamping).
+  unsigned telemetry_int_depth = 0;
+  // NetFlow-style 1-in-N deterministic packet sampling at ingress; sampled
+  // records travel to the controller as of::FlowSample messages (0 = off).
+  std::uint32_t telemetry_sample_period = 0;
+  // Decorrelates the sampling hash across switches (same role as a sFlow
+  // agent's seed); sampling stays deterministic for a fixed salt.
+  std::uint64_t telemetry_sample_salt = 0;
 };
 
 struct SwitchCounters {
@@ -168,6 +179,9 @@ struct SwitchCounters {
   std::uint64_t crashes = 0;               // crash() calls
   std::uint64_t crash_dropped = 0;         // ingress frames dropped while crashed
   std::uint64_t hop_limit_dropped = 0;     // frames that exhausted max_hops
+  // In-fabric telemetry.
+  std::uint64_t flow_samples_sent = 0;     // of::FlowSample records emitted
+  std::uint64_t int_stamps_applied = 0;    // HopStamps appended at egress
 };
 
 class Switch {
@@ -302,7 +316,13 @@ class Switch {
   void execute_actions(const net::Packet& packet, const of::ActionList& actions,
                        std::uint16_t in_port);
   void egress(const net::Packet& packet, std::uint16_t out_port, std::uint16_t in_port);
+  // Tail of egress(): scheduler enqueue + forwarding accounting.
+  void enqueue_egress(Port& port, const net::Packet& packet);
   void flood(const net::Packet& packet, std::uint16_t in_port);
+  // Deterministic 1-in-N sampling decision (telemetry_sample_period != 0).
+  [[nodiscard]] bool sample_hit(const net::Packet& packet) const;
+  // Emits an of::FlowSample for `packet` if it falls in the sample.
+  void maybe_sample(std::uint16_t in_port, const net::Packet& packet);
   // Fate policy entry point for a packet whose egress port is down.
   void handle_port_down_packet(Port& port, const net::Packet& packet, std::uint16_t in_port);
   void send_port_status(std::uint16_t port_no, const Port& port, bool up);
@@ -332,6 +352,10 @@ class Switch {
     std::uint64_t flow_id = metrics::kUntrackedFlow;
     std::uint32_t seq_in_flow = 0;
     sim::SimTime created_at;
+    // INT state survives the controller round trip: no-buffer packet_out
+    // frames are re-parsed from wire bytes, which carry no stamps.
+    std::vector<net::HopStamp> tstack;
+    sim::SimTime hop_arrived_at;
   };
 
   [[nodiscard]] std::uint64_t flow_id_for_xid(std::uint32_t xid) const;

@@ -387,6 +387,20 @@ std::vector<PayloadId> InvariantRegistry::delivered_payloads() const {
   return out;  // accounts_ is ordered, so this is already sorted
 }
 
+InvariantRegistry::AccountTotals InvariantRegistry::account_totals() const {
+  AccountTotals t;
+  for (const auto& [id, account] : accounts_) {
+    t.injected += account.injected;
+    t.delivered += account.delivered;
+    t.dropped += account.dropped;
+    t.expired += account.expired;
+    t.lost += account.lost;
+    t.buffered += account.buffered;
+    t.dup_allowance += account.dup_allowance;
+  }
+  return t;
+}
+
 std::string InvariantRegistry::report(std::size_t max_lines) const {
   if (total_violations_ == 0) {
     return "ok (" + std::to_string(events_) + " events observed" +

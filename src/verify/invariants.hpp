@@ -112,6 +112,19 @@ class InvariantRegistry final : public InvariantObserver {
   // payloads).
   [[nodiscard]] std::vector<PayloadId> delivered_payloads() const;
 
+  // Summed per-payload accounting, for cross-validating external ledgers
+  // (the obs::FabricObservatory fate ledger checks its totals against these).
+  struct AccountTotals {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t dup_allowance = 0;
+  };
+  [[nodiscard]] AccountTotals account_totals() const;
+
   // Human-readable violation digest (at most `max_lines` violations).
   [[nodiscard]] std::string report(std::size_t max_lines = 20) const;
 

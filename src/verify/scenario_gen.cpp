@@ -11,7 +11,7 @@
 namespace sdnbuf::verify {
 
 Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabric,
-                         bool force_link_faults, bool force_shards) {
+                         bool force_link_faults, bool force_shards, bool force_telemetry) {
   // Decorrelate the sampling stream from the experiment's own seeded
   // streams (which derive from `seed` directly).
   util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1e);
@@ -82,6 +82,16 @@ Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabri
   const bool want_shards = rng.next_double() < 0.30;
   if (s.has_fabric() && (want_shards || force_shards)) {
     s.fabric_shards = static_cast<unsigned>(2 + rng.next_below(3));  // 2..4
+  }
+  // Telemetry draws come after everything else (append-only discipline: the
+  // telemetry dimension existing never changes the scenario a seed already
+  // maps to). The gate draw is always consumed.
+  const bool want_telemetry = rng.next_double() < 0.30;
+  if (want_telemetry || force_telemetry) {
+    s.telemetry = true;
+    s.telemetry_int_depth = static_cast<unsigned>(rng.next_below(9));  // 0..8 hops
+    constexpr std::uint32_t kPeriods[] = {0, 1, 4, 16, 64};
+    s.telemetry_sample_period = kPeriods[rng.next_below(5)];
   }
   return s;
 }
@@ -167,6 +177,13 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
     cfg.max_packets = 6;
     cfg.seed = scenario.seed;
     cfg.observers = observers;
+    obs::FabricObservatory obsy;
+    if (scenario.has_telemetry()) {
+      cfg.observatory = &obsy;
+      cfg.fabric.switch_config.telemetry_int_depth = scenario.telemetry_int_depth;
+      cfg.fabric.switch_config.telemetry_sample_period = scenario.telemetry_sample_period;
+      cfg.fabric.controller_config.flow_monitor_enabled = scenario.telemetry_sample_period > 0;
+    }
     if (scenario.has_link_faults()) {
       // Seeded flap schedules on every inter-switch link, identical across
       // the three mechanism runs. The horizon ends well inside the drain
@@ -189,6 +206,40 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
     drained[i] = r.drained;
     out.fabric_delivered += r.packets_delivered;
 
+    if (scenario.has_telemetry()) {
+      // Fabric ledger totality. Injections are endpoint-driven and exact;
+      // fault-free drained runs must close completely (every payload
+      // delivered, nothing fated or stranded). Under link faults the
+      // mechanisms legitimately lose packets, but every loss still needs a
+      // terminal fate or a buffer slot — injected covers them by identity,
+      // and the delivered count must still match the sinks exactly (drained
+      // fault-free runs have no duplicates, so unique == copies).
+      const std::string label =
+          "fabric-telemetry " + std::string(sw::buffer_mode_name(kModes[i]));
+      if (obsy.injected() != r.packets_sent) {
+        out.failures.push_back(label + ": ledger injected " + std::to_string(obsy.injected()) +
+                               " != packets sent " + std::to_string(r.packets_sent));
+      }
+      if (!scenario.has_link_faults() && r.drained) {
+        if (obsy.delivered() != r.packets_delivered) {
+          out.failures.push_back(label + ": ledger delivered " +
+                                 std::to_string(obsy.delivered()) + " != sink deliveries " +
+                                 std::to_string(r.packets_delivered));
+        }
+        if (obsy.fated() != 0 || obsy.stranded() != 0) {
+          out.failures.push_back(label + ": drained run left fated=" +
+                                 std::to_string(obsy.fated()) + " stranded=" +
+                                 std::to_string(obsy.stranded()));
+        }
+      }
+      if (scenario.telemetry_int_depth > 0 && obsy.delivered() > 0 &&
+          obsy.stamped_deliveries() != obsy.delivered()) {
+        out.failures.push_back(label + ": " + std::to_string(obsy.stamped_deliveries()) +
+                               " stamped deliveries but " + std::to_string(obsy.delivered()) +
+                               " ledgered (depth >= 1 must stamp every delivery)");
+      }
+    }
+
     if (scenario.fabric_shards >= 2) {
       // Re-run this mechanism on the sharded engine: per-switch conservation
       // must hold there too, and — fault-free and drained on both engines —
@@ -198,6 +249,10 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
       std::vector<std::unique_ptr<InvariantRegistry>> shard_registries;
       core::FabricExperimentConfig shard_cfg = cfg;
       shard_cfg.observers.clear();
+      // The observatory is one shared ledger; re-running the same payloads
+      // through it would mix two runs' fates. The telemetry *knobs* stay on
+      // so the sharded run stamps and samples identically.
+      shard_cfg.observatory = nullptr;
       for (unsigned sw_i = 0; sw_i < topology.n_switches(); ++sw_i) {
         shard_registries.push_back(std::make_unique<InvariantRegistry>());
         if (scenario.fabric_full_path) shard_registries.back()->set_allow_proactive_installs(true);
@@ -309,6 +364,10 @@ std::string Scenario::describe() const {
     }
     if (fabric_shards > 0) os << " fabric_shards=" << fabric_shards;
   }
+  if (has_telemetry()) {
+    os << " telemetry=on int_depth=" << telemetry_int_depth
+       << " sample_period=" << telemetry_sample_period;
+  }
   return os.str();
 }
 
@@ -338,6 +397,11 @@ core::ExperimentConfig Scenario::experiment_config(sw::BufferMode mode) const {
   }
   cfg.testbed.switch_config.echo_interval = echo_interval;
   cfg.testbed.switch_config.fail_mode = fail_mode;
+  if (telemetry) {
+    cfg.testbed.switch_config.telemetry_int_depth = telemetry_int_depth;
+    cfg.testbed.switch_config.telemetry_sample_period = telemetry_sample_period;
+    cfg.testbed.controller_config.flow_monitor_enabled = telemetry_sample_period > 0;
+  }
   return cfg;
 }
 
@@ -351,6 +415,8 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
     InvariantRegistry registry;
     core::ExperimentConfig cfg = scenario.experiment_config(kModes[i]);
     cfg.observer = &registry;
+    obs::FabricObservatory obsy;
+    if (scenario.has_telemetry()) cfg.observatory = &obsy;
 
     ModeOutcome& mo = out.modes[i];
     mo.mode = kModes[i];
@@ -373,6 +439,38 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
     }
     if (!registry.ok()) {
       out.failures.push_back(std::string(sw::buffer_mode_name(mo.mode)) + ": " + mo.report);
+    }
+
+    if (scenario.has_telemetry()) {
+      // Ledger totality, cross-checked against the registry's independent
+      // per-payload accounting. Endpoint injections are fault-immune, so the
+      // injected count is exact regardless of channel faults. Fault-free,
+      // the fate and stranded totals must match the registry's drop/expire/
+      // loss and still-buffered counts exactly; under channel faults a
+      // retransmitted copy can retract an earlier fate (delivery wins), so
+      // the fate total may only shrink below the registry's sum.
+      const std::string label = std::string("telemetry ") + sw::buffer_mode_name(mo.mode);
+      const InvariantRegistry::AccountTotals at = registry.account_totals();
+      const std::uint64_t accounted = at.dropped + at.expired + at.lost;
+      if (obsy.injected() != mo.result.packets_sent) {
+        out.failures.push_back(label + ": ledger injected " + std::to_string(obsy.injected()) +
+                               " != packets sent " + std::to_string(mo.result.packets_sent));
+      }
+      if (!scenario.has_channel_faults()) {
+        if (obsy.fated() != accounted) {
+          out.failures.push_back(label + ": ledger fated " + std::to_string(obsy.fated()) +
+                                 " != registry dropped+expired+lost " +
+                                 std::to_string(accounted));
+        }
+        if (obsy.stranded() != at.buffered) {
+          out.failures.push_back(label + ": ledger stranded " + std::to_string(obsy.stranded()) +
+                                 " != registry still-buffered " + std::to_string(at.buffered));
+        }
+      } else if (obsy.fated() > accounted) {
+        out.failures.push_back(label + ": ledger fated " + std::to_string(obsy.fated()) +
+                               " exceeds registry dropped+expired+lost " +
+                               std::to_string(accounted));
+      }
     }
   }
 

@@ -70,7 +70,19 @@ struct Scenario {
   // the identical delivered payload multiset. 0 disables it.
   unsigned fabric_shards = 0;
 
+  // Telemetry-plane cross-check (DESIGN.md §15): attach a FabricObservatory
+  // to every mechanism run and require the drop-attribution ledger to close
+  // against the invariant registry's independent accounting. INT depth and
+  // the sampling period exercise the stamping / NetFlow paths; both zero
+  // leaves just the passive ledger. `telemetry == false` disables the whole
+  // dimension.
+  bool telemetry = false;
+  unsigned telemetry_int_depth = 0;
+  std::uint32_t telemetry_sample_period = 0;
+
   [[nodiscard]] bool has_fabric() const { return fabric_switches > 0; }
+
+  [[nodiscard]] bool has_telemetry() const { return telemetry; }
 
   [[nodiscard]] bool has_link_faults() const { return fabric_flap_mean_up_s > 0.0; }
 
@@ -100,11 +112,14 @@ struct Scenario {
 // guarantees data-plane flap schedules on its inter-switch links.
 // `force_shards` implies a fabric and guarantees the sharded-engine
 // cross-check fires; its draws are appended last so forcing it never
-// perturbs the scenario a seed already maps to.
+// perturbs the scenario a seed already maps to. `force_telemetry` likewise
+// guarantees the observatory ledger cross-check attaches (its draws are
+// appended after everything else, same append-only discipline).
 [[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false,
                                        bool force_fabric = false,
                                        bool force_link_faults = false,
-                                       bool force_shards = false);
+                                       bool force_shards = false,
+                                       bool force_telemetry = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;

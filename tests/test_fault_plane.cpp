@@ -130,6 +130,33 @@ TEST(ChannelFaults, RejectsUnsortedOutageWindows) {
   EXPECT_DEATH(rig.channel.set_fault_profile(profile, 1), "outage");
 }
 
+// Stats polling under channel faults: lost requests and lost replies are
+// written off at the next poll cycle (stats_requests_expired), duplicated
+// replies land in stats_replies_unmatched, and the request/reply accounting
+// never wedges — every request ends up exactly once in {seen, expired}, so
+// the outstanding-xid set cannot leak.
+TEST(ChannelFaults, StatsPollingSurvivesLossAndDuplication) {
+  core::TestbedConfig tb;
+  tb.controller_config.stats_poll_interval = ms(50);
+  tb.fault_profile.loss_to_switch = 0.3;           // stats requests eaten
+  tb.fault_profile.loss_to_controller = 0.3;       // stats replies eaten
+  tb.fault_profile.duplicate_to_controller = 0.3;  // stats replies doubled
+  core::Testbed bed{tb};
+  bed.warm_up();
+  bed.sim().run_until(bed.measurement_start() + sim::SimTime::seconds(2));
+  bed.ovs().stop();
+  bed.controller().stop();
+  bed.sim().run();
+
+  const ctrl::ControllerCounters& cc = bed.controller().counters();
+  EXPECT_GT(cc.stats_requests_sent, 0u);
+  EXPECT_GT(cc.stats_replies_seen, 0u) << "some replies must get through at 30% loss";
+  EXPECT_GT(cc.stats_requests_expired, 0u) << "lost requests/replies must be written off";
+  EXPECT_GT(cc.stats_replies_unmatched, 0u) << "duplicated replies must land as unmatched";
+  EXPECT_EQ(cc.stats_replies_seen + cc.stats_requests_expired, cc.stats_requests_sent)
+      << "every request must resolve to exactly one of {matched, expired}";
+}
+
 // Registry accounting: a lost full-frame packet_in takes its payload with
 // it, and the `lost` bucket closes conservation.
 TEST(RegistryFaultAccounting, LostFrameCarrierClosesConservation) {

@@ -264,6 +264,9 @@ TEST(StatsController, PollingDisabledByDefault) {
 }
 
 TEST(StatsController, RepliesStoredAndCounted) {
+  // Unsolicited replies (no outstanding request xid) are stored but count as
+  // unmatched — stats_replies_seen only moves for replies that answer a
+  // request the controller actually sent.
   sim::Simulator sim;
   net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
   of::Channel channel{sim, control.forward(), control.reverse()};
@@ -276,11 +279,68 @@ TEST(StatsController, RepliesStoredAndCounted) {
   ports.ports.push_back(of::PortStatsEntry{1, 1, 2, 3, 4, 0, 0});
   channel.send_from_switch(ports);
   sim.run();
-  EXPECT_EQ(controller.counters().stats_replies_seen, 2u);
+  EXPECT_EQ(controller.counters().stats_replies_seen, 0u);
+  EXPECT_EQ(controller.counters().stats_replies_unmatched, 2u);
   ASSERT_TRUE(controller.last_aggregate_stats().has_value());
   EXPECT_EQ(controller.last_aggregate_stats()->flow_count, 42u);
   ASSERT_TRUE(controller.last_port_stats().has_value());
   EXPECT_EQ(controller.last_port_stats()->ports.size(), 1u);
+}
+
+TEST(StatsController, MatchedReplyThenChannelDuplicate) {
+  // A reply echoing an outstanding request xid is seen exactly once; a
+  // channel-duplicated copy of the same reply counts as unmatched instead of
+  // inflating stats_replies_seen.
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::Controller controller{sim, ctrl::ControllerConfig{}, 42};
+  controller.connect(channel);
+  std::uint32_t request_xid = 0;
+  channel.set_switch_handler([&](const of::OfMessage& m, std::size_t) {
+    if (const auto* req = std::get_if<of::PortStatsRequest>(&m)) request_xid = req->xid;
+  });
+  controller.request_port_stats();
+  sim.run();
+  ASSERT_NE(request_xid, 0u);
+
+  of::PortStatsReply reply;
+  reply.xid = request_xid;
+  reply.ports.push_back(of::PortStatsEntry{1, 1, 2, 3, 4, 0, 0});
+  channel.send_from_switch(reply);
+  sim.run();
+  EXPECT_EQ(controller.counters().stats_replies_seen, 1u);
+  EXPECT_EQ(controller.counters().stats_replies_unmatched, 0u);
+
+  channel.send_from_switch(reply);  // duplicated on the wire
+  sim.run();
+  EXPECT_EQ(controller.counters().stats_replies_seen, 1u);
+  EXPECT_EQ(controller.counters().stats_replies_unmatched, 1u);
+  ASSERT_TRUE(controller.last_port_stats().has_value());
+}
+
+TEST(StatsController, LostRepliesExpireInsteadOfWedging) {
+  // Replies never arrive (the switch side swallows every request). Each poll
+  // cycle writes off the previous cycle's outstanding xids, and stop()
+  // flushes the rest — the request/reply accounting cannot wedge and the
+  // outstanding set cannot leak.
+  sim::Simulator sim;
+  net::DuplexLink control{sim, "ctl", 1000e6, sim::SimTime::microseconds(250)};
+  of::Channel channel{sim, control.forward(), control.reverse()};
+  ctrl::ControllerConfig config;
+  config.stats_poll_interval = sim::SimTime::milliseconds(100);
+  ctrl::Controller controller{sim, config, 42};
+  controller.connect(channel);
+  channel.set_switch_handler([](const of::OfMessage&, std::size_t) {});
+  controller.start();
+  sim.run_until(sim::SimTime::milliseconds(550));
+  EXPECT_EQ(controller.counters().stats_requests_sent, 10u);  // 5 cycles x 2
+  EXPECT_EQ(controller.counters().stats_replies_seen, 0u);
+  // Cycles 2..5 each expired the previous cycle's two unanswered requests.
+  EXPECT_EQ(controller.counters().stats_requests_expired, 8u);
+  controller.stop();
+  EXPECT_EQ(controller.counters().stats_requests_expired, 10u);
+  sim.run();
 }
 
 // --- fault injection (exercises Algorithm 1's resend end to end) ---
