@@ -25,6 +25,7 @@
 #include "core/experiment.hpp"
 #include "core/fabric_experiment.hpp"
 #include "obs/fabric_observatory.hpp"
+#include "switchd/mmu/mmu.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -167,6 +168,12 @@ int main(int argc, char** argv) {
   fc.fabric.switch_config.telemetry_int_depth = 8;
   fc.fabric.switch_config.telemetry_sample_period = 8;
   fc.fabric.controller_config.flow_monitor_enabled = true;
+  // Dynamic-threshold MMU (DESIGN.md §16) so the harvested stamps carry live
+  // sharing dynamics: the heatmap's pool_cells/threshold columns show the
+  // incast's hot egress borrowing the idle queues' share.
+  fc.fabric.switch_config.mmu.enabled = true;
+  fc.fabric.switch_config.mmu.policy = sw::mmu::PolicyKind::DynamicThreshold;
+  fc.fabric.switch_config.mmu.pool_cells = 2048;
   const core::FabricExperimentResult fr = core::run_fabric_experiment(fc);
 
   std::printf(

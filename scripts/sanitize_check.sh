@@ -64,6 +64,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L model
 # cross-checks the drop-attribution ledger against the invariant registry's
 # own accounting under the sanitizers.
 "$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-telemetry
+# Seventh pass with the shared-memory MMU forced on: every scenario runs the
+# pool-accounting hot path (admission, split release, pool-conservation
+# invariant) under a sampled policy/pool/alpha, under the sanitizers.
+"$BUILD_DIR/tests/fuzz_scenarios" --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" --force-mmu
 # Data-fault unit/integration suite, explicitly (it is part of ctest above,
 # but run it by name so a label change can't silently drop the coverage).
 "$BUILD_DIR/tests/test_data_fault"
@@ -74,7 +78,7 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSDNBUF_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j"$(nproc)" --target test_thread_pool test_parallel_sweep test_sharded
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target test_thread_pool test_parallel_sweep test_sharded test_mmu
 
 export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/test_thread_pool"
@@ -83,5 +87,8 @@ export TSAN_OPTIONS="halt_on_error=1"
 # cross-shard mailboxes are the only other concurrent machinery in the tree,
 # and the determinism tests drive them at 1/2/4 worker threads.
 "$TSAN_DIR/tests/test_sharded"
+# MMU admission runs inside sharded windows, so its accounting gets a TSan
+# pass too.
+"$TSAN_DIR/tests/test_mmu"
 
-echo "sanitize_check: OK (6 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"
+echo "sanitize_check: OK (7 x ${FUZZ_RUNS} scenarios x 3 modes, seed ${FUZZ_SEED}; TSan clean)"

@@ -219,7 +219,8 @@ def validate_telemetry_summary(path):
 def validate_telemetry_heatmap(path):
     errors, rows = read_csv_rows(
         path, "switch_id,port,samples,qdepth_max,qdepth_mean,"
-              "residence_us_max,residence_us_mean,buffer_units_max")
+              "residence_us_max,residence_us_mean,buffer_units_max,"
+              "pool_cells_max,pool_cells_mean,threshold_min,threshold_max")
     seen = set()
     for i, row in enumerate(rows, start=2):
         try:
@@ -227,6 +228,8 @@ def validate_telemetry_heatmap(path):
             qmax, qmean = float(row[3]), float(row[4])
             rmax, rmean = float(row[5]), float(row[6])
             float(row[7])
+            pool_max, pool_mean = int(row[8]), float(row[9])
+            thr_min, thr_max = int(row[10]), int(row[11])
         except ValueError:
             if not fail(errors, f"line {i}: non-numeric field in {row}"):
                 break
@@ -240,6 +243,10 @@ def validate_telemetry_heatmap(path):
             fail(errors, f"line {i}: cell ({sw}, {port}) has {samples} samples")
         if qmean > qmax + 1e-9 or rmean > rmax + 1e-9:
             fail(errors, f"line {i}: cell ({sw}, {port}) mean exceeds max")
+        if pool_mean > pool_max + 1e-9:
+            fail(errors, f"line {i}: cell ({sw}, {port}) pool mean exceeds max")
+        if thr_min > thr_max:
+            fail(errors, f"line {i}: cell ({sw}, {port}) threshold min exceeds max")
     return errors, {"cells": len(rows)}
 
 

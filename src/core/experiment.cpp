@@ -207,6 +207,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.stats_requests = cc.stats_requests_sent;
   r.pkt_ins_dropped = cc.pkt_ins_dropped;
   r.int_stamps = sc.int_stamps_applied;
+  if (const auto* mmu = bed.ovs().mmu(); mmu != nullptr) {
+    r.mmu_rejected = mmu->total_rejected();
+    r.mmu_peak_pool_cells = mmu->peak_pool_cells();
+  }
   // Fold the telemetry event log inside the measured run — the collector
   // cost is part of what the overhead benchmark charges telemetry for.
   if (config.observatory != nullptr) config.observatory->flush();

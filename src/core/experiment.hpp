@@ -109,6 +109,10 @@ struct ExperimentResult {
   std::uint64_t flow_samples = 0;  // vendor flow-sample records on the wire
   std::uint64_t int_stamps = 0;    // INT hop stamps applied by the switch
 
+  // Shared-memory MMU (DESIGN.md §16; zero with MMU off).
+  std::uint64_t mmu_rejected = 0;        // admissions refused by the policy
+  std::uint64_t mmu_peak_pool_cells = 0; // peak shared-pool occupancy
+
   // Liveness / handshake traffic (both directions summed).
   std::uint64_t echo_msgs = 0;   // echo_request + echo_reply
   std::uint64_t hello_msgs = 0;

@@ -210,6 +210,8 @@ FabricExperimentResult run_fabric_experiment(const FabricExperimentConfig& confi
     r.flow_samples += bed.switch_at(i).counters().flow_samples_sent;
     r.int_stamps += bed.switch_at(i).counters().int_stamps_applied;
   }
+  r.mmu_rejected = bed.total_mmu_rejected();
+  r.mmu_peak_pool_cells = bed.mmu_peak_pool_cells_sum();
   r.flow_samples_seen = cc.flow_samples_seen;
   // Fold the telemetry event log inside the measured run — the collector
   // cost is part of what the overhead benchmark charges telemetry for.

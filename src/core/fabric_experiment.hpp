@@ -116,6 +116,9 @@ struct FabricExperimentResult {
   std::uint64_t link_down_events = 0;
   std::uint64_t switch_crashes = 0;
   std::uint64_t buffer_units_expired = 0;  // summed over switches
+  // Shared-memory MMU accounting summed over switches (zero with MMU off).
+  std::uint64_t mmu_rejected = 0;
+  std::uint64_t mmu_peak_pool_cells = 0;
   // Closed-loop accounting (zero when closed_loop is off).
   std::uint64_t unique_offered = 0;
   std::uint64_t unique_acked = 0;

@@ -354,6 +354,22 @@ std::uint64_t FabricTestbed::buffer_occupancy_max_sum() const {
   return sum;
 }
 
+std::uint64_t FabricTestbed::total_mmu_rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) {
+    if (const auto* mmu = s->mmu(); mmu != nullptr) n += mmu->total_rejected();
+  }
+  return n;
+}
+
+std::uint64_t FabricTestbed::mmu_peak_pool_cells_sum() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) {
+    if (const auto* mmu = s->mmu(); mmu != nullptr) n += mmu->peak_pool_cells();
+  }
+  return n;
+}
+
 std::vector<verify::PayloadId> FabricTestbed::delivered_payloads() const {
   std::vector<verify::PayloadId> sorted;
   for (const ShardDeliveries& slot : shard_deliveries_) {
@@ -415,6 +431,16 @@ void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
       }
       return static_cast<double>(hw);
     });
+    // Shared-memory MMU gauges (only when the switch runs one, so metric
+    // snapshots stay byte-identical with the MMU off).
+    if (const sw::mmu::SharedMemoryMmu* mmu = s->mmu(); mmu != nullptr) {
+      registry.register_poll(prefix + ".mmu.pool_cells",
+                             [mmu]() { return static_cast<double>(mmu->pool_cells_used()); });
+      registry.register_poll(prefix + ".mmu.peak_pool_cells",
+                             [mmu]() { return static_cast<double>(mmu->peak_pool_cells()); });
+      registry.register_poll(prefix + ".mmu.rejected",
+                             [mmu]() { return static_cast<double>(mmu->total_rejected()); });
+    }
   }
   registry.register_poll("fabric.pkt_ins_sent",
                          [this]() { return static_cast<double>(total_pkt_ins()); });
@@ -429,6 +455,15 @@ void FabricTestbed::install_metrics(obs::MetricsRegistry& registry) {
   });
   registry.register_poll("fabric.links_down",
                          [this]() { return static_cast<double>(router_->links_down()); });
+  const bool any_mmu = std::any_of(switches_.begin(), switches_.end(),
+                                   [](const auto& s) { return s->mmu() != nullptr; });
+  if (any_mmu) {
+    registry.register_poll("fabric.mmu_rejected",
+                           [this]() { return static_cast<double>(total_mmu_rejected()); });
+    registry.register_poll("fabric.mmu_peak_pool_cells", [this]() {
+      return static_cast<double>(mmu_peak_pool_cells_sum());
+    });
+  }
   if (observatory_ != nullptr) observatory_->install_metrics(registry);
 }
 

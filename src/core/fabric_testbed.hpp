@@ -160,6 +160,11 @@ class FabricTestbed {
   // the sum of per-switch maxima.
   [[nodiscard]] double buffer_occupancy_mean_sum() const;
   [[nodiscard]] std::uint64_t buffer_occupancy_max_sum() const;
+  // Shared-memory MMU accounting summed over switches (zero with MMU off):
+  // admissions refused by the sharing policy, and per-switch peak pool
+  // occupancies (cells).
+  [[nodiscard]] std::uint64_t total_mmu_rejected() const;
+  [[nodiscard]] std::uint64_t mmu_peak_pool_cells_sum() const;
 
   // Sorted multiset of (flow_id, seq_in_flow) payloads delivered to hosts
   // (untracked warm-up flows excluded) — the cross-mode equality check's

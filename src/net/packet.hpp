@@ -31,6 +31,12 @@ struct HopStamp {
   std::uint16_t out_port = 0;       // egress port chosen by the pipeline
   std::uint32_t queue_depth = 0;    // egress backlog (packets) at enqueue
   std::uint32_t buffer_units = 0;   // switch buffer-pool units in use
+  // Shared-memory MMU sharing dynamics (DESIGN.md §16); both 0 when the
+  // stamping switch runs without an MMU, so pre-MMU stamps are unchanged.
+  std::uint32_t pool_cells = 0;       // shared-pool cells in use at egress
+  std::uint32_t queue_threshold = 0;  // admission ceiling of this packet's
+                                      // egress queue (cells; native cap
+                                      // under StaticPartition)
   sim::SimTime arrived_at;          // switch ingress time
   sim::SimTime departed_at;         // egress enqueue time
 

@@ -171,6 +171,14 @@ void FabricObservatory::fold_delivered(const Event& e) const {
     cell.residence_ns_sum += res;
     cell.residence_ns_max = std::max(cell.residence_ns_max, res);
     cell.buffer_units_max = std::max(cell.buffer_units_max, s.buffer_units);
+    cell.pool_cells_sum += s.pool_cells;
+    cell.pool_cells_max = std::max(cell.pool_cells_max, s.pool_cells);
+    if (s.queue_threshold != 0) {
+      cell.queue_threshold_max = std::max(cell.queue_threshold_max, s.queue_threshold);
+      cell.queue_threshold_min = cell.queue_threshold_min == 0
+                                     ? s.queue_threshold
+                                     : std::min(cell.queue_threshold_min, s.queue_threshold);
+    }
   }
   if (tracked(e.flow_id)) {
     FlowPath& fp = paths_[e.flow_id];
@@ -265,7 +273,7 @@ std::vector<FabricObservatory::Hotspot> FabricObservatory::hotspots(std::size_t 
 void FabricObservatory::write_heatmap_csv(std::ostream& out) const {
   flush();
   out << "switch_id,port,samples,qdepth_max,qdepth_mean,residence_us_max,residence_us_mean,"
-         "buffer_units_max\n";
+         "buffer_units_max,pool_cells_max,pool_cells_mean,threshold_min,threshold_max\n";
   for (const auto& [key, cell] : heat_) {
     const double samples = static_cast<double>(cell.samples);
     out << key.first << ',' << key.second << ',' << cell.samples << ',' << cell.queue_depth_max
@@ -273,7 +281,9 @@ void FabricObservatory::write_heatmap_csv(std::ostream& out) const {
         << ',' << fixed3(static_cast<double>(cell.residence_ns_max) / 1e3) << ','
         << fixed3(samples == 0 ? 0.0
                                : static_cast<double>(cell.residence_ns_sum) / (1e3 * samples))
-        << ',' << cell.buffer_units_max << '\n';
+        << ',' << cell.buffer_units_max << ',' << cell.pool_cells_max << ','
+        << fixed3(samples == 0 ? 0.0 : static_cast<double>(cell.pool_cells_sum) / samples) << ','
+        << cell.queue_threshold_min << ',' << cell.queue_threshold_max << '\n';
   }
 }
 

@@ -147,6 +147,13 @@ class FabricObservatory {
     std::int64_t residence_ns_max = 0;
     std::int64_t residence_ns_sum = 0;
     std::uint32_t buffer_units_max = 0;
+    // MMU sharing dynamics (zero on stamps from MMU-less switches): shared-
+    // pool occupancy and the stamped queue's admission ceiling, which under
+    // a dynamic policy shrinks as the pool fills.
+    std::uint32_t pool_cells_max = 0;
+    std::uint64_t pool_cells_sum = 0;
+    std::uint32_t queue_threshold_max = 0;
+    std::uint32_t queue_threshold_min = 0;  // over samples with a threshold
   };
   using HeatKey = std::pair<std::uint64_t, std::uint16_t>;  // (switch_id, out_port)
   [[nodiscard]] const std::map<HeatKey, HeatCell>& heatmap() const {

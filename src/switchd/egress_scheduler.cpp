@@ -35,10 +35,33 @@ unsigned EgressScheduler::classify(const net::Packet& packet) const {
   return precedence < config_.num_classes ? precedence : config_.num_classes - 1;
 }
 
+void EgressScheduler::attach_mmu(mmu::SharedMemoryMmu& mmu, std::uint16_t port_no) {
+  SDNBUF_CHECK_MSG(mmu_ == nullptr, "MMU already attached");
+  mmu_ = &mmu;
+  mmu_queues_.reserve(config_.num_classes);
+  for (unsigned c = 0; c < config_.num_classes; ++c) {
+    mmu_queues_.push_back(
+        mmu.register_queue(mmu::QueueKind::Egress, port_no, c, config_.queue_limit_bytes));
+  }
+}
+
+std::uint64_t EgressScheduler::mmu_threshold_for(const net::Packet& packet) const {
+  if (mmu_ == nullptr) return 0;
+  return mmu_->threshold(mmu_queues_[classify(packet)]);
+}
+
 bool EgressScheduler::enqueue(const net::Packet& packet) {
   const unsigned service_class = classify(packet);
   ClassQueue& queue = queues_[service_class];
-  if (queue.backlog_bytes + packet.frame_size > config_.queue_limit_bytes) {
+  if (mmu_ != nullptr) {
+    // Shared-pool admission: the native charge is the frame's bytes (the
+    // legacy currency of queue_limit_bytes, which StaticPartition enforces
+    // unchanged); the dynamic policies arbitrate the same bytes as cells.
+    if (!mmu_->try_admit(mmu_queues_[service_class], packet.frame_size, packet.frame_size)) {
+      ++queue.stats.dropped;
+      return false;
+    }
+  } else if (queue.backlog_bytes + packet.frame_size > config_.queue_limit_bytes) {
     ++queue.stats.dropped;
     return false;
   }
@@ -119,7 +142,15 @@ void EgressScheduler::transmit(unsigned service_class) {
   queue.backlog_bytes -= item.packet.frame_size;
   ++queue.stats.dequeued;
   queue.stats.bytes_sent += item.packet.frame_size;
-  queue.stats.queue_delay_ms.add((sim_.now() - item.enqueued_at).ms());
+  const sim::SimTime waited = sim_.now() - item.enqueued_at;
+  queue.stats.queue_delay_ms.add(waited.ms());
+  if (mmu_ != nullptr) {
+    // The frame leaves switch memory at dequeue regardless of its fate on
+    // the link (a link-fault drop happens after the buffer is freed), and
+    // the measured wait is the delay-driven policy's steering signal.
+    mmu_->release(mmu_queues_[service_class], item.packet.frame_size, item.packet.frame_size);
+    mmu_->record_queue_delay(mmu_queues_[service_class], waited);
+  }
   if (config_.policy == SchedulerPolicy::DeficitRoundRobin) {
     queue.deficit -= item.packet.frame_size;
   }

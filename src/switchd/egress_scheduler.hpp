@@ -27,6 +27,7 @@
 #include "net/packet.hpp"
 #include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
+#include "switchd/mmu/mmu.hpp"
 #include "util/stats.hpp"
 
 namespace sdnbuf::sw {
@@ -59,8 +60,19 @@ class EgressScheduler {
   EgressScheduler& operator=(const EgressScheduler&) = delete;
 
   // Queues a packet for transmission; false (and a drop) if the class queue
-  // is full.
+  // is full — per the flat per-class byte limit, or, with an MMU attached,
+  // per the shared-pool admission policy.
   bool enqueue(const net::Packet& packet);
+
+  // Joins the switch's shared-memory MMU (DESIGN.md §16): registers one
+  // accounted queue per service class and routes every admission decision
+  // through the pool instead of the flat queue_limit_bytes check. Call
+  // before traffic starts; null-safe never — attach once or not at all.
+  void attach_mmu(mmu::SharedMemoryMmu& mmu, std::uint16_t port_no);
+
+  // This packet's class-queue admission ceiling under the MMU policy
+  // (0 without an MMU) — stamped into HopStamp::queue_threshold.
+  [[nodiscard]] std::uint64_t mmu_threshold_for(const net::Packet& packet) const;
 
   // Fires when a dequeued packet is lost at the link (fault-plane outage, or
   // a link transmit-queue drop); `where` is the drop site label the
@@ -91,6 +103,13 @@ class EgressScheduler {
   // gauge these cannot alias past a transient burst between snapshots.
   [[nodiscard]] std::uint64_t highwater_packets() const { return highwater_packets_; }
   [[nodiscard]] std::uint64_t highwater_bytes() const { return highwater_bytes_; }
+  // Re-bases the high-water marks at the current backlog, so marks measured
+  // after an experiment's reset_statistics() exclude warm-up bursts. Pure
+  // counter writes — cannot perturb the event stream.
+  void reset_highwater() {
+    highwater_packets_ = total_backlog_packets();
+    highwater_bytes_ = total_backlog_bytes();
+  }
   [[nodiscard]] const EgressSchedulerConfig& config() const { return config_; }
 
  private:
@@ -116,6 +135,10 @@ class EgressScheduler {
   DeliverFn deliver_;
   DropFn on_drop_;
   obs::EgressInstruments instr_;
+  // Shared-memory MMU (null = legacy flat per-class byte limit). One
+  // registered pool queue per service class, in class order.
+  mmu::SharedMemoryMmu* mmu_ = nullptr;
+  std::vector<mmu::SharedMemoryMmu::QueueHandle> mmu_queues_;
   // Packets on the wire, in transmission order. Link deliveries are strictly
   // FIFO (each frame's arrival time exceeds the previous frame's), so the
   // delivery callback can pop the front instead of capturing the packet —

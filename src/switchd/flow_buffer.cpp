@@ -27,7 +27,15 @@ std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net
                                                                        std::uint16_t in_port) {
   const net::FlowKey key = packet.flow_key();
   auto it = flows_.find(key);
-  if (it == flows_.end() && units_in_use_ >= capacity_) {
+  if (mmu_ != nullptr) {
+    // Shared-pool admission: a new flow charges the buffer_id slot (native)
+    // plus the frame's cells, a subsequent packet cells only. Rejections of
+    // either kind fall back to the full-frame packet_in like the flat cap's.
+    if (!mmu_->try_admit(mmu_queue_, it == flows_.end() ? 1 : 0, packet.frame_size)) {
+      ++rejected_full_;
+      return std::nullopt;
+    }
+  } else if (it == flows_.end() && units_in_use_ >= capacity_) {
     // A new flow needs a fresh buffer_id slot and none is free; packets of
     // already-buffered flows share their flow's existing slot.
     ++rejected_full_;
@@ -62,12 +70,15 @@ std::optional<FlowBufferManager::StoreResult> FlowBufferManager::store(const net
 }
 
 void FlowBufferManager::free_unit() {
-  // One buffer_id slot returns to the pool after deferred reclamation.
+  // One buffer_id slot returns to the pool after deferred reclamation; the
+  // MMU's native charge follows the same schedule (the flow's packet cells
+  // were released when the flow drained).
   sim_.schedule(reclaim_delay_, [this]() {
     sim::ScopedProfileTag tag{"buffer_reclaim"};
     SDNBUF_CHECK(units_in_use_ > 0);
     --units_in_use_;
     occupancy_.set(units_in_use_, sim_.now());
+    if (mmu_ != nullptr) mmu_->release(mmu_queue_, 1, 0);
   });
 }
 
@@ -83,6 +94,11 @@ std::vector<net::Packet> FlowBufferManager::release_all(std::uint32_t buffer_id)
   total_released_ += out.size();
   SDNBUF_CHECK(packets_buffered_ >= out.size());
   packets_buffered_ -= out.size();
+  if (mmu_ != nullptr) {
+    // Cells were charged per packet at store time, so release them the same
+    // way — per-packet ceilings do not sum to the ceiling of the sum.
+    for (const auto& packet : out) mmu_->release(mmu_queue_, 0, packet.frame_size);
+  }
   free_unit();
   flows_.erase(it);
   id_to_flow_.erase(idit);
@@ -180,6 +196,11 @@ std::size_t FlowBufferManager::expire_unit(std::uint32_t buffer_id) {
   total_expired_ += dropped;
   SDNBUF_CHECK(packets_buffered_ >= dropped);
   packets_buffered_ -= dropped;
+  if (mmu_ != nullptr) {
+    for (const auto& packet : it->second.packets) {
+      mmu_->release(mmu_queue_, 0, packet.frame_size);
+    }
+  }
   free_unit();
   flows_.erase(it);
   id_to_flow_.erase(idit);

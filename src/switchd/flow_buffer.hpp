@@ -28,6 +28,7 @@
 #include "net/packet.hpp"
 #include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
+#include "switchd/mmu/mmu.hpp"
 #include "verify/observer.hpp"
 
 namespace sdnbuf::sw {
@@ -38,6 +39,16 @@ class FlowBufferManager {
 
   // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
   void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
+  // Joins the switch's shared-memory MMU (DESIGN.md §16). A flow's first
+  // packet charges one native unit (the shared buffer_id slot) plus its
+  // cells; subsequent packets charge cells only — under the dynamic
+  // policies even packets of an already-buffered flow contend for pool
+  // memory, which the flat per-slot cap never modeled.
+  void attach_mmu(mmu::SharedMemoryMmu& mmu, mmu::SharedMemoryMmu::QueueHandle queue) {
+    mmu_ = &mmu;
+    mmu_queue_ = queue;
+  }
 
   // Metrics instruments (default-null bundle = disabled).
   void set_instruments(const obs::BufferInstruments& instruments) { instr_ = instruments; }
@@ -131,6 +142,8 @@ class FlowBufferManager {
   sim::SimTime reclaim_delay_;
   verify::InvariantObserver* observer_ = nullptr;
   obs::BufferInstruments instr_;
+  mmu::SharedMemoryMmu* mmu_ = nullptr;
+  mmu::SharedMemoryMmu::QueueHandle mmu_queue_ = mmu::SharedMemoryMmu::kNoQueue;
   std::size_t units_in_use_ = 0;     // buffer_id slots incl. pending reclaim
   std::size_t packets_buffered_ = 0;
   std::unordered_map<net::FlowKey, FlowState> flows_;

@@ -1,0 +1,140 @@
+#include "switchd/mmu/mmu.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdnbuf::sw::mmu {
+
+const char* queue_kind_name(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::OfBuffer: return "of-buffer";
+    case QueueKind::Egress: return "egress";
+  }
+  return "?";
+}
+
+SharedMemoryMmu::SharedMemoryMmu(sim::Simulator& sim, const MmuConfig& config, std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  SDNBUF_CHECK_MSG(config_.cell_bytes >= 1, "MMU cells need a positive size");
+  SDNBUF_CHECK_MSG(config_.pool_cells >= 1, "MMU pool needs at least one cell");
+  SDNBUF_CHECK_MSG(config_.delay_target_ms > 0.0, "delay target must be positive");
+  SDNBUF_CHECK_MSG(config_.delay_ewma_weight >= 0.0 && config_.delay_ewma_weight <= 1.0,
+                   "EWMA weight must lie in [0,1]");
+  switch (config_.policy) {
+    case PolicyKind::StaticPartition: policy_ = make_static_partition(); break;
+    case PolicyKind::DynamicThreshold: policy_ = make_dynamic_threshold(); break;
+    case PolicyKind::DelayDriven:
+      policy_ = make_delay_driven(
+          DelayDrivenParams{config_.delay_target_ms, config_.alpha_min});
+      break;
+  }
+  pool_.pool_cells = config_.pool_cells;
+  pool_.headroom_cells = config_.headroom_cells;
+}
+
+SharedMemoryMmu::QueueHandle SharedMemoryMmu::register_queue(QueueKind kind, std::uint16_t port,
+                                                             unsigned service_class,
+                                                             std::uint64_t native_cap) {
+  Queue queue;
+  queue.kind = kind;
+  queue.port = port;
+  queue.service_class = service_class;
+  queue.state.native_cap = native_cap;
+  queue.state.reserved_cells = config_.reserved_cells;
+  queue.state.alpha = kind == QueueKind::OfBuffer ? config_.buffer_alpha : config_.alpha;
+  pool_.reserved_total += queue.state.reserved_cells;
+  queues_.push_back(queue);
+  return static_cast<QueueHandle>(queues_.size() - 1);
+}
+
+void SharedMemoryMmu::apply_cells(Queue& queue, std::uint64_t cells, bool add) {
+  QueueState& state = queue.state;
+  const std::uint64_t shared_before =
+      state.cells - std::min(state.cells, state.reserved_cells);
+  if (add) {
+    state.cells += cells;
+    pool_.used_cells += cells;
+  } else {
+    SDNBUF_CHECK_MSG(state.cells >= cells && pool_.used_cells >= cells,
+                     "MMU cell release exceeds occupancy");
+    state.cells -= cells;
+    pool_.used_cells -= cells;
+  }
+  const std::uint64_t shared_after =
+      state.cells - std::min(state.cells, state.reserved_cells);
+  pool_.shared_used_cells += shared_after;
+  SDNBUF_CHECK(pool_.shared_used_cells >= shared_before);
+  pool_.shared_used_cells -= shared_before;
+  if (pool_.used_cells > peak_pool_cells_) peak_pool_cells_ = pool_.used_cells;
+}
+
+bool SharedMemoryMmu::try_admit(QueueHandle q, std::uint64_t native, std::uint64_t bytes) {
+  SDNBUF_CHECK(q < queues_.size());
+  Queue& queue = queues_[q];
+  const std::uint64_t cells = cells_for(bytes);
+  if (!policy_->admit(queue.state, pool_, native, cells)) {
+    ++queue.rejected;
+    ++total_rejected_;
+    return false;
+  }
+  queue.state.native_occ += native;
+  apply_cells(queue, cells, /*add=*/true);
+  ++queue.admitted;
+  ++total_admitted_;
+  if (observer_ != nullptr) {
+    observer_->on_mmu_admit(q, native, cells, queue.state.cells, pool_.used_cells, sim_.now());
+  }
+  return true;
+}
+
+void SharedMemoryMmu::release(QueueHandle q, std::uint64_t native, std::uint64_t bytes) {
+  SDNBUF_CHECK(q < queues_.size());
+  Queue& queue = queues_[q];
+  const std::uint64_t cells = cells_for(bytes);
+  SDNBUF_CHECK_MSG(queue.state.native_occ >= native, "MMU native release exceeds occupancy");
+  queue.state.native_occ -= native;
+  apply_cells(queue, cells, /*add=*/false);
+  if (observer_ != nullptr) {
+    observer_->on_mmu_release(q, native, cells, queue.state.cells, pool_.used_cells, sim_.now());
+  }
+}
+
+void SharedMemoryMmu::record_queue_delay(QueueHandle q, sim::SimTime delay) {
+  SDNBUF_CHECK(q < queues_.size());
+  QueueState& state = queues_[q].state;
+  const double w = config_.delay_ewma_weight;
+  state.delay_ewma_ms = (1.0 - w) * state.delay_ewma_ms + w * delay.ms();
+}
+
+void SharedMemoryMmu::reset_counters() {
+  total_admitted_ = 0;
+  total_rejected_ = 0;
+  peak_pool_cells_ = pool_.used_cells;
+  for (Queue& queue : queues_) {
+    queue.admitted = 0;
+    queue.rejected = 0;
+  }
+}
+
+std::uint64_t SharedMemoryMmu::queue_cells(QueueHandle q) const {
+  SDNBUF_CHECK(q < queues_.size());
+  return queues_[q].state.cells;
+}
+
+std::uint64_t SharedMemoryMmu::queue_native(QueueHandle q) const {
+  SDNBUF_CHECK(q < queues_.size());
+  return queues_[q].state.native_occ;
+}
+
+std::uint64_t SharedMemoryMmu::threshold(QueueHandle q) const {
+  SDNBUF_CHECK(q < queues_.size());
+  return policy_->threshold(queues_[q].state, pool_);
+}
+
+std::uint64_t SharedMemoryMmu::rejected(QueueHandle q) const {
+  SDNBUF_CHECK(q < queues_.size());
+  return queues_[q].rejected;
+}
+
+}  // namespace sdnbuf::sw::mmu

@@ -1,0 +1,132 @@
+#include "switchd/mmu/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdnbuf::sw::mmu {
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::StaticPartition: return "static";
+    case PolicyKind::DynamicThreshold: return "dynamic-threshold";
+    case PolicyKind::DelayDriven: return "delay-driven";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared region still unclaimed: (pool − headroom − Σreserved) − shared-in-use,
+// clamped at every subtraction (reservations may legitimately oversubscribe a
+// small pool; DT then degenerates to reserved-only admission).
+[[nodiscard]] std::uint64_t remaining_shared(const PoolState& pool) {
+  std::uint64_t shared = pool.pool_cells;
+  shared -= std::min(shared, pool.headroom_cells);
+  shared -= std::min(shared, pool.reserved_total);
+  return shared - std::min(shared, pool.shared_used_cells);
+}
+
+[[nodiscard]] std::uint64_t dt_threshold(const QueueState& q, const PoolState& pool,
+                                         double alpha) {
+  const double allowance = alpha * static_cast<double>(remaining_shared(pool));
+  return q.reserved_cells + static_cast<std::uint64_t>(allowance);
+}
+
+// Pool capacity check shared by both dynamic policies: never admit into the
+// headroom slack.
+[[nodiscard]] bool pool_fits(const PoolState& pool, std::uint64_t cells) {
+  const std::uint64_t admissible =
+      pool.pool_cells - std::min(pool.pool_cells, pool.headroom_cells);
+  return pool.used_cells + cells <= admissible;
+}
+
+class StaticPartition final : public SharingPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::StaticPartition; }
+
+  [[nodiscard]] bool admit(const QueueState& q, const PoolState& pool, std::uint64_t native,
+                           std::uint64_t cells) const override {
+    (void)pool;
+    (void)cells;
+    // The legacy flat split, expressed as one unified test. With native
+    // charge 1 against a unit cap this is exactly `units_in_use < capacity`
+    // (the buffer managers' gate); with native charge = frame bytes against
+    // queue_limit_bytes it is exactly `backlog + frame <= limit` (the egress
+    // tail-drop gate); with native charge 0 (a subsequent packet of an
+    // already-buffered flow) it always admits, matching the flow buffer's
+    // unconditional append. The pool is tracked for observability but never
+    // enforced — partitions cannot contend.
+    return q.native_occ + native <= q.native_cap;
+  }
+
+  [[nodiscard]] std::uint64_t threshold(const QueueState& q, const PoolState& pool) const override {
+    (void)pool;
+    return q.native_cap;
+  }
+};
+
+class DynamicThreshold final : public SharingPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::DynamicThreshold; }
+
+  [[nodiscard]] bool admit(const QueueState& q, const PoolState& pool, std::uint64_t native,
+                           std::uint64_t cells) const override {
+    (void)native;
+    if (!pool_fits(pool, cells)) return false;
+    // DT: T = reserved + α · (shared region − shared in use). Occupancy below
+    // the reserve always admits (that is what a reserve means); beyond it the
+    // queue competes for the shared region under the collapsing threshold.
+    return q.cells + cells <= dt_threshold(q, pool, q.alpha);
+  }
+
+  [[nodiscard]] std::uint64_t threshold(const QueueState& q, const PoolState& pool) const override {
+    return dt_threshold(q, pool, q.alpha);
+  }
+};
+
+class DelayDriven final : public SharingPolicy {
+ public:
+  explicit DelayDriven(DelayDrivenParams params) : params_(params) {}
+
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::DelayDriven; }
+
+  [[nodiscard]] bool admit(const QueueState& q, const PoolState& pool, std::uint64_t native,
+                           std::uint64_t cells) const override {
+    (void)native;
+    if (!pool_fits(pool, cells)) return false;
+    return q.cells + cells <= dt_threshold(q, pool, effective_alpha(q));
+  }
+
+  [[nodiscard]] std::uint64_t threshold(const QueueState& q, const PoolState& pool) const override {
+    return dt_threshold(q, pool, effective_alpha(q));
+  }
+
+ private:
+  // BShare's steering signal: once the measured queueing delay exceeds the
+  // target, the queue's packets are aging faster than its drain — giving it
+  // more pool memory only lengthens the line. Cut its α in proportion so the
+  // shared region migrates toward queues that still drain fast; queues at or
+  // under the target keep their full DT appetite.
+  [[nodiscard]] double effective_alpha(const QueueState& q) const {
+    const double pressure = std::max(1.0, q.delay_ewma_ms / params_.delay_target_ms);
+    return std::clamp(q.alpha / pressure, params_.alpha_min, q.alpha);
+  }
+
+  DelayDrivenParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<SharingPolicy> make_static_partition() {
+  return std::make_unique<StaticPartition>();
+}
+
+std::unique_ptr<SharingPolicy> make_dynamic_threshold() {
+  return std::make_unique<DynamicThreshold>();
+}
+
+std::unique_ptr<SharingPolicy> make_delay_driven(DelayDrivenParams params) {
+  return std::make_unique<DelayDriven>(params);
+}
+
+}  // namespace sdnbuf::sw::mmu

@@ -1,0 +1,90 @@
+// Pluggable buffer-sharing (admission) policies for the shared-memory MMU.
+//
+// Real datacenter ASICs arbitrate one memory pool across every port/queue of
+// the switch; the admission rule — how much of the shared region one queue
+// may grab — is the policy knob that separates generations of silicon:
+//
+//   StaticPartition    every queue is capped at its own fixed slice and the
+//                      pool is never contended. This reproduces the repo's
+//                      legacy flat limits (buffer_capacity units, per-class
+//                      queue_limit_bytes) decision-for-decision, which is
+//                      what keeps the pre-MMU byte-identity contract.
+//   DynamicThreshold   classic DT (Choudhury & Hahne): a queue may occupy up
+//                      to α · (shared region − shared in use). Self-tuning:
+//                      the threshold collapses as the pool fills, leaving
+//                      headroom for newly active queues.
+//   DelayDriven        BShare-style sharing (PAPERS.md): the DT α is steered
+//                      by the measured per-queue queueing delay — queues
+//                      whose packets are aging get their appetite cut, so
+//                      pool memory migrates to queues that still drain fast.
+//
+// Policies are pure functions of (queue state, pool state): no RNG and no
+// clock reads, so every admission decision is deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace sdnbuf::sw::mmu {
+
+enum class PolicyKind { StaticPartition, DynamicThreshold, DelayDriven };
+
+[[nodiscard]] const char* policy_kind_name(PolicyKind kind);
+
+// Per-queue accounting as the policy sees it (owned by SharedMemoryMmu).
+// Every queue tracks two currencies:
+//  - native: the legacy limit's unit — buffer_id slots for the OpenFlow
+//    buffer queue, backlog bytes for an egress class queue. StaticPartition
+//    admits on this and nothing else.
+//  - cells:  the pool currency (ceil(bytes / cell_bytes)), what DT and
+//    delay-driven sharing arbitrate.
+struct QueueState {
+  std::uint64_t native_occ = 0;
+  std::uint64_t native_cap = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t reserved_cells = 0;
+  double alpha = 1.0;
+  // EWMA of measured queueing delay (ms), fed by the egress scheduler at
+  // dequeue; stays 0 for queues with no delay signal (the OpenFlow buffer).
+  double delay_ewma_ms = 0.0;
+};
+
+struct PoolState {
+  std::uint64_t pool_cells = 0;         // total pool size
+  std::uint64_t headroom_cells = 0;     // slack never admitted into
+  std::uint64_t used_cells = 0;         // current total occupancy
+  std::uint64_t shared_used_cells = 0;  // Σ max(0, q.cells − q.reserved)
+  std::uint64_t reserved_total = 0;     // Σ q.reserved
+};
+
+class SharingPolicy {
+ public:
+  virtual ~SharingPolicy() = default;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+
+  // Admission decision for a packet charging `native` legacy units and
+  // `cells` pool cells against queue `q`.
+  [[nodiscard]] virtual bool admit(const QueueState& q, const PoolState& pool,
+                                   std::uint64_t native, std::uint64_t cells) const = 0;
+
+  // The queue's current admission ceiling, for telemetry stamps and gauges.
+  // DT/delay-driven report it in cells (reserved + shared allowance);
+  // StaticPartition's only ceiling is its native cap, reported as-is.
+  [[nodiscard]] virtual std::uint64_t threshold(const QueueState& q,
+                                                const PoolState& pool) const = 0;
+};
+
+// DelayDriven knobs (a superset of DT's single α, which both dynamic
+// policies take from the queue's registration).
+struct DelayDrivenParams {
+  double delay_target_ms = 1.0;  // EWMA at/below this leaves α untouched
+  double alpha_min = 0.02;       // floor: a starved queue keeps its reserve +
+                                 // a sliver of shared space
+};
+
+[[nodiscard]] std::unique_ptr<SharingPolicy> make_static_partition();
+[[nodiscard]] std::unique_ptr<SharingPolicy> make_dynamic_threshold();
+[[nodiscard]] std::unique_ptr<SharingPolicy> make_delay_driven(DelayDrivenParams params);
+
+}  // namespace sdnbuf::sw::mmu

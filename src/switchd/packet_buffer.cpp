@@ -24,7 +24,15 @@ std::uint32_t PacketBufferManager::allocate_id() {
 }
 
 std::optional<std::uint32_t> PacketBufferManager::store(const net::Packet& packet) {
-  if (units_in_use_ >= capacity_) {
+  if (mmu_ != nullptr) {
+    // Shared-pool admission: one native buffer_id slot plus the frame's
+    // cells. A rejection takes the same OpenFlow fallback the flat cap
+    // takes — a full-frame packet_in — so delivery semantics are unchanged.
+    if (!mmu_->try_admit(mmu_queue_, 1, packet.frame_size)) {
+      ++rejected_full_;
+      return std::nullopt;
+    }
+  } else if (units_in_use_ >= capacity_) {
     ++rejected_full_;
     return std::nullopt;
   }
@@ -42,11 +50,14 @@ std::optional<std::uint32_t> PacketBufferManager::store(const net::Packet& packe
 
 void PacketBufferManager::free_unit() {
   // The unit stays charged against capacity until deferred reclamation runs.
+  // Under an MMU the native slot follows the same deferred schedule (the
+  // packet's cells were released when it left the buffer).
   sim_.schedule(reclaim_delay_, [this]() {
     sim::ScopedProfileTag tag{"buffer_reclaim"};
     SDNBUF_CHECK(units_in_use_ > 0);
     --units_in_use_;
     occupancy_.set(units_in_use_, sim_.now());
+    if (mmu_ != nullptr) mmu_->release(mmu_queue_, 1, 0);
   });
 }
 
@@ -59,6 +70,7 @@ std::optional<net::Packet> PacketBufferManager::release(std::uint32_t buffer_id)
   }
   packets_.erase(it);
   ++total_released_;
+  if (mmu_ != nullptr) mmu_->release(mmu_queue_, 0, packet.frame_size);
   free_unit();
   if (observer_ != nullptr) {
     observer_->on_buffer_release(buffer_id, packet, sim_.now());
@@ -87,6 +99,7 @@ std::size_t PacketBufferManager::expire_older_than(sim::SimTime cutoff) {
     if (instr_.residency_ms != nullptr) {
       instr_.residency_ms->record((sim_.now() - it->second.stored_at).ms());
     }
+    if (mmu_ != nullptr) mmu_->release(mmu_queue_, 0, it->second.packet.frame_size);
     packets_.erase(it);
     ++total_expired_;
     free_unit();

@@ -23,6 +23,7 @@
 #include "net/packet.hpp"
 #include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
+#include "switchd/mmu/mmu.hpp"
 #include "verify/observer.hpp"
 
 namespace sdnbuf::sw {
@@ -33,6 +34,14 @@ class PacketBufferManager {
 
   // Invariant-checking hook (may be null; set by Switch::set_invariant_observer).
   void set_observer(verify::InvariantObserver* observer) { observer_ = observer; }
+
+  // Joins the switch's shared-memory MMU (DESIGN.md §16): stores charge one
+  // native unit plus the frame's cells against `queue`, and the pool policy
+  // replaces the flat capacity check. Attach before traffic starts.
+  void attach_mmu(mmu::SharedMemoryMmu& mmu, mmu::SharedMemoryMmu::QueueHandle queue) {
+    mmu_ = &mmu;
+    mmu_queue_ = queue;
+  }
 
   // Metrics instruments (default-null bundle = disabled).
   void set_instruments(const obs::BufferInstruments& instruments) { instr_ = instruments; }
@@ -81,6 +90,8 @@ class PacketBufferManager {
   sim::SimTime reclaim_delay_;
   verify::InvariantObserver* observer_ = nullptr;
   obs::BufferInstruments instr_;
+  mmu::SharedMemoryMmu* mmu_ = nullptr;
+  mmu::SharedMemoryMmu::QueueHandle mmu_queue_ = mmu::SharedMemoryMmu::kNoQueue;
   std::size_t units_in_use_ = 0;
   std::uint32_t next_id_ = 1;
   std::unordered_map<std::uint32_t, Stored> packets_;

@@ -40,12 +40,23 @@ Switch::Switch(sim::Simulator& sim, SwitchConfig config, std::uint64_t rng_seed)
       cpu_(sim, config_.name + ":cpu", config_.cpu_cores),
       bus_(sim, config_.name + ":bus", 1),
       table_(config_.flow_table_capacity, config_.eviction_policy, rng_seed * 31 + 17) {
+  if (config_.mmu.enabled) {
+    mmu_ = std::make_unique<mmu::SharedMemoryMmu>(sim_, config_.mmu, config_.name);
+  }
   if (config_.buffer_mode == BufferMode::PacketGranularity) {
     packet_buffer_ = std::make_unique<PacketBufferManager>(sim_, config_.buffer_capacity,
                                                            config_.costs.buffer_reclaim_delay);
+    if (mmu_ != nullptr) {
+      packet_buffer_->attach_mmu(*mmu_, mmu_->register_queue(mmu::QueueKind::OfBuffer, 0, 0,
+                                                             config_.buffer_capacity));
+    }
   } else if (config_.buffer_mode == BufferMode::FlowGranularity) {
     flow_buffer_ = std::make_unique<FlowBufferManager>(sim_, config_.buffer_capacity,
                                                        config_.costs.buffer_reclaim_delay);
+    if (mmu_ != nullptr) {
+      flow_buffer_->attach_mmu(*mmu_, mmu_->register_queue(mmu::QueueKind::OfBuffer, 0, 0,
+                                                           config_.buffer_capacity));
+    }
   }
 }
 
@@ -57,6 +68,7 @@ void Switch::attach_port(std::uint16_t port_no, net::Link& egress, DeliverFn del
   port.deliver = std::move(deliver);
   port.scheduler =
       std::make_unique<EgressScheduler>(sim_, config_.egress, egress, port.deliver);
+  if (mmu_ != nullptr) port.scheduler->attach_mmu(*mmu_, port_no);
   // Frames the link's fault schedule eats after dequeue are this switch's
   // loss to account: without this the payload would vanish from the
   // conservation ledger.
@@ -78,6 +90,7 @@ void Switch::set_invariant_observer(verify::InvariantObserver* observer) {
   observer_ = observer;
   if (packet_buffer_ != nullptr) packet_buffer_->set_observer(observer);
   if (flow_buffer_ != nullptr) flow_buffer_->set_observer(observer);
+  if (mmu_ != nullptr) mmu_->set_observer(observer);
 }
 
 void Switch::set_buffer_instruments(const obs::BufferInstruments& instruments) {
@@ -672,6 +685,13 @@ void Switch::egress(const net::Packet& packet, std::uint16_t out_port, std::uint
     stamp.out_port = out_port;
     stamp.queue_depth = static_cast<std::uint32_t>(port.scheduler->total_backlog_packets());
     stamp.buffer_units = static_cast<std::uint32_t>(buffer_units_in_use());
+    if (mmu_ != nullptr) {
+      // Sharing dynamics at enqueue: pool occupancy and this queue's current
+      // admission ceiling (both before the packet joins the backlog).
+      stamp.pool_cells = static_cast<std::uint32_t>(mmu_->pool_cells_used());
+      stamp.queue_threshold =
+          static_cast<std::uint32_t>(port.scheduler->mmu_threshold_for(packet));
+    }
     stamp.arrived_at = packet.hop_arrived_at;
     stamp.departed_at = sim_.now();
     stamped.tstack.push_back(stamp);
@@ -997,6 +1017,18 @@ void Switch::emit_flow_removed(const RemovedEntry& removed) {
   msg.byte_count = removed.entry.byte_count;
   ++counters_.flow_removed_sent;
   channel_->send_from_switch(msg);
+}
+
+void Switch::reset_counters() {
+  counters_ = SwitchCounters{};
+  // Per-port egress high-water marks re-base at the current backlog so a
+  // measurement window that starts after warm-up reports its own bursts,
+  // not the warm-up's.
+  for (auto& [port_no, port] : ports_) {
+    (void)port_no;
+    port.scheduler->reset_highwater();
+  }
+  if (mmu_ != nullptr) mmu_->reset_counters();
 }
 
 std::size_t Switch::buffer_units_in_use() const {

@@ -40,6 +40,7 @@
 #include "switchd/egress_scheduler.hpp"
 #include "switchd/flow_buffer.hpp"
 #include "switchd/flow_table.hpp"
+#include "switchd/mmu/mmu.hpp"
 #include "switchd/packet_buffer.hpp"
 #include "util/rng.hpp"
 #include "verify/observer.hpp"
@@ -139,6 +140,11 @@ struct SwitchConfig {
   // Decorrelates the sampling hash across switches (same role as a sFlow
   // agent's seed); sampling stays deterministic for a fixed salt.
   std::uint64_t telemetry_sample_salt = 0;
+  // Shared-memory MMU (DESIGN.md §16): one pool arbitrated across the
+  // OpenFlow buffer and every egress class queue. Disabled by default — no
+  // MMU is constructed and every consumer keeps its legacy flat cap, so the
+  // datapath executes a bit-identical instruction stream.
+  mmu::MmuConfig mmu;
 };
 
 struct SwitchCounters {
@@ -259,7 +265,14 @@ class Switch {
   // Per-port egress scheduler (valid after attach_port).
   [[nodiscard]] EgressScheduler& port_scheduler(std::uint16_t port_no);
 
-  void reset_counters() { counters_ = SwitchCounters{}; }
+  // The shared-memory MMU, null unless config.mmu.enabled.
+  [[nodiscard]] mmu::SharedMemoryMmu* mmu() { return mmu_.get(); }
+  [[nodiscard]] const mmu::SharedMemoryMmu* mmu() const { return mmu_.get(); }
+
+  // Clears measurement statistics between experiment repetitions: message /
+  // drop counters, per-port egress high-water marks, and the MMU's
+  // admit/reject totals. Pure counter writes — never perturbs the run.
+  void reset_counters();
 
  private:
   struct HeldPacket {
@@ -338,6 +351,7 @@ class Switch {
   sim::CpuServer cpu_;
   sim::CpuServer bus_;
   FlowTable table_;
+  std::unique_ptr<mmu::SharedMemoryMmu> mmu_;
   std::unique_ptr<PacketBufferManager> packet_buffer_;
   std::unique_ptr<FlowBufferManager> flow_buffer_;
   std::unordered_map<std::uint16_t, Port> ports_;

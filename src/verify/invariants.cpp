@@ -355,6 +355,58 @@ void InvariantRegistry::on_channel_fault(bool to_controller, const of::OfMessage
   }
 }
 
+void InvariantRegistry::check_mmu_event(std::uint32_t queue, std::uint64_t queue_cells_after,
+                                        std::uint64_t pool_cells_after, sim::SimTime now) {
+  const MmuQueueLedger& ledger = mmu_queues_[queue];
+  if (queue_cells_after != ledger.cells) {
+    violate(now, "mmu-queue-mismatch",
+            "queue " + std::to_string(queue) + " reports " + std::to_string(queue_cells_after) +
+                " cells, ledger has " + std::to_string(ledger.cells));
+  }
+  if (pool_cells_after != mmu_pool_cells_) {
+    violate(now, "mmu-pool-mismatch",
+            "pool reports " + std::to_string(pool_cells_after) + " cells, ledger sum is " +
+                std::to_string(mmu_pool_cells_));
+  }
+}
+
+void InvariantRegistry::on_mmu_admit(std::uint32_t queue, std::uint64_t native,
+                                     std::uint64_t cells, std::uint64_t queue_cells_after,
+                                     std::uint64_t pool_cells_after, sim::SimTime now) {
+  ++events_;
+  MmuQueueLedger& ledger = mmu_queues_[queue];
+  ledger.native += native;
+  ledger.cells += cells;
+  mmu_pool_cells_ += cells;
+  check_mmu_event(queue, queue_cells_after, pool_cells_after, now);
+}
+
+void InvariantRegistry::on_mmu_release(std::uint32_t queue, std::uint64_t native,
+                                       std::uint64_t cells, std::uint64_t queue_cells_after,
+                                       std::uint64_t pool_cells_after, sim::SimTime now) {
+  ++events_;
+  MmuQueueLedger& ledger = mmu_queues_[queue];
+  if (native > ledger.native) {
+    violate(now, "mmu-release-underflow",
+            "queue " + std::to_string(queue) + " releases " + std::to_string(native) +
+                " native units, ledger has " + std::to_string(ledger.native));
+    ledger.native = 0;
+  } else {
+    ledger.native -= native;
+  }
+  if (cells > ledger.cells) {
+    violate(now, "mmu-release-underflow",
+            "queue " + std::to_string(queue) + " releases " + std::to_string(cells) +
+                " cells, ledger has " + std::to_string(ledger.cells));
+    mmu_pool_cells_ -= std::min(mmu_pool_cells_, ledger.cells);
+    ledger.cells = 0;
+  } else {
+    ledger.cells -= cells;
+    mmu_pool_cells_ -= std::min(mmu_pool_cells_, cells);
+  }
+  check_mmu_event(queue, queue_cells_after, pool_cells_after, now);
+}
+
 void InvariantRegistry::finalize(bool expect_all_delivered) {
   finalized_ = true;
   const sim::SimTime when = std::max(last_send_[0], last_send_[1]);

@@ -92,6 +92,12 @@ class InvariantRegistry final : public InvariantObserver {
   void on_control_message(bool to_controller, const of::OfMessage& msg, sim::SimTime now) override;
   void on_channel_fault(bool to_controller, const of::OfMessage& msg, of::FaultKind kind,
                         sim::SimTime now) override;
+  void on_mmu_admit(std::uint32_t queue, std::uint64_t native, std::uint64_t cells,
+                    std::uint64_t queue_cells_after, std::uint64_t pool_cells_after,
+                    sim::SimTime now) override;
+  void on_mmu_release(std::uint32_t queue, std::uint64_t native, std::uint64_t cells,
+                      std::uint64_t queue_cells_after, std::uint64_t pool_cells_after,
+                      sim::SimTime now) override;
 
   // End-of-run accounting. With `expect_all_delivered` every tracked payload
   // must have been delivered; otherwise full accounting (delivered + dropped
@@ -162,9 +168,20 @@ class InvariantRegistry final : public InvariantObserver {
     std::uint32_t allowed_wire_crossings = 0;
   };
 
+  // Shadow ledger for the switch's shared-memory MMU (one MMU per registry:
+  // fabric runs attach one registry per switch). Every admit/release event
+  // must agree with the ledger's own arithmetic — queue occupancy, pool
+  // occupancy (sum over queues), and no release exceeding what was admitted.
+  struct MmuQueueLedger {
+    std::uint64_t native = 0;
+    std::uint64_t cells = 0;
+  };
+
   void violate(sim::SimTime when, std::string invariant, std::string detail);
   [[nodiscard]] static bool tracked(const net::Packet& packet);
   [[nodiscard]] PacketAccount* account_for(const net::Packet& packet);
+  void check_mmu_event(std::uint32_t queue, std::uint64_t queue_cells_after,
+                       std::uint64_t pool_cells_after, sim::SimTime now);
 
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
@@ -183,6 +200,9 @@ class InvariantRegistry final : public InvariantObserver {
   std::unordered_map<net::FlowKey, std::pair<net::Packet, std::uint16_t>> controller_saw_;
   sim::SimTime last_send_[2];  // [0] to_switch, [1] to_controller
   bool have_send_[2] = {false, false};
+  // Ordered for deterministic pool sums and reports.
+  std::map<std::uint32_t, MmuQueueLedger> mmu_queues_;
+  std::uint64_t mmu_pool_cells_ = 0;
 };
 
 }  // namespace sdnbuf::verify

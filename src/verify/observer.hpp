@@ -70,6 +70,34 @@ class InvariantObserver {
     (void)kind;
     (void)now;
   }
+
+  // --- shared-memory MMU (DESIGN.md §16) ---
+  // The MMU admitted / released a charge against queue `queue` (a per-switch
+  // handle): `native` legacy units and `cells` pool cells, with the queue's
+  // and pool's post-transition cell occupancies. A release may carry only
+  // one currency (cells when the packet leaves, the native unit at deferred
+  // reclaim). Default no-op so observers that predate the MMU keep
+  // compiling.
+  virtual void on_mmu_admit(std::uint32_t queue, std::uint64_t native, std::uint64_t cells,
+                            std::uint64_t queue_cells_after, std::uint64_t pool_cells_after,
+                            sim::SimTime now) {
+    (void)queue;
+    (void)native;
+    (void)cells;
+    (void)queue_cells_after;
+    (void)pool_cells_after;
+    (void)now;
+  }
+  virtual void on_mmu_release(std::uint32_t queue, std::uint64_t native, std::uint64_t cells,
+                              std::uint64_t queue_cells_after, std::uint64_t pool_cells_after,
+                              sim::SimTime now) {
+    (void)queue;
+    (void)native;
+    (void)cells;
+    (void)queue_cells_after;
+    (void)pool_cells_after;
+    (void)now;
+  }
 };
 
 }  // namespace sdnbuf::verify

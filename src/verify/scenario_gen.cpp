@@ -11,7 +11,8 @@
 namespace sdnbuf::verify {
 
 Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabric,
-                         bool force_link_faults, bool force_shards, bool force_telemetry) {
+                         bool force_link_faults, bool force_shards, bool force_telemetry,
+                         bool force_mmu) {
   // Decorrelate the sampling stream from the experiment's own seeded
   // streams (which derive from `seed` directly).
   util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1e);
@@ -92,6 +93,20 @@ Scenario sample_scenario(std::uint64_t seed, bool force_faults, bool force_fabri
     s.telemetry_int_depth = static_cast<unsigned>(rng.next_below(9));  // 0..8 hops
     constexpr std::uint32_t kPeriods[] = {0, 1, 4, 16, 64};
     s.telemetry_sample_period = kPeriods[rng.next_below(5)];
+  }
+  // Shared-memory MMU draws come after the telemetry draws (append-only
+  // discipline: the MMU dimension existing never changes the scenario a seed
+  // already maps to). The gate draw is always consumed. Pool sizes span
+  // plentiful (nothing rejected) down to starved (the dynamic policies'
+  // thresholds bite); alphas span conservative to aggressive sharing.
+  const bool want_mmu = rng.next_double() < 0.30;
+  if (want_mmu || force_mmu) {
+    s.mmu = true;
+    s.mmu_policy = static_cast<unsigned>(rng.next_below(3));
+    constexpr std::uint64_t kPools[] = {512, 2048, 8192};
+    s.mmu_pool_cells = kPools[rng.next_below(3)];
+    constexpr double kAlphas[] = {0.25, 0.5, 1.0, 2.0};
+    s.mmu_alpha = kAlphas[rng.next_below(4)];
   }
   return s;
 }
@@ -184,6 +199,9 @@ static void run_fabric_check(const Scenario& scenario, ScenarioOutcome& out) {
       cfg.fabric.switch_config.telemetry_sample_period = scenario.telemetry_sample_period;
       cfg.fabric.controller_config.flow_monitor_enabled = scenario.telemetry_sample_period > 0;
     }
+    // Every fabric switch runs its own MMU instance (the pool is per-switch);
+    // the sharded cross-check inherits this via the config copy below.
+    if (scenario.has_mmu()) scenario.apply_mmu(cfg.fabric.switch_config.mmu);
     if (scenario.has_link_faults()) {
       // Seeded flap schedules on every inter-switch link, identical across
       // the three mechanism runs. The horizon ends well inside the drain
@@ -368,6 +386,10 @@ std::string Scenario::describe() const {
     os << " telemetry=on int_depth=" << telemetry_int_depth
        << " sample_period=" << telemetry_sample_period;
   }
+  if (has_mmu()) {
+    os << " mmu=" << sw::mmu::policy_kind_name(static_cast<sw::mmu::PolicyKind>(mmu_policy % 3))
+       << " pool_cells=" << mmu_pool_cells << " alpha=" << mmu_alpha;
+  }
   return os.str();
 }
 
@@ -402,7 +424,20 @@ core::ExperimentConfig Scenario::experiment_config(sw::BufferMode mode) const {
     cfg.testbed.switch_config.telemetry_sample_period = telemetry_sample_period;
     cfg.testbed.controller_config.flow_monitor_enabled = telemetry_sample_period > 0;
   }
+  if (mmu) apply_mmu(cfg.testbed.switch_config.mmu);
   return cfg;
+}
+
+void Scenario::apply_mmu(sw::mmu::MmuConfig& m) const {
+  m.enabled = true;
+  m.policy = static_cast<sw::mmu::PolicyKind>(mmu_policy % 3);
+  m.pool_cells = mmu_pool_cells;
+  // Modest headroom and reserved minima keep the shared region dominant
+  // while still exercising the reserved/shared accounting transitions.
+  m.headroom_cells = mmu_pool_cells / 32;
+  m.reserved_cells = 4;
+  m.alpha = mmu_alpha;
+  m.buffer_alpha = mmu_alpha;
 }
 
 ScenarioOutcome run_scenario(const Scenario& scenario) {

@@ -80,7 +80,20 @@ struct Scenario {
   unsigned telemetry_int_depth = 0;
   std::uint32_t telemetry_sample_period = 0;
 
+  // Shared-memory MMU cross-check (DESIGN.md §16): run every mechanism (and
+  // the fabric / sharded cross-checks) with the switch's buffer managers and
+  // egress queues arbitrated by one shared cell pool under the drawn sharing
+  // policy. The pool-conservation invariant (ledger vs reported occupancies)
+  // rides on the same InvariantRegistry hooks. `mmu == false` disables the
+  // dimension entirely (byte-identical to the pre-MMU fuzzer).
+  bool mmu = false;
+  unsigned mmu_policy = 0;  // sw::mmu::PolicyKind index
+  std::uint64_t mmu_pool_cells = 0;
+  double mmu_alpha = 1.0;
+
   [[nodiscard]] bool has_fabric() const { return fabric_switches > 0; }
+
+  [[nodiscard]] bool has_mmu() const { return mmu; }
 
   [[nodiscard]] bool has_telemetry() const { return telemetry; }
 
@@ -98,6 +111,10 @@ struct Scenario {
   // The run_experiment configuration for one buffer mechanism (observer not
   // yet wired; run_scenario does that).
   [[nodiscard]] core::ExperimentConfig experiment_config(sw::BufferMode mode) const;
+
+  // Fills `m` from the scenario's MMU draws (no-op fields untouched when the
+  // dimension is off; callers gate on has_mmu()).
+  void apply_mmu(sw::mmu::MmuConfig& m) const;
 };
 
 // Deterministic seed -> scenario mapping covering the paper's operating
@@ -115,11 +132,14 @@ struct Scenario {
 // perturbs the scenario a seed already maps to. `force_telemetry` likewise
 // guarantees the observatory ledger cross-check attaches (its draws are
 // appended after everything else, same append-only discipline).
+// `force_mmu` guarantees the shared-memory MMU arbitrates every run (its
+// draws are appended after the telemetry draws, same discipline).
 [[nodiscard]] Scenario sample_scenario(std::uint64_t seed, bool force_faults = false,
                                        bool force_fabric = false,
                                        bool force_link_faults = false,
                                        bool force_shards = false,
-                                       bool force_telemetry = false);
+                                       bool force_telemetry = false,
+                                       bool force_mmu = false);
 
 struct ModeOutcome {
   sw::BufferMode mode = sw::BufferMode::NoBuffer;

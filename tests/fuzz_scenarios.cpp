@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
 
   util::CliFlags flags(argc, argv, {"runs", "seed", "offset", "verbose", "force-faults",
                                     "force-fabric", "force-link-faults", "force-shards",
-                                    "force-telemetry"});
+                                    "force-telemetry", "force-mmu"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\nusage: fuzz_scenarios [--runs N] [--seed S] [--offset K] "
                          "[--verbose] [--force-faults] [--force-fabric] [--force-link-faults] "
-                         "[--force-shards] [--force-telemetry]\n",
+                         "[--force-shards] [--force-telemetry] [--force-mmu]\n",
                  flags.error().c_str());
     return 2;
   }
@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   const bool force_link_faults = flags.get_bool("force-link-faults", false);
   const bool force_shards = flags.get_bool("force-shards", false);
   const bool force_telemetry = flags.get_bool("force-telemetry", false);
+  const bool force_mmu = flags.get_bool("force-mmu", false);
   if (force_faults && (force_fabric || force_link_faults || force_shards)) {
     std::fprintf(stderr,
                  "fuzz_scenarios: --force-faults excludes the fabric-forcing flags\n");
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
   for (long long i = offset; i < offset + runs; ++i) {
     const verify::Scenario scenario =
         verify::sample_scenario(static_cast<std::uint64_t>(base_seed + i), force_faults,
-                                force_fabric, force_link_faults, force_shards, force_telemetry);
+                                force_fabric, force_link_faults, force_shards, force_telemetry,
+                                force_mmu);
     const verify::ScenarioOutcome outcome = verify::run_scenario(scenario);
     if (outcome.ok()) {
       if (verbose) {
@@ -77,11 +79,13 @@ int main(int argc, char** argv) {
     for (const auto& failure : outcome.failures) {
       std::printf("      %s\n", failure.c_str());
     }
-    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s%s%s%s\n", base_seed + i,
-                force_faults ? " --force-faults" : "", force_fabric ? " --force-fabric" : "",
+    std::printf("      reproduce: fuzz_scenarios --seed %lld --runs 1%s%s%s%s%s%s\n",
+                base_seed + i, force_faults ? " --force-faults" : "",
+                force_fabric ? " --force-fabric" : "",
                 force_link_faults ? " --force-link-faults" : "",
                 force_shards ? " --force-shards" : "",
-                force_telemetry ? " --force-telemetry" : "");
+                force_telemetry ? " --force-telemetry" : "",
+                force_mmu ? " --force-mmu" : "");
   }
 
   std::printf("fuzz_scenarios: %lld scenario(s) x 3 modes, %d failure(s)\n", runs, failed);

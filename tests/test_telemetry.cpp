@@ -198,7 +198,8 @@ TEST(IntHarvest, CsvExportsAreWellFormed) {
   obsy.write_heatmap_csv(heat);
   EXPECT_EQ(heat.str().substr(0, heat.str().find('\n')),
             "switch_id,port,samples,qdepth_max,qdepth_mean,residence_us_max,"
-            "residence_us_mean,buffer_units_max");
+            "residence_us_mean,buffer_units_max,pool_cells_max,pool_cells_mean,"
+            "threshold_min,threshold_max");
 
   std::ostringstream fates;
   obsy.write_fates_csv(fates);
